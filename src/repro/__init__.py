@@ -1,0 +1,26 @@
+"""VeriBug reproduction: attention-based bug localization for RTL designs.
+
+Reproduces *VeriBug: An Attention-based Framework for Bug-Localization in
+Hardware Designs* (DATE 2024) end-to-end in pure Python: a Verilog-subset
+frontend, GoldMine-style static analysis, an instrumented cycle-based
+simulator, a numpy autograd deep-learning substrate, the VeriBug model
+and explainer, synthetic design generation, and the bug-injection
+evaluation campaign.
+
+See ``examples/quickstart.py`` for a full walkthrough.
+"""
+
+from . import analysis, core, datagen, designs, nn, sim, verilog
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "datagen",
+    "designs",
+    "nn",
+    "sim",
+    "verilog",
+    "__version__",
+]

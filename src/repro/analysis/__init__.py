@@ -1,0 +1,43 @@
+"""Static analysis substrate: CDFG, VDG, COI, slicing, operand contexts.
+
+Replaces the GoldMine artifacts the paper consumes (§II).
+"""
+
+from .cdfg import build_cdfg, stmt_nodes
+from .coi import build_coi_graph, cone_of_influence
+from .contexts import (
+    LVALUE,
+    RVALUE,
+    OperandInstance,
+    StatementContext,
+    extract_module_contexts,
+    extract_statement_context,
+)
+from .slicing import (
+    DynamicSlice,
+    StaticSlice,
+    compute_dynamic_slice,
+    compute_static_slice,
+    slice_statements,
+)
+from .vdg import build_vdg, dependency_cone
+
+__all__ = [
+    "DynamicSlice",
+    "LVALUE",
+    "OperandInstance",
+    "RVALUE",
+    "StatementContext",
+    "StaticSlice",
+    "build_cdfg",
+    "build_coi_graph",
+    "build_vdg",
+    "compute_dynamic_slice",
+    "compute_static_slice",
+    "cone_of_influence",
+    "dependency_cone",
+    "extract_module_contexts",
+    "extract_statement_context",
+    "slice_statements",
+    "stmt_nodes",
+]

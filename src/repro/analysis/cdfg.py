@@ -1,0 +1,166 @@
+"""Control-Data Flow Graph (CDFG) construction.
+
+The CDFG captures both control flow and data flow among design statements
+(paper §II).  Nodes are:
+
+* one ``entry`` node per process (continuous assign, always block),
+* one ``stmt`` node per assignment statement (keyed by ``stmt_id``),
+* one ``branch`` node per ``if``/``case`` decision,
+* one ``merge`` node per decision join.
+
+Edges are labeled ``etype="control"`` (sequential flow; branch out-edges
+additionally carry ``cond`` / ``label`` attributes) or ``etype="data"``
+(def-use edges between statement nodes, resolved on full signal names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..verilog.ast_nodes import (
+    Assignment,
+    Block,
+    Case,
+    If,
+    Module,
+    Statement,
+    collect_identifiers,
+)
+from ..verilog.printer import format_expr
+
+
+@dataclass
+class _Builder:
+    graph: nx.DiGraph
+    counter: int = 0
+
+    def fresh(self, kind: str, **attrs) -> str:
+        self.counter += 1
+        node = f"{kind}_{self.counter}"
+        self.graph.add_node(node, kind=kind, **attrs)
+        return node
+
+
+def build_cdfg(module: Module) -> nx.DiGraph:
+    """Build the control-data flow graph of a module.
+
+    Returns:
+        A directed graph; statement nodes are named ``"stmt_<id>"`` and
+        carry ``stmt_id`` and ``target`` attributes.
+    """
+    graph = nx.DiGraph(name=f"cdfg:{module.name}")
+    builder = _Builder(graph)
+
+    for assign in module.assigns:
+        entry = builder.fresh("entry", label="assign")
+        node = _stmt_node(graph, assign)
+        graph.add_edge(entry, node, etype="control")
+
+    for index, blk in enumerate(module.always_blocks):
+        label = "always_ff" if blk.is_clocked else "always_comb"
+        entry = builder.fresh("entry", label=f"{label}_{index}")
+        exits = _lower(builder, blk.body, [entry])
+        exit_node = builder.fresh("exit", label=f"{label}_{index}_exit")
+        for src in exits:
+            graph.add_edge(src, exit_node, etype="control")
+
+    _add_data_edges(graph, module)
+    return graph
+
+
+def _stmt_node(graph: nx.DiGraph, stmt) -> str:
+    node = f"stmt_{stmt.stmt_id}"
+    graph.add_node(
+        node,
+        kind="stmt",
+        stmt_id=stmt.stmt_id,
+        target=stmt.target.name,
+        line=stmt.line,
+    )
+    return node
+
+
+def _lower(builder: _Builder, stmt: Statement, preds: list[str]) -> list[str]:
+    """Lower a statement to CDFG nodes; return the exit frontier."""
+    graph = builder.graph
+    if isinstance(stmt, Block):
+        frontier = preds
+        for child in stmt.statements:
+            frontier = _lower(builder, child, frontier)
+        return frontier
+    if isinstance(stmt, Assignment):
+        node = _stmt_node(graph, stmt)
+        for pred in preds:
+            graph.add_edge(pred, node, etype="control")
+        return [node]
+    if isinstance(stmt, If):
+        branch = builder.fresh("branch", cond=format_expr(stmt.cond), line=stmt.line)
+        for pred in preds:
+            graph.add_edge(pred, branch, etype="control")
+        then_exits = _lower(builder, stmt.then_stmt, [branch])
+        for node in then_exits:
+            _tag_branch_edge(graph, branch, node, "true")
+        if stmt.else_stmt is not None:
+            else_exits = _lower(builder, stmt.else_stmt, [branch])
+        else:
+            else_exits = [branch]
+        merge = builder.fresh("merge", line=stmt.line)
+        for node in set(then_exits + else_exits):
+            graph.add_edge(node, merge, etype="control")
+        return [merge]
+    if isinstance(stmt, Case):
+        branch = builder.fresh("branch", cond=format_expr(stmt.subject), line=stmt.line)
+        for pred in preds:
+            graph.add_edge(pred, branch, etype="control")
+        exits: list[str] = []
+        has_default = False
+        for item in stmt.items:
+            item_exits = _lower(builder, item.body, [branch])
+            label = (
+                ", ".join(format_expr(lbl) for lbl in item.labels)
+                if item.labels
+                else "default"
+            )
+            has_default = has_default or not item.labels
+            for node in item_exits:
+                _tag_branch_edge(graph, branch, node, label)
+            exits.extend(item_exits)
+        if not has_default:
+            exits.append(branch)
+        merge = builder.fresh("merge", line=stmt.line)
+        for node in set(exits):
+            graph.add_edge(node, merge, etype="control")
+        return [merge]
+    raise TypeError(f"cannot lower statement {type(stmt).__name__}")
+
+
+def _tag_branch_edge(graph: nx.DiGraph, branch: str, node: str, label: str) -> None:
+    if graph.has_edge(branch, node):
+        graph.edges[branch, node]["label"] = label
+
+
+def _add_data_edges(graph: nx.DiGraph, module: Module) -> None:
+    """Add def-use edges between statement nodes (by full signal name)."""
+    defs: dict[str, list[str]] = {}
+    uses: dict[str, list[str]] = {}
+    for stmt in module.statements():
+        node = f"stmt_{stmt.stmt_id}"
+        defs.setdefault(stmt.target.name, []).append(node)
+        for name in collect_identifiers(stmt.rhs):
+            uses.setdefault(name, []).append(node)
+    for name, def_nodes in defs.items():
+        for use_node in uses.get(name, []):
+            for def_node in def_nodes:
+                if def_node != use_node:
+                    graph.add_edge(def_node, use_node, etype="data", signal=name)
+
+
+def stmt_nodes(graph: nx.DiGraph) -> dict[int, str]:
+    """Map statement id -> CDFG node name."""
+    return {
+        attrs["stmt_id"]: node
+        for node, attrs in graph.nodes(data=True)
+        if attrs.get("kind") == "stmt"
+    }

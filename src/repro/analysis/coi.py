@@ -1,0 +1,108 @@
+"""Cone-of-influence (COI) analysis over an n-cycle unrolling.
+
+The COI captures the temporal relations among design variables when a
+design is unrolled for ``n`` cycles (paper §II).  We build a graph over
+``(signal, cycle)`` nodes:
+
+* a *combinational* dependence ``u -> v`` connects ``(u, k) -> (v, k)``,
+* a *sequential* dependence (through a clocked assignment) connects
+  ``(u, k-1) -> (v, k)``.
+
+The cone of influence of ``(target, n-1)`` is then every timed variable
+that can reach it.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..verilog.ast_nodes import (
+    Assignment,
+    Block,
+    Case,
+    If,
+    Module,
+    Statement,
+    collect_identifiers,
+)
+
+
+def _collect_deps(module: Module) -> tuple[set[tuple[str, str]], set[tuple[str, str]]]:
+    """Return (combinational, sequential) variable dependence pairs."""
+    comb: set[tuple[str, str]] = set()
+    seq: set[tuple[str, str]] = set()
+
+    for assign in module.assigns:
+        for src in collect_identifiers(assign.rhs):
+            comb.add((src, assign.target.name))
+
+    def walk(stmt: Statement, control: tuple[str, ...], clocked: bool) -> None:
+        if isinstance(stmt, Block):
+            for child in stmt.statements:
+                walk(child, control, clocked)
+        elif isinstance(stmt, If):
+            extra = tuple(collect_identifiers(stmt.cond))
+            walk(stmt.then_stmt, control + extra, clocked)
+            if stmt.else_stmt is not None:
+                walk(stmt.else_stmt, control + extra, clocked)
+        elif isinstance(stmt, Case):
+            extra = tuple(collect_identifiers(stmt.subject))
+            for item in stmt.items:
+                for label in item.labels:
+                    extra = extra + tuple(collect_identifiers(label))
+                walk(item.body, control + extra, clocked)
+        elif isinstance(stmt, Assignment):
+            bucket = seq if clocked else comb
+            for src in collect_identifiers(stmt.rhs):
+                bucket.add((src, stmt.target.name))
+            for src in control:
+                bucket.add((src, stmt.target.name))
+
+    for blk in module.always_blocks:
+        walk(blk.body, (), blk.is_clocked)
+    return comb, seq
+
+
+def build_coi_graph(module: Module, n_cycles: int) -> nx.DiGraph:
+    """Unroll the design's dependence relation over ``n_cycles`` cycles.
+
+    Nodes are ``(signal_name, cycle)`` tuples.
+    """
+    if n_cycles < 1:
+        raise ValueError("n_cycles must be >= 1")
+    comb, seq = _collect_deps(module)
+    graph = nx.DiGraph(name=f"coi:{module.name}:{n_cycles}")
+    for cycle in range(n_cycles):
+        for name in module.decls:
+            graph.add_node((name, cycle))
+    for cycle in range(n_cycles):
+        for src, dst in comb:
+            if src in module.decls and dst in module.decls:
+                graph.add_edge((src, cycle), (dst, cycle), etype="comb")
+        if cycle > 0:
+            for src, dst in seq:
+                if src in module.decls and dst in module.decls:
+                    graph.add_edge((src, cycle - 1), (dst, cycle), etype="seq")
+    return graph
+
+
+def cone_of_influence(
+    module: Module, target: str, n_cycles: int
+) -> set[tuple[str, int]]:
+    """Timed variables that can influence ``target`` at the last cycle.
+
+    Args:
+        module: The design.
+        target: Output (or internal) signal to trace back from.
+        n_cycles: Unrolling depth; cycle ``n_cycles - 1`` holds the target.
+
+    Returns:
+        The set of ``(signal, cycle)`` pairs, including the target itself.
+    """
+    if target not in module.decls:
+        raise KeyError(f"target {target!r} is not a design variable")
+    graph = build_coi_graph(module, n_cycles)
+    goal = (target, n_cycles - 1)
+    ancestors = nx.ancestors(graph, goal)
+    ancestors.add(goal)
+    return ancestors

@@ -1,0 +1,195 @@
+"""Operand context extraction from statement ASTs.
+
+Paper §IV-B "Context extraction from ASTs": the relative structural
+information of each RHS operand is encoded as the list of leaf-to-leaf
+AST paths from that operand to every other leaf of the statement AST.
+
+For ``gnt1 = req1 & ~req2`` the statement AST is::
+
+            BlockingAssignment
+               /         \
+           Lvalue       Rvalue
+          (gnt1)           |
+                          And
+                         /   \
+                     req1     Not
+                               |
+                              req2
+
+and ``Context(req1) = {[And, Rvalue, BlockingAssignment, Lvalue],
+[And, Not]}`` — exactly the figure-2 example.  Paths consist of AST node
+*types*; operand identifier leaves are excluded from the path while the
+``Lvalue`` terminal is included (it is a structural node, not a name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..verilog.ast_nodes import (
+    Assignment,
+    ContinuousAssign,
+    Expr,
+    Identifier,
+    Node,
+    Number,
+    Statement,
+)
+
+#: Virtual node type inserted between the RHS root and the assignment,
+#: mirroring the Rvalue wrapper node of Verilog ASTs (e.g. Pyverilog's).
+RVALUE = "Rvalue"
+LVALUE = "Lvalue"
+
+
+@dataclass(frozen=True)
+class OperandInstance:
+    """One occurrence of an operand identifier in a statement RHS.
+
+    Attributes:
+        name: The signal name.
+        occurrence: 0-based occurrence index among leaves with this name.
+        position: Leaf index in left-to-right RHS order.
+    """
+
+    name: str
+    occurrence: int
+    position: int
+
+
+@dataclass
+class StatementContext:
+    """All operand contexts of one assignment statement.
+
+    Attributes:
+        stmt_id: The statement's stable id.
+        target: Name of the assigned variable.
+        assign_type: Node type of the assignment root
+            ("BlockingAssignment", "NonBlockingAssignment", or
+            "ContinuousAssign").
+        operands: RHS operand occurrences, left-to-right.
+        contexts: For each operand (by list position) the list of paths;
+            each path is a tuple of node-type names.
+    """
+
+    stmt_id: int
+    target: str
+    assign_type: str
+    operands: list[OperandInstance] = field(default_factory=list)
+    contexts: list[list[tuple[str, ...]]] = field(default_factory=list)
+
+    @property
+    def n_operands(self) -> int:
+        return len(self.operands)
+
+    def operand_names(self) -> tuple[str, ...]:
+        """Operand names in position order (duplicates preserved)."""
+        return tuple(op.name for op in self.operands)
+
+
+def _leaf_parents(root: Expr) -> list[tuple[Node, list[Node]]]:
+    """All leaves of an expression tree with their ancestor chains.
+
+    Returns a list of ``(leaf, ancestors)`` where ``ancestors`` runs from
+    the leaf's parent up to the root (inclusive), in that order.
+    """
+    result: list[tuple[Node, list[Node]]] = []
+
+    def visit(node: Node, ancestors: list[Node]) -> None:
+        children = list(node.children())
+        if isinstance(node, (Identifier, Number)) or not children:
+            # Store parent-first (leaf's parent ... root).
+            result.append((node, list(reversed(ancestors))))
+            return
+        ancestors.append(node)
+        for child in children:
+            visit(child, ancestors)
+        ancestors.pop()
+
+    visit(root, [])
+    return result
+
+
+def _path_between(
+    src_ancestors: list[Node], dst_ancestors: list[Node]
+) -> tuple[str, ...]:
+    """Node-type path between two leaves given their ancestor chains.
+
+    The path climbs from the source leaf to the lowest common ancestor
+    (inclusive) and descends to the destination leaf's parent (exclusive
+    of both leaves).
+    """
+    src_up = src_ancestors  # parent ... root
+    dst_up = dst_ancestors
+    dst_set = {id(node): idx for idx, node in enumerate(dst_up)}
+    lca_src_idx = None
+    for idx, node in enumerate(src_up):
+        if id(node) in dst_set:
+            lca_src_idx = idx
+            break
+    if lca_src_idx is None:
+        raise ValueError("leaves do not share a common ancestor")
+    lca_dst_idx = dst_set[id(src_up[lca_src_idx])]
+    up_part = [node.node_type for node in src_up[: lca_src_idx + 1]]
+    down_part = [node.node_type for node in dst_up[:lca_dst_idx]][::-1]
+    return tuple(up_part + down_part)
+
+
+def extract_statement_context(stmt: Statement) -> StatementContext:
+    """Extract operand contexts for an assignment statement.
+
+    Args:
+        stmt: A procedural :class:`Assignment` or :class:`ContinuousAssign`.
+
+    Returns:
+        The :class:`StatementContext`; statements whose RHS has no
+        identifier operands (pure constants) yield an empty operand list.
+
+    Raises:
+        TypeError: If ``stmt`` is not an assignment statement.
+    """
+    if not isinstance(stmt, (Assignment, ContinuousAssign)):
+        raise TypeError(f"not an assignment statement: {type(stmt).__name__}")
+
+    leaves = _leaf_parents(stmt.rhs)
+    operand_entries = [
+        (leaf, ancestors)
+        for leaf, ancestors in leaves
+        if isinstance(leaf, Identifier)
+    ]
+
+    context = StatementContext(
+        stmt_id=stmt.stmt_id,
+        target=stmt.target.name,
+        assign_type=stmt.node_type,
+    )
+
+    name_counts: dict[str, int] = {}
+    for position, (leaf, _ancestors) in enumerate(operand_entries):
+        assert isinstance(leaf, Identifier)
+        occurrence = name_counts.get(leaf.name, 0)
+        name_counts[leaf.name] = occurrence + 1
+        context.operands.append(
+            OperandInstance(name=leaf.name, occurrence=occurrence, position=position)
+        )
+
+    for src_idx, (src_leaf, src_anc) in enumerate(operand_entries):
+        paths: list[tuple[str, ...]] = []
+        # Paths to every other leaf (identifier or constant) of the RHS.
+        for dst_idx, (dst_leaf, dst_anc) in enumerate(leaves):
+            if dst_leaf is src_leaf:
+                continue
+            if not src_anc and not dst_anc:
+                continue  # single-leaf RHS cannot happen with two leaves
+            paths.append(_path_between(src_anc, dst_anc))
+        # Path to the output variable through the assignment root.
+        up_chain = [node.node_type for node in src_anc]
+        paths.append(tuple(up_chain + [RVALUE, stmt.node_type, LVALUE]))
+        context.contexts.append(paths)
+
+    return context
+
+
+def extract_module_contexts(statements: list[Statement]) -> dict[int, StatementContext]:
+    """Extract contexts for many statements, keyed by statement id."""
+    return {stmt.stmt_id: extract_statement_context(stmt) for stmt in statements}

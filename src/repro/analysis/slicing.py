@@ -1,0 +1,86 @@
+"""Static and dynamic design slicing for a target variable.
+
+Paper §IV-B: the slicing criterion includes a statement in the slice when
+its LHS variable is in ``Dep_t`` (the dependency cone of the target), and
+program slices whose branches cannot be executed by a given input vector
+are excluded.  We obtain the latter directly from the simulator's
+execution records: a statement is in the *dynamic* slice of a trace iff it
+is in the static slice and actually executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..verilog.ast_nodes import Module, Statement
+from ..sim.trace import StatementExecution, Trace
+from .vdg import build_vdg, dependency_cone
+
+
+@dataclass
+class StaticSlice:
+    """The statements relevant to one target variable.
+
+    Attributes:
+        target: The target (output) variable name.
+        dep_vars: ``Dep_t`` — every variable the target depends on.
+        stmt_ids: Ids of statements whose LHS is in ``dep_vars``.
+    """
+
+    target: str
+    dep_vars: set[str]
+    stmt_ids: set[int]
+
+
+@dataclass
+class DynamicSlice:
+    """The executed portion of a static slice for one trace.
+
+    Attributes:
+        target: The target variable name.
+        stmt_ids: Statements of the static slice that executed.
+        executions: Their execution records, in trace order.
+    """
+
+    target: str
+    stmt_ids: set[int] = field(default_factory=set)
+    executions: list[StatementExecution] = field(default_factory=list)
+
+
+def compute_static_slice(module: Module, target: str) -> StaticSlice:
+    """Slice a design statically for a target variable.
+
+    Args:
+        module: The parsed design.
+        target: Target variable (usually an output).
+
+    Returns:
+        The :class:`StaticSlice` with the dependency cone and statement ids.
+    """
+    vdg = build_vdg(module)
+    dep_vars = dependency_cone(vdg, target)
+    stmt_ids = {
+        stmt.stmt_id for stmt in module.statements() if stmt.target.name in dep_vars
+    }
+    return StaticSlice(target=target, dep_vars=dep_vars, stmt_ids=stmt_ids)
+
+
+def compute_dynamic_slice(static_slice: StaticSlice, trace: Trace) -> DynamicSlice:
+    """Restrict a static slice to the statements a trace actually executed.
+
+    Intuition from the paper: if a statement is not executed by the input
+    vector, it cannot be the cause of a bug symptomatized at the output.
+    """
+    dynamic = DynamicSlice(target=static_slice.target)
+    for execution in trace.executions:
+        if execution.stmt_id in static_slice.stmt_ids:
+            dynamic.stmt_ids.add(execution.stmt_id)
+            dynamic.executions.append(execution)
+    return dynamic
+
+
+def slice_statements(module: Module, static_slice: StaticSlice) -> list[Statement]:
+    """The AST statements of a static slice, in stmt_id order."""
+    return [
+        stmt for stmt in module.statements() if stmt.stmt_id in static_slice.stmt_ids
+    ]

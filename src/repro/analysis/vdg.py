@@ -1,0 +1,118 @@
+"""Variable Dependency Graph (VDG) construction.
+
+The VDG summarizes control and data dependencies among design variables by
+abstracting away operation details (paper §II).  Nodes are signal names;
+an edge ``u -> v`` means the value of ``v`` depends on ``u``:
+
+* **data** edge: ``u`` appears in the RHS of an assignment to ``v``,
+* **control** edge: ``u`` appears in a branch condition (``if`` guard or
+  ``case`` subject/label) that governs an assignment to ``v``.
+
+Edges carry an ``etype`` attribute in {"data", "control"}; when both
+dependence kinds exist between a pair the edge is labeled "data+control".
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..verilog.ast_nodes import (
+    Assignment,
+    Block,
+    Case,
+    If,
+    Module,
+    Statement,
+    collect_identifiers,
+)
+
+
+def build_vdg(module: Module) -> nx.DiGraph:
+    """Build the variable dependency graph of a module.
+
+    Returns:
+        A directed graph whose nodes are signal names and whose edges are
+        labeled with ``etype`` ("data", "control", or "data+control").
+    """
+    graph = nx.DiGraph(name=f"vdg:{module.name}")
+    for name in module.decls:
+        graph.add_node(name)
+
+    for assign in module.assigns:
+        for src in collect_identifiers(assign.rhs):
+            _add_edge(graph, src, assign.target.name, "data")
+        _add_select_deps(graph, assign)
+
+    for blk in module.always_blocks:
+        _walk(graph, blk.body, control_vars=[])
+    return graph
+
+
+def _add_select_deps(graph: nx.DiGraph, stmt) -> None:
+    """Index expressions on the LHS act as data dependencies too."""
+    for sub in (stmt.target.index, stmt.target.msb, stmt.target.lsb):
+        if sub is not None:
+            for src in collect_identifiers(sub):
+                _add_edge(graph, src, stmt.target.name, "data")
+
+
+def _walk(graph: nx.DiGraph, stmt: Statement, control_vars: list[str]) -> None:
+    if isinstance(stmt, Block):
+        for child in stmt.statements:
+            _walk(graph, child, control_vars)
+    elif isinstance(stmt, If):
+        cond_vars = collect_identifiers(stmt.cond)
+        inner = control_vars + cond_vars
+        _walk(graph, stmt.then_stmt, inner)
+        if stmt.else_stmt is not None:
+            _walk(graph, stmt.else_stmt, inner)
+    elif isinstance(stmt, Case):
+        subject_vars = collect_identifiers(stmt.subject)
+        for item in stmt.items:
+            label_vars: list[str] = []
+            for label in item.labels:
+                label_vars.extend(collect_identifiers(label))
+            _walk(graph, item.body, control_vars + subject_vars + label_vars)
+    elif isinstance(stmt, Assignment):
+        target = stmt.target.name
+        for src in collect_identifiers(stmt.rhs):
+            _add_edge(graph, src, target, "data")
+        _add_select_deps(graph, stmt)
+        for src in control_vars:
+            _add_edge(graph, src, target, "control")
+
+
+def _add_edge(graph: nx.DiGraph, src: str, dst: str, etype: str) -> None:
+    if src not in graph or dst not in graph:
+        # Parameters referenced in expressions are constants, not variables.
+        return
+    if graph.has_edge(src, dst):
+        existing = graph.edges[src, dst]["etype"]
+        if etype not in existing:
+            graph.edges[src, dst]["etype"] = "data+control"
+    else:
+        graph.add_edge(src, dst, etype=etype)
+
+
+def dependency_cone(vdg: nx.DiGraph, target: str) -> set[str]:
+    """Compute ``Dep_t``: every variable the target transitively depends on.
+
+    Implemented, as in the paper, by reversing the VDG edges and running a
+    DFS from the target node (paper §IV-B "Dependence analysis").  The
+    target itself is included in the returned set.
+
+    Raises:
+        KeyError: If ``target`` is not a node of the VDG.
+    """
+    if target not in vdg:
+        raise KeyError(f"target {target!r} is not a design variable")
+    reversed_vdg = vdg.reverse(copy=False)
+    visited = {target}
+    stack = [target]
+    while stack:
+        node = stack.pop()
+        for succ in reversed_vdg.successors(node):
+            if succ not in visited:
+                visited.add(succ)
+                stack.append(succ)
+    return visited

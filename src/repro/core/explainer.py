@@ -1,0 +1,230 @@
+"""Explanation generation: attention maps, aggregated maps, heatmap Ht.
+
+Implements paper §IV-D:
+
+* an **attention map** holds, per statement, the attention weights of one
+  trace's executions;
+* the **aggregated maps** ``Ft`` (failing traces) and ``Ct`` (correct
+  traces) are statement-wise averages of attention weights across all
+  executions in the respective trace set;
+* the **suspiciousness score** of a statement present in both maps is the
+  min-max-normalized norm-1 distance ``‖Ft(l) − Ct(l)‖₁ / 2`` (a norm-1
+  distance between two softmax weight vectors always lies in [0, 2]);
+* the **heatmap** ``Ht`` applies the three presence cases: Ct-only →
+  not suspicious; Ft-only → suspicious (weights copied, suspiciousness
+  pinned to 1.0 since the statement executes exclusively in failures);
+  both → suspicious iff the distance exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.contexts import StatementContext
+from ..sim.trace import Trace
+from .config import VeriBugConfig
+from .features import BatchEncoder, Sample, sample_from_execution
+from .model import VeriBugModel
+
+#: Suspiciousness assigned to statements that only execute in failing
+#: traces (the paper marks them suspicious without computing a distance).
+FT_ONLY_SUSPICIOUSNESS = 1.0
+
+
+@dataclass
+class AttentionMap:
+    """Statement-wise aggregated attention weights for one trace set.
+
+    ``weights[stmt_id]`` is the mean attention vector over all executions
+    of that statement; ``counts[stmt_id]`` is the number of executions
+    aggregated.
+    """
+
+    weights: dict[int, np.ndarray] = field(default_factory=dict)
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def add(self, stmt_id: int, attention: np.ndarray) -> None:
+        """Accumulate one execution's attention weights (running mean)."""
+        if stmt_id in self.weights:
+            count = self.counts[stmt_id]
+            self.weights[stmt_id] = (self.weights[stmt_id] * count + attention) / (
+                count + 1
+            )
+            self.counts[stmt_id] = count + 1
+        else:
+            self.weights[stmt_id] = attention.astype(np.float64).copy()
+            self.counts[stmt_id] = 1
+
+    def statements(self) -> set[int]:
+        """Ids of statements present in the map."""
+        return set(self.weights)
+
+
+@dataclass
+class HeatmapEntry:
+    """One suspicious statement in the final heatmap ``Ht``.
+
+    Attributes:
+        stmt_id: The statement.
+        weights: Operand importance scores copied from ``Ft``.
+        suspiciousness: The statement's suspiciousness score.
+        case: "ft_only" or "both" (which presence case applied).
+    """
+
+    stmt_id: int
+    weights: np.ndarray
+    suspiciousness: float
+    case: str
+
+
+@dataclass
+class Heatmap:
+    """The final heatmap ``Ht`` plus the evidence used to build it."""
+
+    target: str
+    entries: dict[int, HeatmapEntry] = field(default_factory=dict)
+    ft: AttentionMap = field(default_factory=AttentionMap)
+    ct: AttentionMap = field(default_factory=AttentionMap)
+    suspiciousness: dict[int, float] = field(default_factory=dict)
+
+    def ranked(self) -> list[HeatmapEntry]:
+        """Heatmap entries ordered by decreasing suspiciousness."""
+        return sorted(
+            self.entries.values(), key=lambda e: (-e.suspiciousness, e.stmt_id)
+        )
+
+    def top_statement(self) -> int | None:
+        """stmt_id with the highest suspiciousness, or None when empty."""
+        ranked = self.ranked()
+        return ranked[0].stmt_id if ranked else None
+
+
+def normalized_l1_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Min-max-normalized norm-1 distance between two weight vectors.
+
+    The normalization uses min = 0 and max = 2, the exact bounds of the
+    L1 distance between two probability vectors, so results lie in [0, 1].
+    Vectors of different lengths (a statement whose operand count changed
+    between trace sets cannot occur, but defensive) raise ``ValueError``.
+    """
+    if a.shape != b.shape:
+        raise ValueError(f"weight shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).sum()) / 2.0
+
+
+class Explainer:
+    """Builds attention maps and heatmaps from a trained model."""
+
+    def __init__(
+        self,
+        model: VeriBugModel,
+        encoder: BatchEncoder,
+        config: VeriBugConfig | None = None,
+    ):
+        self.model = model
+        self.encoder = encoder
+        self.config = config or model.config
+
+    def attention_map(
+        self,
+        contexts: dict[int, StatementContext],
+        traces: list[Trace],
+        restrict_to: set[int] | None = None,
+        batch_size: int = 512,
+    ) -> AttentionMap:
+        """Aggregate attention weights over all executions in a trace set.
+
+        Args:
+            contexts: Statement contexts keyed by stmt_id.
+            traces: Traces of one set (all failing or all correct).
+            restrict_to: Optional stmt_id filter (the dynamic slice).
+            batch_size: Inference batch size.
+        """
+        amap = AttentionMap()
+        pending: list[Sample] = []
+        pending_ids: list[int] = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            batch = self.encoder.encode(pending)
+            output = self.model(batch)
+            for stmt_id, weights in zip(pending_ids, output.attention_per_statement()):
+                amap.add(stmt_id, weights)
+            pending.clear()
+            pending_ids.clear()
+
+        for trace in traces:
+            for execution in trace.executions:
+                if restrict_to is not None and execution.stmt_id not in restrict_to:
+                    continue
+                context = contexts.get(execution.stmt_id)
+                if context is None:
+                    continue
+                sample = sample_from_execution(context, execution)
+                if sample is None:
+                    continue
+                pending.append(sample)
+                pending_ids.append(execution.stmt_id)
+                if len(pending) >= batch_size:
+                    flush()
+        flush()
+        return amap
+
+    def build_heatmap(
+        self,
+        target: str,
+        ft: AttentionMap,
+        ct: AttentionMap,
+        threshold: float | None = None,
+    ) -> Heatmap:
+        """Compare aggregated maps and emit the final heatmap ``Ht``."""
+        threshold = (
+            threshold if threshold is not None else self.config.suspicious_threshold
+        )
+        heatmap = Heatmap(target=target, ft=ft, ct=ct)
+
+        for stmt_id in sorted(ft.statements() | ct.statements()):
+            in_ft = stmt_id in ft.weights
+            in_ct = stmt_id in ct.weights
+            if in_ct and not in_ft:
+                # Case 1: never executes in failing traces -> not suspicious.
+                heatmap.suspiciousness[stmt_id] = 0.0
+                continue
+            if in_ft and not in_ct:
+                # Case 2: executes only in failing traces -> suspicious.
+                heatmap.suspiciousness[stmt_id] = FT_ONLY_SUSPICIOUSNESS
+                heatmap.entries[stmt_id] = HeatmapEntry(
+                    stmt_id=stmt_id,
+                    weights=ft.weights[stmt_id].copy(),
+                    suspiciousness=FT_ONLY_SUSPICIOUSNESS,
+                    case="ft_only",
+                )
+                continue
+            # Case 3: present in both -> threshold the normalized distance.
+            distance = normalized_l1_distance(ft.weights[stmt_id], ct.weights[stmt_id])
+            heatmap.suspiciousness[stmt_id] = distance
+            if distance > threshold:
+                heatmap.entries[stmt_id] = HeatmapEntry(
+                    stmt_id=stmt_id,
+                    weights=ft.weights[stmt_id].copy(),
+                    suspiciousness=distance,
+                    case="both",
+                )
+        return heatmap
+
+    def explain(
+        self,
+        target: str,
+        contexts: dict[int, StatementContext],
+        failing_traces: list[Trace],
+        correct_traces: list[Trace],
+        restrict_to: set[int] | None = None,
+        threshold: float | None = None,
+    ) -> Heatmap:
+        """One-call pipeline: attention maps for both sets, then ``Ht``."""
+        ft = self.attention_map(contexts, failing_traces, restrict_to)
+        ct = self.attention_map(contexts, correct_traces, restrict_to)
+        return self.build_heatmap(target, ft, ct, threshold)

@@ -1,0 +1,224 @@
+"""Dataset construction: from traces and contexts to encoded batches.
+
+A training/inference *sample* is one dynamic execution of one statement:
+the statement's operand contexts (static, from the AST) plus the operand
+values observed at execution time (dynamic, from the trace) and the
+ground-truth LHS value.  This is the paper's free supervision: no labels
+beyond what the simulator already produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.contexts import StatementContext
+from ..sim.trace import StatementExecution, Trace
+from .config import VeriBugConfig
+from .vocab import Vocabulary
+
+
+class ValueEncoder:
+    """Buckets operand values into a small one-hot alphabet.
+
+    Buckets: 0 -> "zero", 1 -> "one", 2 -> "small multi-bit" (< 256),
+    3 -> "large".  Single-bit signals only ever hit the first two, which
+    matches the paper's bit-level setting; wider operands in the realistic
+    designs degrade gracefully to coarse magnitude buckets.
+    """
+
+    #: Number of buckets (the ``dv`` one-hot width).
+    DEPTH = 4
+
+    def encode(self, value: int) -> int:
+        """Bucket index of an operand value."""
+        if value == 0:
+            return 0
+        if value == 1:
+            return 1
+        if value < 256:
+            return 2
+        return 3
+
+    def one_hot(self, values: np.ndarray) -> np.ndarray:
+        """One-hot encode an array of values into ``[N, DEPTH]``."""
+        indices = np.array([self.encode(int(v)) for v in values], dtype=np.int64)
+        out = np.zeros((len(indices), self.DEPTH), dtype=np.float64)
+        if len(indices):
+            out[np.arange(len(indices)), indices] = 1.0
+        return out
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One statement execution paired with its static context.
+
+    Attributes:
+        context: The statement's operand contexts.
+        operand_values: Value per operand instance (position order).
+        label: Ground truth: 1 when the assigned value is non-zero.
+        design: Originating design name (for splits and reporting).
+    """
+
+    context: StatementContext
+    operand_values: tuple[int, ...]
+    label: int
+    design: str = ""
+
+
+@dataclass
+class EncodedBatch:
+    """Flattened, padded arrays for a batch of samples.
+
+    Layout: all paths of all operands of all samples are stacked into one
+    ``[P, T]`` token matrix; ``path_operand`` maps each path row to its
+    operand row; ``operand_stmt`` maps each operand row to its sample.
+    """
+
+    path_tokens: np.ndarray
+    path_mask: np.ndarray
+    path_operand: np.ndarray
+    value_onehot: np.ndarray
+    operand_stmt: np.ndarray
+    labels: np.ndarray
+    n_operands: int
+    n_statements: int
+    operand_counts: list[int] = field(default_factory=list)
+
+
+class BatchEncoder:
+    """Encodes :class:`Sample` lists into :class:`EncodedBatch` arrays.
+
+    Path token encodings are cached per (id of context, operand index), so
+    repeated executions of the same statement — the common case — cost
+    only the dynamic value encoding.
+    """
+
+    def __init__(self, vocab: Vocabulary, value_encoder: ValueEncoder | None = None):
+        self.vocab = vocab
+        self.value_encoder = value_encoder or ValueEncoder()
+        self._path_cache: dict[tuple[int, int], list[list[int]]] = {}
+
+    def _operand_paths(self, context: StatementContext, op_index: int) -> list[list[int]]:
+        key = (id(context), op_index)
+        cached = self._path_cache.get(key)
+        if cached is None:
+            cached = [
+                self.vocab.encode_path(path) for path in context.contexts[op_index]
+            ]
+            self._path_cache[key] = cached
+        return cached
+
+    def encode(self, samples: list[Sample]) -> EncodedBatch:
+        """Encode a list of samples into one batch.
+
+        Raises:
+            ValueError: If any sample has zero operands (not encodable).
+        """
+        all_paths: list[list[int]] = []
+        path_operand: list[int] = []
+        operand_stmt: list[int] = []
+        values: list[int] = []
+        labels: list[int] = []
+        operand_counts: list[int] = []
+
+        operand_row = 0
+        for stmt_row, sample in enumerate(samples):
+            context = sample.context
+            if context.n_operands == 0:
+                raise ValueError(
+                    f"statement {context.stmt_id} has no operands; filter such "
+                    "samples out with build_samples()"
+                )
+            if len(sample.operand_values) != context.n_operands:
+                raise ValueError(
+                    f"statement {context.stmt_id}: {len(sample.operand_values)} "
+                    f"values for {context.n_operands} operands"
+                )
+            operand_counts.append(context.n_operands)
+            for op_index in range(context.n_operands):
+                for path in self._operand_paths(context, op_index):
+                    all_paths.append(path)
+                    path_operand.append(operand_row)
+                operand_stmt.append(stmt_row)
+                values.append(sample.operand_values[op_index])
+                operand_row += 1
+            labels.append(sample.label)
+
+        tokens, mask = self.vocab.pad_paths(all_paths)
+        return EncodedBatch(
+            path_tokens=tokens,
+            path_mask=mask,
+            path_operand=np.asarray(path_operand, dtype=np.int64),
+            value_onehot=self.value_encoder.one_hot(np.asarray(values)),
+            operand_stmt=np.asarray(operand_stmt, dtype=np.int64),
+            labels=np.asarray(labels, dtype=np.int64),
+            n_operands=operand_row,
+            n_statements=len(samples),
+            operand_counts=operand_counts,
+        )
+
+
+def sample_from_execution(
+    context: StatementContext,
+    execution: StatementExecution,
+    design: str = "",
+) -> Sample | None:
+    """Build a sample from one execution record (None if no operands).
+
+    Operand values are resolved per *instance*: repeated occurrences of
+    the same name share the recorded value.
+    """
+    if context.n_operands == 0:
+        return None
+    value_map = execution.operand_map
+    values = tuple(value_map[op.name] for op in context.operands)
+    label = 1 if execution.lhs_value != 0 else 0
+    return Sample(context=context, operand_values=values, label=label, design=design)
+
+
+def build_samples(
+    contexts: dict[int, StatementContext],
+    traces: list[Trace],
+    design: str = "",
+    restrict_to: set[int] | None = None,
+) -> list[Sample]:
+    """Convert traces into model samples.
+
+    Args:
+        contexts: Statement contexts keyed by stmt_id.
+        traces: Simulation traces of the same design.
+        design: Name tag attached to each sample.
+        restrict_to: Optional stmt_id filter (e.g. a slice).
+
+    Returns:
+        Samples for every execution of every context-bearing statement.
+    """
+    samples: list[Sample] = []
+    for trace in traces:
+        for execution in trace.executions:
+            if restrict_to is not None and execution.stmt_id not in restrict_to:
+                continue
+            context = contexts.get(execution.stmt_id)
+            if context is None:
+                continue
+            sample = sample_from_execution(context, execution, design)
+            if sample is not None:
+                samples.append(sample)
+    return samples
+
+
+def train_test_split(
+    samples: list[Sample], test_fraction: float, seed: int = 0
+) -> tuple[list[Sample], list[Sample]]:
+    """Shuffle and split samples into train/test lists."""
+    if not 0.0 <= test_fraction <= 1.0:
+        raise ValueError("test_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(samples))
+    n_test = int(round(len(samples) * test_fraction))
+    test_idx = set(order[:n_test].tolist())
+    train = [s for i, s in enumerate(samples) if i not in test_idx]
+    test = [s for i, s in enumerate(samples) if i in test_idx]
+    return train, test

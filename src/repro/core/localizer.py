@@ -1,0 +1,108 @@
+"""End-to-end bug localization pipeline (paper §III workflow).
+
+Given a design, a target output, and two trace sets (failing / correct),
+the localizer:
+
+1. slices the design statically for the target (``Dep_t``),
+2. extracts operand contexts for the slice statements,
+3. runs model inference on every executed slice statement,
+4. aggregates attention into ``Ft`` and ``Ct``,
+5. emits the heatmap ``Ht`` and a suspiciousness ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.contexts import StatementContext, extract_module_contexts
+from ..analysis.slicing import StaticSlice, compute_static_slice, slice_statements
+from ..sim.trace import Trace
+from ..verilog.ast_nodes import Module
+from .config import VeriBugConfig
+from .explainer import Explainer, Heatmap
+from .features import BatchEncoder
+from .model import VeriBugModel
+
+
+@dataclass
+class LocalizationResult:
+    """Outcome of one localization run.
+
+    Attributes:
+        target: The failing output that was localized.
+        heatmap: The final heatmap ``Ht``.
+        static_slice: The dependency slice used.
+        contexts: Contexts of the slice statements.
+        ranking: stmt_ids of heatmap entries by decreasing suspiciousness.
+    """
+
+    target: str
+    heatmap: Heatmap
+    static_slice: StaticSlice
+    contexts: dict[int, StatementContext] = field(default_factory=dict)
+    ranking: list[int] = field(default_factory=list)
+
+    def is_top1(self, stmt_id: int) -> bool:
+        """True when ``stmt_id`` has the single highest suspiciousness."""
+        return bool(self.ranking) and self.ranking[0] == stmt_id
+
+    def rank_of(self, stmt_id: int) -> int | None:
+        """1-based rank of a statement in the heatmap, or None."""
+        try:
+            return self.ranking.index(stmt_id) + 1
+        except ValueError:
+            return None
+
+
+class BugLocalizer:
+    """Ties the slicer, model, and explainer into one callable pipeline."""
+
+    def __init__(
+        self,
+        model: VeriBugModel,
+        encoder: BatchEncoder,
+        config: VeriBugConfig | None = None,
+    ):
+        self.model = model
+        self.encoder = encoder
+        self.config = config or model.config
+        self.explainer = Explainer(model, encoder, self.config)
+
+    def localize(
+        self,
+        module: Module,
+        target: str,
+        failing_traces: list[Trace],
+        correct_traces: list[Trace],
+        threshold: float | None = None,
+    ) -> LocalizationResult:
+        """Localize a failure observed at ``target``.
+
+        Args:
+            module: The (buggy) design under debug.
+            target: Output where the failure symptomatizes.
+            failing_traces: Traces where the failure was observed.
+            correct_traces: Traces with correct behavior.
+            threshold: Suspiciousness threshold override.
+
+        Returns:
+            The :class:`LocalizationResult` with heatmap and ranking.
+        """
+        static_slice = compute_static_slice(module, target)
+        contexts = extract_module_contexts(slice_statements(module, static_slice))
+        heatmap = self.explainer.explain(
+            target=target,
+            contexts=contexts,
+            failing_traces=failing_traces,
+            correct_traces=correct_traces,
+            restrict_to=static_slice.stmt_ids,
+            threshold=threshold,
+        )
+        ranking = [entry.stmt_id for entry in heatmap.ranked()]
+        return LocalizationResult(
+            target=target,
+            heatmap=heatmap,
+            static_slice=static_slice,
+            contexts=contexts,
+            ranking=ranking,
+        )

@@ -1,0 +1,150 @@
+"""The VeriBug deep-learning model (paper §IV-C, Figure 3).
+
+Three stages, all fully batched over ragged statements via segment ops:
+
+1. **Operand embeddings** — each leaf-to-leaf path of an operand's context
+   is embedded by PathRNN (an LSTM over node-type embeddings); path
+   embeddings are summed into the context embedding ``c_i``; the operand's
+   one-hot value encoding ``v_i`` is concatenated: ``x_i = (c_i || v_i)``.
+
+2. **Weighted sum** — the aggregation layer computes updated embeddings
+   ``x*_i = MLP_θ1(Σ_j x_j + ε · x_i)`` with a learnable skip weight ε;
+   the attention layer scores each operand with the shared attention
+   vector ``a`` and softmax-normalizes within the statement:
+   ``w = softmax(a · X*ᵀ)``; the statement embedding is ``Σ_i w_i x_i``.
+
+3. **Final prediction** — ``MLP_θ2`` maps the statement embedding to
+   2-class logits for the LHS value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import (
+    LSTM,
+    MLP,
+    Embedding,
+    Module,
+    Parameter,
+    Tensor,
+    concat,
+    gather_rows,
+    segment_softmax,
+    segment_sum,
+)
+from .config import VeriBugConfig
+from .features import EncodedBatch
+from .vocab import Vocabulary
+
+
+@dataclass
+class ModelOutput:
+    """Everything the trainer and explainer need from one forward pass.
+
+    Attributes:
+        logits: ``[B, 2]`` statement-level prediction logits.
+        attention: ``[M]`` attention weight per operand row (sums to 1
+            within each statement).
+        updated_embeddings: ``[M, da]`` the ``x*`` matrix rows (input to
+            the regularizer).
+        operand_stmt: ``[M]`` owning statement per operand row.
+        operand_counts: Operands per statement, for unflattening.
+    """
+
+    logits: Tensor
+    attention: Tensor
+    updated_embeddings: Tensor
+    operand_stmt: np.ndarray
+    operand_counts: list[int]
+
+    def attention_per_statement(self) -> list[np.ndarray]:
+        """Split the flat attention vector back into per-statement arrays."""
+        weights = self.attention.data
+        result: list[np.ndarray] = []
+        offset = 0
+        for count in self.operand_counts:
+            result.append(weights[offset : offset + count].copy())
+            offset += count
+        return result
+
+    def predictions(self) -> np.ndarray:
+        """Argmax class per statement."""
+        return self.logits.data.argmax(axis=1)
+
+
+class VeriBugModel(Module):
+    """PathRNN + aggregation + attention head + predictor.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.core import VeriBugConfig, Vocabulary
+        >>> model = VeriBugModel(VeriBugConfig(), Vocabulary())
+    """
+
+    def __init__(self, config: VeriBugConfig, vocab: Vocabulary):
+        self.config = config
+        self.vocab = vocab
+        rng = np.random.default_rng(config.seed)
+        self.node_embedding = Embedding(len(vocab), config.node_embed_dim, rng)
+        self.path_rnn = LSTM(config.node_embed_dim, config.dc, rng)
+        self.aggregation_mlp = MLP(
+            [config.operand_dim, config.da, config.da], rng, activation="leaky_relu"
+        )
+        self.epsilon = Parameter(np.array(0.1), name="epsilon")
+        self.attention_vector = Parameter(
+            rng.normal(0.0, 1.0 / np.sqrt(config.da), size=config.da), name="attention"
+        )
+        self.predictor = MLP(
+            [config.operand_dim, config.predictor_hidden, 2],
+            rng,
+            activation="leaky_relu",
+        )
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, batch: EncodedBatch) -> ModelOutput:
+        """Run the full model on an encoded batch."""
+        x = self._operand_embeddings(batch)
+        updated = self._aggregation(x, batch)
+        attention = self._attention_weights(updated, batch)
+        statement = segment_sum(
+            attention.reshape(-1, 1) * x, batch.operand_stmt, batch.n_statements
+        )
+        logits = self.predictor(statement)
+        return ModelOutput(
+            logits=logits,
+            attention=attention,
+            updated_embeddings=updated,
+            operand_stmt=batch.operand_stmt,
+            operand_counts=batch.operand_counts,
+        )
+
+    def _operand_embeddings(self, batch: EncodedBatch) -> Tensor:
+        """Stage 1: ``x_i = (c_i || v_i)`` for every operand row."""
+        tokens = self.node_embedding(batch.path_tokens)  # [P, T, E]
+        path_embed = self.path_rnn(tokens, batch.path_mask)  # [P, dc]
+        context = segment_sum(path_embed, batch.path_operand, batch.n_operands)
+        value = Tensor(batch.value_onehot)
+        return concat([context, value], axis=1)  # [M, dc+dv]
+
+    def _aggregation(self, x: Tensor, batch: EncodedBatch) -> Tensor:
+        """Stage 2a: ``x*_i = MLP_θ1(Σ_j x_j + ε · x_i)``."""
+        stmt_sum = segment_sum(x, batch.operand_stmt, batch.n_statements)
+        broadcast = gather_rows(stmt_sum, batch.operand_stmt)  # [M, dc+dv]
+        return self.aggregation_mlp(broadcast + self.epsilon * x)
+
+    def _attention_weights(self, updated: Tensor, batch: EncodedBatch) -> Tensor:
+        """Stage 2b: ``softmax(a · x*_i)`` within each statement."""
+        scores = updated @ self.attention_vector  # [M]
+        return segment_softmax(scores, batch.operand_stmt, batch.n_statements)
+
+    # ------------------------------------------------------------------
+    # Convenience inference
+    # ------------------------------------------------------------------
+    def predict(self, batch: EncodedBatch) -> np.ndarray:
+        """Class predictions without keeping the autograd graph."""
+        return self.forward(batch).predictions()

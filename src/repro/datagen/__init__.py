@@ -1,0 +1,26 @@
+"""Data generation: synthetic designs (RVDG), mutations, campaigns."""
+
+from .campaign import BugInjectionCampaign, CampaignResult, MutantOutcome
+from .mutation import (
+    SUBSTITUTION_GROUPS,
+    Mutation,
+    apply_mutation,
+    creates_combinational_cycle,
+    enumerate_mutations,
+    sample_mutations,
+)
+from .rvdg import RandomVerilogDesignGenerator, RVDGConfig
+
+__all__ = [
+    "BugInjectionCampaign",
+    "CampaignResult",
+    "Mutation",
+    "MutantOutcome",
+    "RVDGConfig",
+    "RandomVerilogDesignGenerator",
+    "SUBSTITUTION_GROUPS",
+    "apply_mutation",
+    "creates_combinational_cycle",
+    "enumerate_mutations",
+    "sample_mutations",
+]

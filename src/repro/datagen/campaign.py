@@ -1,0 +1,206 @@
+"""Bug-injection campaign driver (reproduces paper Table III).
+
+For each sampled mutation the campaign:
+
+1. simulates the golden design and the mutant under the same random
+   testbenches,
+2. classifies each trace: *failing* when the mutant diverges from the
+   golden design at the target output, *correct* when it diverges
+   nowhere (traces diverging only at non-target outputs are dropped, as
+   the failure did not symptomatize at ``t``),
+3. declares the bug *observable* when at least one failing trace exists,
+4. runs the localizer and scores *top-1 localization*: the mutated
+   statement must hold the single highest suspiciousness in ``Ht``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.localizer import BugLocalizer, LocalizationResult
+from ..sim.simulator import SimulationError, Simulator
+from ..sim.testbench import TestbenchConfig, generate_testbench_suite
+from ..sim.trace import Trace
+from ..verilog.ast_nodes import Module
+from .mutation import Mutation, apply_mutation
+
+
+@dataclass
+class MutantOutcome:
+    """Result of injecting and localizing one bug.
+
+    Attributes:
+        mutation: The injected mutation.
+        observable: True when the bug symptomatized at the target output.
+        localized: True when the mutated statement ranked top-1.
+        rank: 1-based heatmap rank of the buggy statement (None if absent).
+        suspiciousness: Suspiciousness score of the buggy statement.
+        n_failing / n_correct: Trace-set sizes used for localization.
+        error: Non-empty when simulation failed (e.g. oscillation).
+    """
+
+    mutation: Mutation
+    observable: bool = False
+    localized: bool = False
+    rank: int | None = None
+    suspiciousness: float | None = None
+    n_failing: int = 0
+    n_correct: int = 0
+    error: str = ""
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a campaign on one (design, target) pair."""
+
+    design: str
+    target: str
+    outcomes: list[MutantOutcome] = field(default_factory=list)
+
+    @property
+    def injected(self) -> int:
+        """Number of mutants simulated (excluding erroring mutants)."""
+        return sum(1 for o in self.outcomes if not o.error)
+
+    @property
+    def observable(self) -> int:
+        """Mutants whose bug symptomatized at the target output."""
+        return sum(1 for o in self.outcomes if o.observable)
+
+    @property
+    def localized(self) -> int:
+        """Observable mutants localized at top-1."""
+        return sum(1 for o in self.outcomes if o.localized)
+
+    @property
+    def coverage(self) -> float:
+        """Top-1 bug coverage = localized / observable (0 when none)."""
+        return self.localized / self.observable if self.observable else 0.0
+
+    def count_by_kind(self, kind: str) -> int:
+        """Injected mutants of one mutation kind."""
+        return sum(1 for o in self.outcomes if o.mutation.kind == kind and not o.error)
+
+
+class BugInjectionCampaign:
+    """Runs mutation campaigns against a trained localizer."""
+
+    def __init__(
+        self,
+        localizer: BugLocalizer,
+        n_traces: int = 12,
+        testbench_config: TestbenchConfig | None = None,
+        seed: int = 0,
+        min_correct_traces: int = 4,
+        max_extra_batches: int = 4,
+    ):
+        self.localizer = localizer
+        self.n_traces = n_traces
+        self.testbench_config = testbench_config or TestbenchConfig()
+        self.seed = seed
+        self.min_correct_traces = min_correct_traces
+        self.max_extra_batches = max_extra_batches
+
+    def run(
+        self,
+        module: Module,
+        target: str,
+        mutations: list[Mutation],
+    ) -> CampaignResult:
+        """Execute a campaign for one design/target pair.
+
+        Args:
+            module: The golden design.
+            target: Output where failures must symptomatize.
+            mutations: The bug-injection plan.
+
+        Returns:
+            Per-mutant outcomes and aggregate coverage.
+        """
+        result = CampaignResult(design=module.name, target=target)
+        stimuli = generate_testbench_suite(
+            module, self.n_traces, self.testbench_config, seed=self.seed
+        )
+        golden = Simulator(module)
+        golden_traces = [golden.run(stim, record=False) for stim in stimuli]
+
+        for mutation in mutations:
+            outcome = self._run_mutant(module, target, mutation, stimuli, golden_traces)
+            result.outcomes.append(outcome)
+        return result
+
+    def _run_mutant(
+        self,
+        module: Module,
+        target: str,
+        mutation: Mutation,
+        stimuli: list[list[dict[str, int]]],
+        golden_traces: list[Trace],
+    ) -> MutantOutcome:
+        outcome = MutantOutcome(mutation=mutation)
+        try:
+            mutant = apply_mutation(module, mutation)
+            simulator = Simulator(mutant)
+        except (ValueError, SimulationError) as exc:
+            outcome.error = str(exc)
+            return outcome
+
+        failing: list[Trace] = []
+        correct: list[Trace] = []
+        all_outputs = module.outputs
+
+        def classify(stims, goldens) -> bool:
+            for stim, golden_trace in zip(stims, goldens):
+                try:
+                    trace = simulator.run(stim)
+                except SimulationError as exc:
+                    outcome.error = str(exc)
+                    return False
+                if trace.diverges_from(golden_trace, signals=[target]):
+                    trace.is_failure = True
+                    failing.append(trace)
+                elif not trace.diverges_from(golden_trace, signals=all_outputs):
+                    correct.append(trace)
+                # Traces failing only at non-target outputs are dropped.
+            return True
+
+        if not classify(stimuli, golden_traces):
+            return outcome
+
+        # A verification environment has no shortage of passing runs:
+        # top up the correct set so Ft/Ct comparison is well-conditioned.
+        golden_sim = Simulator(module)
+        extra_batch = 0
+        while (
+            failing
+            and len(correct) < self.min_correct_traces
+            and extra_batch < self.max_extra_batches
+        ):
+            extra_batch += 1
+            from ..sim.testbench import generate_testbench_suite
+
+            extra_stimuli = generate_testbench_suite(
+                module,
+                self.n_traces,
+                self.testbench_config,
+                seed=self.seed + 1000 * extra_batch + mutation.node_index,
+            )
+            extra_golden = [golden_sim.run(s, record=False) for s in extra_stimuli]
+            if not classify(extra_stimuli, extra_golden):
+                return outcome
+
+        outcome.n_failing = len(failing)
+        outcome.n_correct = len(correct)
+        outcome.observable = bool(failing)
+        if not outcome.observable:
+            return outcome
+
+        localization: LocalizationResult = self.localizer.localize(
+            mutant, target, failing_traces=failing, correct_traces=correct
+        )
+        outcome.rank = localization.rank_of(mutation.stmt_id)
+        outcome.suspiciousness = localization.heatmap.suspiciousness.get(
+            mutation.stmt_id
+        )
+        outcome.localized = localization.is_top1(mutation.stmt_id)
+        return outcome

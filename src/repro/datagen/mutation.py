@@ -1,0 +1,393 @@
+"""Bug-injection mutation engine (paper §V "Bug injection").
+
+Implements the paper's three data-centric mutation classes:
+
+* **Negation** — insert a wrong ``~`` in front of an operand, or remove
+  an existing one;
+* **Variable misuse** — replace an operand identifier with another
+  declared signal, preferring syntactically similar names (replicating
+  copy-paste errors);
+* **Operation substitution** — replace a Boolean/arithmetic operator
+  with a different one from the same arity group (e.g. ``|`` -> ``&``).
+
+One bug per mutated design (no masking interplay).  Mutants that would
+create a combinational cycle (possible with variable misuse) are rejected
+at enumeration time via a conservative static cycle check.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..verilog.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    ContinuousAssign,
+    Identifier,
+    Module,
+    Node,
+    Statement,
+    UnaryOp,
+)
+from ..verilog.printer import statement_source
+
+#: Operator substitution groups: any operator may be replaced by another
+#: member of its group.
+SUBSTITUTION_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("&", "|", "^"),
+    ("&&", "||"),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("+", "-"),
+    ("<<", ">>"),
+)
+
+_GROUP_OF: dict[str, tuple[str, ...]] = {
+    op: group for group in SUBSTITUTION_GROUPS for op in group
+}
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """A single planned mutation.
+
+    Attributes:
+        kind: "negation", "misuse", or "operation".
+        stmt_id: Statement the mutation applies to.
+        node_index: Index of the mutated node in the statement RHS
+            pre-order walk (stable across clones).
+        detail: Human-readable description of the change.
+        replacement: For misuse: the new identifier name.  For operation:
+            the new operator.  For negation: "insert" or "remove".
+    """
+
+    kind: str
+    stmt_id: int
+    node_index: int
+    detail: str
+    replacement: str
+
+
+def _rhs_nodes(stmt: Statement) -> list[Node]:
+    """Pre-order nodes of a statement's RHS (index space for mutations)."""
+    return list(stmt.rhs.walk())
+
+
+def _similar_names(name: str, candidates: list[str], limit: int = 5) -> list[str]:
+    """Candidates ordered by syntactic similarity to ``name``."""
+    scored = sorted(
+        candidates,
+        key=lambda c: difflib.SequenceMatcher(None, name, c).ratio(),
+        reverse=True,
+    )
+    return scored[:limit]
+
+
+def enumerate_mutations(
+    module: Module,
+    kinds: tuple[str, ...] = ("negation", "operation", "misuse"),
+    misuse_candidates_per_site: int = 2,
+    min_operands: int = 0,
+) -> list[Mutation]:
+    """Enumerate every applicable mutation site in a design.
+
+    Args:
+        module: The golden design.
+        kinds: Which mutation classes to enumerate.
+        misuse_candidates_per_site: How many similar-name replacements to
+            emit per identifier site.
+        min_operands: Only mutate statements whose RHS references at
+            least this many operand instances.  The paper's campaign
+            targets *data-centric* bugs; single-operand statements have
+            a degenerate attention vector ([1.0]) that carries no
+            localization signal, so data-flow campaigns use
+            ``min_operands=2``.
+
+    Returns:
+        All mutations, statement order then node order.
+    """
+    mutations: list[Mutation] = []
+    signal_names = list(module.decls)
+    for stmt in module.statements():
+        nodes = _rhs_nodes(stmt)
+        n_operands = sum(1 for n in nodes if isinstance(n, Identifier))
+        if n_operands < min_operands:
+            continue
+        source = statement_source(stmt)
+        for index, node in enumerate(nodes):
+            if "negation" in kinds:
+                mutations.extend(_negation_mutations(stmt, index, node, source))
+            if "operation" in kinds and isinstance(node, BinaryOp):
+                group = _GROUP_OF.get(node.op, ())
+                for new_op in group:
+                    if new_op != node.op:
+                        mutations.append(
+                            Mutation(
+                                kind="operation",
+                                stmt_id=stmt.stmt_id,
+                                node_index=index,
+                                detail=f"{source}: {node.op!r} -> {new_op!r}",
+                                replacement=new_op,
+                            )
+                        )
+            if "misuse" in kinds and isinstance(node, Identifier):
+                if node.name not in module.decls:
+                    continue  # parameters are not misuse targets
+                width = module.decls[node.name].width
+                candidates = [
+                    c
+                    for c in signal_names
+                    if c != node.name
+                    and c != stmt.target.name
+                    and module.decls[c].width == width
+                ]
+                for candidate in _similar_names(
+                    node.name, candidates, misuse_candidates_per_site
+                ):
+                    mutations.append(
+                        Mutation(
+                            kind="misuse",
+                            stmt_id=stmt.stmt_id,
+                            node_index=index,
+                            detail=f"{source}: {node.name} -> {candidate}",
+                            replacement=candidate,
+                        )
+                    )
+    return mutations
+
+
+def _negation_mutations(
+    stmt: Statement, index: int, node: Node, source: str
+) -> list[Mutation]:
+    out: list[Mutation] = []
+    if isinstance(node, UnaryOp) and node.op == "~":
+        out.append(
+            Mutation(
+                kind="negation",
+                stmt_id=stmt.stmt_id,
+                node_index=index,
+                detail=f"{source}: remove ~ before {type(node.operand).__name__}",
+                replacement="remove",
+            )
+        )
+    elif isinstance(node, Identifier):
+        out.append(
+            Mutation(
+                kind="negation",
+                stmt_id=stmt.stmt_id,
+                node_index=index,
+                detail=f"{source}: insert ~ before {node.name}",
+                replacement="insert",
+            )
+        )
+    return out
+
+
+def apply_mutation(module: Module, mutation: Mutation) -> Module:
+    """Apply a mutation to a deep copy of the design.
+
+    Returns:
+        The mutated module (the input module is never modified).
+
+    Raises:
+        ValueError: If the mutation site cannot be located or the mutation
+            cannot be applied there.
+    """
+    mutant: Module = module.clone()  # type: ignore[assignment]
+    stmt = mutant.statement_by_id(mutation.stmt_id)
+    nodes = _rhs_nodes(stmt)
+    if mutation.node_index >= len(nodes):
+        raise ValueError(f"node index {mutation.node_index} out of range")
+    target_node = nodes[mutation.node_index]
+
+    if mutation.kind == "negation":
+        _apply_negation(stmt, target_node, mutation)
+    elif mutation.kind == "operation":
+        if not isinstance(target_node, BinaryOp):
+            raise ValueError("operation mutation site is not a binary operator")
+        target_node.op = mutation.replacement
+    elif mutation.kind == "misuse":
+        if not isinstance(target_node, Identifier):
+            raise ValueError("misuse mutation site is not an identifier")
+        target_node.name = mutation.replacement
+    else:
+        raise ValueError(f"unknown mutation kind {mutation.kind!r}")
+    return mutant
+
+
+def _apply_negation(stmt: Statement, node: Node, mutation: Mutation) -> None:
+    if mutation.replacement == "remove":
+        if not (isinstance(node, UnaryOp) and node.op == "~"):
+            raise ValueError("negation-remove site is not a ~ operator")
+        _replace_child(stmt, node, node.operand)
+    else:
+        if not isinstance(node, Identifier):
+            raise ValueError("negation-insert site is not an identifier")
+        wrapper = UnaryOp(op="~", operand=node, line=node.line, col=node.col)
+        _replace_child(stmt, node, wrapper)
+
+
+def _replace_child(stmt: Statement, old: Node, new: Node) -> None:
+    """Replace ``old`` with ``new`` anywhere in the statement RHS."""
+    if stmt.rhs is old:
+        stmt.rhs = new
+        return
+    for parent in stmt.rhs.walk():
+        for attr, value in vars(parent).items():
+            if value is old:
+                setattr(parent, attr, new)
+                return
+            if isinstance(value, list):
+                for i, element in enumerate(value):
+                    if element is old:
+                        value[i] = new
+                        return
+    raise ValueError("mutation site not found in statement")
+
+
+def creates_combinational_cycle(module: Module) -> bool:
+    """Check whether a design's combinational logic could oscillate.
+
+    The simulator evaluates combinational processes in order and iterates
+    to a fixpoint, so a read is only a *cross-pass* dependence when the
+    variable is combinationally driven and has not yet been assigned
+    unconditionally earlier in the same pass of the same process (ordered
+    blocking-assignment semantics).  A cycle among cross-pass dependences
+    means the fixpoint may not exist; we reject such mutants, matching
+    real simulators rejecting oscillating netlists.
+    """
+    from ..verilog.ast_nodes import Block, Case, If, collect_identifiers
+
+    comb_driven: set[str] = {a.target.name for a in module.assigns}
+    for blk in module.always_blocks:
+        if blk.is_clocked:
+            continue
+        for node in blk.body.walk():
+            if isinstance(node, Assignment):
+                comb_driven.add(node.target.name)
+
+    graph = nx.DiGraph()
+    cross_edges: set[tuple[str, str]] = set()
+
+    def read_edges(names: list[str], targets: set[str], assigned: set[str]) -> None:
+        for src in names:
+            if src not in comb_driven:
+                continue
+            cross_pass = src not in assigned
+            for dst in targets:
+                graph.add_edge(src, dst)
+                if cross_pass:
+                    cross_edges.add((src, dst))
+
+    def targets_of(stmt: Statement) -> set[str]:
+        found: set[str] = set()
+        for node in stmt.walk():
+            if isinstance(node, Assignment):
+                found.add(node.target.name)
+        return found
+
+    def walk(stmt: Statement, assigned: set[str]) -> set[str]:
+        """Process a statement; return vars unconditionally assigned by it."""
+        if isinstance(stmt, Block):
+            newly: set[str] = set()
+            for child in stmt.statements:
+                newly |= walk(child, assigned | newly)
+            return newly
+        if isinstance(stmt, If):
+            read_edges(
+                collect_identifiers(stmt.cond), targets_of(stmt), assigned
+            )
+            then_assigned = walk(stmt.then_stmt, set(assigned))
+            if stmt.else_stmt is not None:
+                else_assigned = walk(stmt.else_stmt, set(assigned))
+                return then_assigned & else_assigned
+            return set()
+        if isinstance(stmt, Case):
+            names = collect_identifiers(stmt.subject)
+            for item in stmt.items:
+                for label in item.labels:
+                    names.extend(collect_identifiers(label))
+            read_edges(names, targets_of(stmt), assigned)
+            branch_sets = [walk(item.body, set(assigned)) for item in stmt.items]
+            has_default = any(not item.labels for item in stmt.items)
+            if branch_sets and has_default:
+                common = branch_sets[0]
+                for bs in branch_sets[1:]:
+                    common = common & bs
+                return common
+            return set()
+        if isinstance(stmt, Assignment):
+            read_edges(collect_identifiers(stmt.rhs), {stmt.target.name}, assigned)
+            return {stmt.target.name}
+        return set()
+
+    for assign in module.assigns:
+        read_edges(
+            collect_identifiers(assign.rhs), {assign.target.name}, assigned=set()
+        )
+    for blk in module.always_blocks:
+        if not blk.is_clocked:
+            walk(blk.body, set())
+
+    # Oscillation requires a feedback loop whose state crosses evaluation
+    # passes: a cycle in the full read graph containing a cross-pass edge.
+    component_of: dict[str, int] = {}
+    for index, component in enumerate(nx.strongly_connected_components(graph)):
+        for node in component:
+            component_of[node] = index
+    for src, dst in cross_edges:
+        if src == dst or component_of.get(src) == component_of.get(dst):
+            return True
+    return False
+
+
+def sample_mutations(
+    module: Module,
+    counts: dict[str, int],
+    seed: int = 0,
+    restrict_to: set[int] | None = None,
+    min_operands: int = 0,
+) -> list[Mutation]:
+    """Sample a bug-injection campaign plan.
+
+    Args:
+        module: The golden design.
+        counts: Mutation kind -> number of mutants to draw.
+        seed: Sampling seed.
+        restrict_to: Optional stmt_id filter; when localizing failures at
+            a target output, restricting injection to the target's
+            dependency cone mirrors the paper's per-target campaigns.
+        min_operands: Forwarded to :func:`enumerate_mutations`; use 2
+            for data-centric campaigns (see there).
+
+    Returns:
+        The sampled mutations (cycle-inducing misuse mutants excluded).
+    """
+    import random
+
+    rng = random.Random(seed)
+    plan: list[Mutation] = []
+    all_mutations = enumerate_mutations(
+        module, kinds=tuple(counts), min_operands=min_operands
+    )
+    if restrict_to is not None:
+        all_mutations = [m for m in all_mutations if m.stmt_id in restrict_to]
+    for kind, count in counts.items():
+        pool = [m for m in all_mutations if m.kind == kind]
+        rng.shuffle(pool)
+        taken = 0
+        for mutation in pool:
+            if taken >= count:
+                break
+            try:
+                mutant = apply_mutation(module, mutation)
+            except ValueError:
+                continue
+            if creates_combinational_cycle(mutant):
+                continue
+            plan.append(mutation)
+            taken += 1
+    return plan

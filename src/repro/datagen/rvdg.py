@@ -1,0 +1,167 @@
+"""Random Verilog Design Generator (RVDG), paper §V "Dataset generation".
+
+The generator follows the paper's template exactly:
+
+* a clocked always block ``C`` acting as the memory element (state
+  registers updated from next-state signals on the clock edge),
+* a non-clocked always block ``NC`` computing the next state and the
+  outputs from the current state and inputs, built from multiple
+  if-else-if blocks of blocking assignments.
+
+RVDG randomly generates legal blocking assignments following Verilog's
+grammar, guarantees interdependencies among design variables (statements
+may reference temporaries assigned earlier in ``NC``, creating data
+flows), and bounds the number of operands and Boolean operators per
+statement.  Because ``NC`` only reads inputs, state registers, and
+*earlier* temporaries, the generated combinational logic is loop-free by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..verilog.ast_nodes import Module
+from ..verilog.parser import parse_module
+
+
+@dataclass
+class RVDGConfig:
+    """Knobs of the random design generator.
+
+    Attributes:
+        n_inputs: Number of 1-bit primary inputs.
+        n_state: Number of 1-bit state registers.
+        n_outputs: Number of 1-bit outputs.
+        n_branches: if-else-if blocks in the ``NC`` body.
+        max_operands: Maximum distinct operand slots per statement.
+        max_operators: Maximum Boolean operators per expression.
+        negation_probability: Chance of negating an operand.
+    """
+
+    n_inputs: int = 4
+    n_state: int = 2
+    n_outputs: int = 2
+    n_branches: int = 3
+    max_operands: int = 4
+    max_operators: int = 3
+    negation_probability: float = 0.3
+
+
+#: Boolean connectives used in generated expressions.
+_OPERATORS = ("&", "|", "^")
+
+
+class RandomVerilogDesignGenerator:
+    """Generates random synthesizable designs from the paper's template.
+
+    Example:
+        >>> gen = RandomVerilogDesignGenerator(RVDGConfig(), seed=7)
+        >>> module = gen.generate("rvdg_0")
+        >>> module.name
+        'rvdg_0'
+    """
+
+    def __init__(self, config: RVDGConfig | None = None, seed: int = 0):
+        self.config = config or RVDGConfig()
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self, name: str) -> Module:
+        """Generate one random design and parse it into a module."""
+        return parse_module(self.generate_source(name))
+
+    def generate_source(self, name: str) -> str:
+        """Generate the Verilog source text of one random design."""
+        cfg = self.config
+        inputs = [f"in{i}" for i in range(cfg.n_inputs)]
+        states = [f"s{i}" for i in range(cfg.n_state)]
+        nexts = [f"n{i}" for i in range(cfg.n_state)]
+        outputs = [f"out{i}" for i in range(cfg.n_outputs)]
+
+        ports = ["clk", "rst_n"] + inputs + outputs
+        lines = [f"module {name} ({', '.join(ports)});"]
+        lines.append(f"    input clk, rst_n, {', '.join(inputs)};")
+        lines.append(f"    output reg {', '.join(outputs)};")
+        lines.append(f"    reg {', '.join(states + nexts)};")
+        lines.append("")
+
+        # C block: the memory element.
+        lines.append("    always @(posedge clk or negedge rst_n)")
+        lines.append("        if (!rst_n) begin")
+        for state in states:
+            lines.append(f"            {state} <= 1'b0;")
+        lines.append("        end else begin")
+        for state, nxt in zip(states, nexts):
+            lines.append(f"            {state} <= {nxt};")
+        lines.append("        end")
+        lines.append("")
+
+        # NC block: next-state and output logic.
+        lines.append("    always @(*) begin")
+        assigned: list[str] = []
+        # Defaults prevent latch-like carry-over and keep traces crisp.
+        for nxt, state in zip(nexts, states):
+            lines.append(f"        {nxt} = {state};")
+            assigned.append(nxt)
+        for out in outputs:
+            lines.append(f"        {out} = 1'b0;")
+
+        for _branch in range(cfg.n_branches):
+            available = inputs + states + assigned
+            cond = self._random_expr(available, max_operands=2)
+            body_targets = self._pick_targets(nexts, outputs)
+            lines.append(f"        if ({cond}) begin")
+            for target in body_targets:
+                expr = self._random_expr(inputs + states + assigned)
+                lines.append(f"            {target} = {expr};")
+                if target not in assigned and target.startswith("n"):
+                    assigned.append(target)
+            lines.append("        end else begin")
+            for target in body_targets:
+                expr = self._random_expr(inputs + states + assigned)
+                lines.append(f"            {target} = {expr};")
+            lines.append("        end")
+
+        # Ensure every output gets at least one data-bearing assignment.
+        for out in outputs:
+            expr = self._random_expr(inputs + states + assigned)
+            cond = self._random_expr(inputs + states, max_operands=2)
+            lines.append(f"        if ({cond}) {out} = {expr};")
+        lines.append("    end")
+        lines.append("endmodule")
+        return "\n".join(lines) + "\n"
+
+    def generate_corpus(self, count: int, prefix: str = "rvdg") -> list[Module]:
+        """Generate ``count`` designs named ``<prefix>_<index>``."""
+        return [self.generate(f"{prefix}_{index}") for index in range(count)]
+
+    # ------------------------------------------------------------------
+    # Expression generation
+    # ------------------------------------------------------------------
+    def _pick_targets(self, nexts: list[str], outputs: list[str]) -> list[str]:
+        pool = nexts + outputs
+        count = self.rng.randint(1, max(1, len(pool) // 2))
+        return self.rng.sample(pool, count)
+
+    def _random_operand(self, available: list[str]) -> str:
+        name = self.rng.choice(available)
+        if self.rng.random() < self.config.negation_probability:
+            return f"~{name}"
+        return name
+
+    def _random_expr(self, available: list[str], max_operands: int | None = None) -> str:
+        """A random flat Boolean expression over the available signals."""
+        limit = max_operands or self.config.max_operands
+        n_operands = self.rng.randint(1, min(limit, self.config.max_operators + 1))
+        terms = [self._random_operand(available) for _ in range(n_operands)]
+        expr = terms[0]
+        for term in terms[1:]:
+            op = self.rng.choice(_OPERATORS)
+            expr = f"{expr} {op} {term}"
+        if n_operands > 1 and self.rng.random() < 0.25:
+            expr = f"~({expr})"
+        return expr

@@ -1,0 +1,208 @@
+"""``ibex_controller`` — Ibex RISC-V core controller (paper Table I, 459 LoC).
+
+Simplified re-implementation of the Ibex ID-stage controller FSM: reset /
+boot / sleep sequencing, first-fetch, decode, flush on special
+instructions, and IRQ / debug entry.  The campaign targets (Table III)
+are ``stall`` (pipeline stall) and ``instr_valid_clear_o`` (kill the IF/ID
+pipeline register).
+"""
+
+SOURCE = """
+module ibex_controller (
+    clk, rst_n,
+    fetch_enable_i, instr_valid_i, instr_fetch_err_i,
+    branch_set_i, jump_set_i,
+    stall_lsu_i, stall_multdiv_i, stall_jump_i, stall_branch_i,
+    illegal_insn_i, ecall_insn_i, mret_insn_i, wfi_insn_i, ebrk_insn_i,
+    csr_pipe_flush_i,
+    irq_req_i, irq_enabled_i, debug_req_i,
+    stall, instr_valid_clear_o,
+    ctrl_busy_o, first_fetch_o, instr_req_o, pc_set_o, halt_if_o,
+    flush_id_o, exc_ack_o, debug_mode_o
+);
+    input clk, rst_n;
+    input fetch_enable_i, instr_valid_i, instr_fetch_err_i;
+    input branch_set_i, jump_set_i;
+    input stall_lsu_i, stall_multdiv_i, stall_jump_i, stall_branch_i;
+    input illegal_insn_i, ecall_insn_i, mret_insn_i, wfi_insn_i, ebrk_insn_i;
+    input csr_pipe_flush_i;
+    input irq_req_i, irq_enabled_i, debug_req_i;
+
+    output stall;
+    output instr_valid_clear_o;
+    output reg ctrl_busy_o;
+    output first_fetch_o;
+    output reg instr_req_o;
+    output reg pc_set_o;
+    output reg halt_if_o;
+    output reg flush_id_o;
+    output reg exc_ack_o;
+    output reg debug_mode_o;
+
+    parameter RESET       = 4'd0;
+    parameter BOOT_SET    = 4'd1;
+    parameter WAIT_SLEEP  = 4'd2;
+    parameter SLEEP       = 4'd3;
+    parameter FIRST_FETCH = 4'd4;
+    parameter DECODE      = 4'd5;
+    parameter FLUSH       = 4'd6;
+    parameter IRQ_TAKEN   = 4'd7;
+    parameter DBG_TAKEN   = 4'd8;
+
+    reg [3:0] ctrl_fsm_cs;
+    reg [3:0] ctrl_fsm_ns;
+
+    wire stall_id;
+    wire special_insn;
+    wire exc_req;
+    wire handle_irq;
+    wire enter_debug;
+    reg  nmi_mode;
+    reg  illegal_insn_q;
+
+    // Any per-instruction stall source holds the pipeline.
+    assign stall_id = stall_lsu_i | stall_multdiv_i | stall_jump_i
+                    | stall_branch_i;
+    assign stall = stall_id & (ctrl_fsm_cs == DECODE);
+
+    // Special instructions force a pipeline flush through FLUSH state.
+    assign special_insn = ecall_insn_i | mret_insn_i | wfi_insn_i
+                        | ebrk_insn_i | csr_pipe_flush_i;
+    assign exc_req = illegal_insn_i | instr_fetch_err_i | ecall_insn_i;
+
+    assign handle_irq  = irq_req_i & irq_enabled_i & ~debug_mode_o;
+    assign enter_debug = debug_req_i & ~debug_mode_o;
+
+    // The IF/ID register is killed whenever ID is not stalled (the
+    // instruction retires or is squashed by a flush / PC set).
+    assign instr_valid_clear_o = ~(stall | stall_id) | pc_set_o;
+
+    assign first_fetch_o = ctrl_fsm_cs == FIRST_FETCH;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            ctrl_fsm_cs <= RESET;
+        else
+            ctrl_fsm_cs <= ctrl_fsm_ns;
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            illegal_insn_q <= 1'b0;
+        else
+            illegal_insn_q <= illegal_insn_i & (ctrl_fsm_cs == DECODE);
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            nmi_mode <= 1'b0;
+        else if (ctrl_fsm_cs == IRQ_TAKEN)
+            nmi_mode <= irq_req_i & ~irq_enabled_i;
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            debug_mode_o <= 1'b0;
+        else if (ctrl_fsm_cs == DBG_TAKEN)
+            debug_mode_o <= 1'b1;
+        else if (mret_insn_i & (ctrl_fsm_cs == FLUSH))
+            debug_mode_o <= 1'b0;
+    end
+
+    always @(*) begin
+        ctrl_fsm_ns = ctrl_fsm_cs;
+        instr_req_o = 1'b1;
+        pc_set_o = 1'b0;
+        halt_if_o = 1'b0;
+        flush_id_o = 1'b0;
+        exc_ack_o = 1'b0;
+        ctrl_busy_o = 1'b1;
+
+        case (ctrl_fsm_cs)
+            RESET: begin
+                instr_req_o = 1'b0;
+                if (fetch_enable_i)
+                    ctrl_fsm_ns = BOOT_SET;
+            end
+            BOOT_SET: begin
+                instr_req_o = 1'b1;
+                pc_set_o = 1'b1;
+                ctrl_fsm_ns = FIRST_FETCH;
+            end
+            WAIT_SLEEP: begin
+                ctrl_busy_o = 1'b0;
+                instr_req_o = 1'b0;
+                halt_if_o = 1'b1;
+                flush_id_o = 1'b1;
+                ctrl_fsm_ns = SLEEP;
+            end
+            SLEEP: begin
+                ctrl_busy_o = 1'b0;
+                instr_req_o = 1'b0;
+                halt_if_o = 1'b1;
+                if (irq_req_i | debug_req_i)
+                    ctrl_fsm_ns = FIRST_FETCH;
+            end
+            FIRST_FETCH: begin
+                if (instr_valid_i)
+                    ctrl_fsm_ns = DECODE;
+                if (handle_irq) begin
+                    ctrl_fsm_ns = IRQ_TAKEN;
+                    halt_if_o = 1'b1;
+                end
+                if (enter_debug) begin
+                    ctrl_fsm_ns = DBG_TAKEN;
+                    halt_if_o = 1'b1;
+                end
+            end
+            DECODE: begin
+                if (instr_valid_i) begin
+                    if (branch_set_i | jump_set_i) begin
+                        pc_set_o = ~stall_id;
+                    end
+                    if (special_insn | exc_req) begin
+                        ctrl_fsm_ns = FLUSH;
+                        halt_if_o = 1'b1;
+                    end else if (enter_debug) begin
+                        ctrl_fsm_ns = DBG_TAKEN;
+                        halt_if_o = 1'b1;
+                    end else if (handle_irq & ~stall_id) begin
+                        ctrl_fsm_ns = IRQ_TAKEN;
+                        halt_if_o = 1'b1;
+                    end
+                end
+            end
+            FLUSH: begin
+                halt_if_o = 1'b1;
+                flush_id_o = 1'b1;
+                pc_set_o = exc_req | mret_insn_i | illegal_insn_q;
+                exc_ack_o = exc_req;
+                if (wfi_insn_i & ~debug_req_i)
+                    ctrl_fsm_ns = WAIT_SLEEP;
+                else
+                    ctrl_fsm_ns = DECODE;
+            end
+            IRQ_TAKEN: begin
+                pc_set_o = 1'b1;
+                exc_ack_o = 1'b1;
+                flush_id_o = 1'b1;
+                ctrl_fsm_ns = DECODE;
+            end
+            DBG_TAKEN: begin
+                pc_set_o = 1'b1;
+                flush_id_o = 1'b1;
+                ctrl_fsm_ns = DECODE;
+            end
+            default: begin
+                instr_req_o = 1'b0;
+                ctrl_fsm_ns = RESET;
+            end
+        endcase
+    end
+endmodule
+"""
+
+#: Campaign targets from Table III.
+TARGETS = ("stall", "instr_valid_clear_o")
+
+DESCRIPTION = "Ibex RISC-V Processor Controller"

@@ -1,0 +1,216 @@
+"""``usbf_idma`` — USB 2.0 internal DMA controller (paper Table I, 627 LoC).
+
+Simplified re-implementation of the USB function-core internal DMA /
+memory-arbiter interface: receive-path word assembly, transmit-path word
+disassembly, buffer address counters, and the memory-request handshake.
+The campaign targets (Table III) are ``mreq`` (memory request) and
+``adr_incw`` (word-aligned address increment).
+"""
+
+SOURCE = """
+module usbf_idma (
+    clk, rst_n,
+    rx_data_valid, rx_data_done, rx_data,
+    tx_valid, tx_data_ack,
+    buf_base, buf_size,
+    mack, abort, flush,
+    mreq, adr_incw,
+    mwe, madr, mdout, word_done, sizu_c, buf_full, dma_busy, tx_data
+);
+    input clk, rst_n;
+    input rx_data_valid, rx_data_done;
+    input [7:0] rx_data;
+    input tx_valid, tx_data_ack;
+    input [7:0] buf_base;
+    input [7:0] buf_size;
+    input mack, abort, flush;
+
+    output mreq;
+    output adr_incw;
+    output reg mwe;
+    output [7:0] madr;
+    output reg [31:0] mdout;
+    output word_done;
+    output reg [7:0] sizu_c;
+    output buf_full;
+    output reg dma_busy;
+    output reg [7:0] tx_data;
+
+    parameter DMA_IDLE = 2'd0;
+    parameter DMA_RX   = 2'd1;
+    parameter DMA_TX   = 2'd2;
+    parameter DMA_FLUSH = 2'd3;
+
+    reg [1:0] dma_state;
+    reg [1:0] dma_next;
+    reg [7:0] adr_c;
+    reg [1:0] byte_cnt;
+    reg word_ready;
+    reg mreq_r;
+    reg [31:0] hold_reg;
+    reg [1:0] tx_byte_sel;
+
+    wire rx_word_complete;
+    wire last_byte;
+    wire size_hit;
+
+    // A 32-bit word is complete after the fourth received byte.
+    assign rx_word_complete = rx_data_valid & (byte_cnt == 2'd3);
+    assign last_byte  = rx_data_done & (byte_cnt != 2'd0);
+    assign size_hit   = sizu_c == buf_size;
+    assign buf_full   = size_hit & (dma_state == DMA_RX);
+
+    // Memory request: a completed word, a final partial word being
+    // flushed, or an active TX fetch.
+    assign mreq = (word_ready | (dma_state == DMA_FLUSH))
+                & ~mack & ~abort & ~size_hit;
+
+    // Word-aligned address increment fires when the memory acknowledges.
+    assign adr_incw = mack & (dma_state != DMA_IDLE) & ~abort;
+
+    assign madr = adr_c + buf_base;
+    assign word_done = rx_word_complete | last_byte;
+
+    // Receive-path byte assembly into a 32-bit holding register.
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            byte_cnt <= 2'd0;
+            hold_reg <= 32'h0;
+        end else if (abort) begin
+            byte_cnt <= 2'd0;
+        end else if (rx_data_valid & (dma_state == DMA_RX)) begin
+            if (byte_cnt == 2'd0)
+                hold_reg[7:0] <= rx_data;
+            else if (byte_cnt == 2'd1)
+                hold_reg[15:8] <= rx_data;
+            else if (byte_cnt == 2'd2)
+                hold_reg[23:16] <= rx_data;
+            else
+                hold_reg[31:24] <= rx_data;
+            byte_cnt <= byte_cnt + 2'd1;
+        end else if (rx_data_done) begin
+            byte_cnt <= 2'd0;
+        end
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            word_ready <= 1'b0;
+        else if (rx_word_complete | last_byte)
+            word_ready <= 1'b1;
+        else if (mack | abort)
+            word_ready <= 1'b0;
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            mdout <= 32'h0;
+        else if (word_ready & ~mreq_r)
+            mdout <= hold_reg;
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            mreq_r <= 1'b0;
+        else
+            mreq_r <= mreq;
+    end
+
+    // Buffer address counter (word index within the buffer).
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            adr_c <= 8'h0;
+        else if (dma_state == DMA_IDLE & ~dma_busy)
+            adr_c <= 8'h0;
+        else if (adr_incw)
+            adr_c <= adr_c + 8'd4;
+    end
+
+    // Transferred-size counter, in words.
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            sizu_c <= 8'h0;
+        else if (dma_state == DMA_IDLE & ~dma_busy)
+            sizu_c <= 8'h0;
+        else if (adr_incw & ~size_hit)
+            sizu_c <= sizu_c + 8'd1;
+    end
+
+    // Write strobe follows the request during receive.
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            mwe <= 1'b0;
+        else
+            mwe <= mreq & ((dma_state == DMA_RX) | (dma_state == DMA_FLUSH));
+    end
+
+    // Transmit-path byte select out of the fetched word.
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            tx_byte_sel <= 2'd0;
+        else if (dma_state != DMA_TX)
+            tx_byte_sel <= 2'd0;
+        else if (tx_data_ack)
+            tx_byte_sel <= tx_byte_sel + 2'd1;
+    end
+
+    always @(*) begin
+        if (tx_byte_sel == 2'd0)
+            tx_data = mdout[7:0];
+        else if (tx_byte_sel == 2'd1)
+            tx_data = mdout[15:8];
+        else if (tx_byte_sel == 2'd2)
+            tx_data = mdout[23:16];
+        else
+            tx_data = mdout[31:24];
+    end
+
+    // DMA FSM.
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            dma_state <= DMA_IDLE;
+        else
+            dma_state <= dma_next;
+    end
+
+    always @(*) begin
+        dma_next = dma_state;
+        case (dma_state)
+            DMA_IDLE: begin
+                if (rx_data_valid)
+                    dma_next = DMA_RX;
+                else if (tx_valid)
+                    dma_next = DMA_TX;
+            end
+            DMA_RX: begin
+                if (abort)
+                    dma_next = DMA_IDLE;
+                else if (rx_data_done)
+                    dma_next = DMA_FLUSH;
+            end
+            DMA_TX: begin
+                if (abort | ~tx_valid)
+                    dma_next = DMA_IDLE;
+            end
+            DMA_FLUSH: begin
+                if (abort | (~word_ready & ~flush))
+                    dma_next = DMA_IDLE;
+            end
+            default:
+                dma_next = DMA_IDLE;
+        endcase
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            dma_busy <= 1'b0;
+        else
+            dma_busy <= dma_state != DMA_IDLE;
+    end
+endmodule
+"""
+
+#: Campaign targets from Table III.
+TARGETS = ("mreq", "adr_incw")
+
+DESCRIPTION = "USB2.0 Internal DMA Controller"

@@ -1,0 +1,169 @@
+"""``usbf_pl`` — USB 2.0 function protocol layer (paper Table I, 287 LoC).
+
+Simplified re-implementation of the USB function-core protocol-layer
+logic: PID decode, token handling, device-address match, frame-number
+capture on SOF, data-toggle tracking, and handshake generation.  The
+campaign targets (Table III) are ``match_o`` (token address match) and
+``frame_no_we`` (frame-number register write enable).
+"""
+
+SOURCE = """
+module usbf_pl (
+    clk, rst_n,
+    rx_valid, rx_active, rx_err,
+    pid_OUT, pid_IN, pid_SOF, pid_SETUP,
+    pid_DATA0, pid_DATA1, pid_ACK, pid_PING,
+    token_valid, crc5_err,
+    token_fadr, token_endp, frame_no_in,
+    fa_out, ep_sel_valid,
+    match_o, frame_no_we,
+    frame_no_out, data_toggle, send_token, token_pid_sel,
+    rx_data_done, int_to_set, pid_bad
+);
+    input clk, rst_n;
+    input rx_valid, rx_active, rx_err;
+    input pid_OUT, pid_IN, pid_SOF, pid_SETUP;
+    input pid_DATA0, pid_DATA1, pid_ACK, pid_PING;
+    input token_valid, crc5_err;
+    input [6:0] token_fadr;
+    input [3:0] token_endp;
+    input [10:0] frame_no_in;
+    input [6:0] fa_out;
+    input ep_sel_valid;
+
+    output match_o;
+    output frame_no_we;
+    output reg [10:0] frame_no_out;
+    output reg data_toggle;
+    output reg send_token;
+    output reg [1:0] token_pid_sel;
+    output reg rx_data_done;
+    output reg int_to_set;
+    output pid_bad;
+
+    parameter ST_IDLE  = 3'd0;
+    parameter ST_TOKEN = 3'd1;
+    parameter ST_DATA  = 3'd2;
+    parameter ST_HANDS = 3'd3;
+    parameter ST_WAIT  = 3'd4;
+
+    reg [2:0] state;
+    reg [2:0] next_state;
+
+    wire pid_token;
+    wire pid_data;
+    wire fa_match;
+    wire ep_ok;
+    wire token_ok;
+    wire sof_token;
+    reg  match_r;
+    reg  send_token_d;
+
+    // A PID is a token class when it is OUT/IN/SOF/SETUP/PING.
+    assign pid_token = pid_OUT | pid_IN | pid_SOF | pid_SETUP | pid_PING;
+    assign pid_data  = pid_DATA0 | pid_DATA1;
+    assign pid_bad   = ~(pid_token | pid_data | pid_ACK);
+
+    // Device-address match: the token must target our function address
+    // and a configured endpoint, and the CRC5 must be clean.
+    assign fa_match  = token_fadr == fa_out;
+    assign ep_ok     = ep_sel_valid;
+    assign token_ok  = token_valid & ~crc5_err;
+    assign match_o   = token_ok & pid_token & ~pid_SOF & fa_match & ep_ok;
+
+    // Frame number register: written on every valid SOF token.
+    assign sof_token   = token_ok & pid_SOF;
+    assign frame_no_we = sof_token & ~rx_err;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            frame_no_out <= 11'h0;
+        else if (frame_no_we)
+            frame_no_out <= frame_no_in;
+    end
+
+    // Data toggle: flips on each completed data phase for the endpoint.
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            data_toggle <= 1'b0;
+        else if (state == ST_DATA & rx_data_done)
+            data_toggle <= ~data_toggle;
+        else if (pid_SETUP & match_o)
+            data_toggle <= 1'b0;
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            match_r <= 1'b0;
+        else if (match_o)
+            match_r <= 1'b1;
+        else if (state == ST_IDLE)
+            match_r <= 1'b0;
+    end
+
+    // Protocol FSM.
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            state <= ST_IDLE;
+        else
+            state <= next_state;
+    end
+
+    always @(*) begin
+        next_state = state;
+        rx_data_done = 1'b0;
+        send_token = 1'b0;
+        token_pid_sel = 2'd0;
+        int_to_set = 1'b0;
+        case (state)
+            ST_IDLE: begin
+                if (match_o & (pid_OUT | pid_SETUP))
+                    next_state = ST_DATA;
+                else if (match_o & pid_IN)
+                    next_state = ST_TOKEN;
+                else if (match_o & pid_PING)
+                    next_state = ST_HANDS;
+            end
+            ST_TOKEN: begin
+                send_token = 1'b1;
+                token_pid_sel = 2'd1;
+                next_state = ST_WAIT;
+            end
+            ST_DATA: begin
+                if (rx_err) begin
+                    next_state = ST_IDLE;
+                    int_to_set = 1'b1;
+                end else if (rx_valid & ~rx_active) begin
+                    rx_data_done = 1'b1;
+                    next_state = ST_HANDS;
+                end
+            end
+            ST_HANDS: begin
+                send_token = 1'b1;
+                token_pid_sel = 2'd2;
+                next_state = ST_IDLE;
+            end
+            ST_WAIT: begin
+                if (pid_ACK & token_valid)
+                    next_state = ST_IDLE;
+                else if (rx_err)
+                    next_state = ST_IDLE;
+            end
+            default:
+                next_state = ST_IDLE;
+        endcase
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            send_token_d <= 1'b0;
+        else
+            send_token_d <= send_token & match_r;
+    end
+endmodule
+"""
+
+#: Campaign targets from Table III.
+TARGETS = ("match_o", "frame_no_we")
+
+DESCRIPTION = "USB2.0 Protocol Layer"

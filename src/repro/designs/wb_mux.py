@@ -1,0 +1,90 @@
+"""``wb_mux_2`` — Wishbone 2-port multiplexer (paper Table I, 65 LoC).
+
+A master-side Wishbone interconnect that routes one master port to one of
+two slave ports by address decode.  Targets used in the paper's campaign
+(Table III): ``wbs0_we_o`` and ``wbs0_stb_o``.
+"""
+
+SOURCE = """
+module wb_mux_2 (
+    wb_clk_i, wb_rst_i,
+    wbm_adr_i, wbm_dat_i, wbm_we_i, wbm_stb_i, wbm_cyc_i,
+    wbm_dat_o, wbm_ack_o, wbm_err_o,
+    wbs0_adr_o, wbs0_dat_o, wbs0_dat_i, wbs0_we_o, wbs0_stb_o,
+    wbs0_cyc_o, wbs0_ack_i, wbs0_err_i,
+    wbs1_adr_o, wbs1_dat_o, wbs1_dat_i, wbs1_we_o, wbs1_stb_o,
+    wbs1_cyc_o, wbs1_ack_i, wbs1_err_i
+);
+    input wb_clk_i, wb_rst_i;
+    input [7:0] wbm_adr_i;
+    input [7:0] wbm_dat_i;
+    input wbm_we_i, wbm_stb_i, wbm_cyc_i;
+    output reg [7:0] wbm_dat_o;
+    output wbm_ack_o, wbm_err_o;
+
+    output [7:0] wbs0_adr_o;
+    output [7:0] wbs0_dat_o;
+    input [7:0] wbs0_dat_i;
+    output wbs0_we_o, wbs0_stb_o, wbs0_cyc_o;
+    input wbs0_ack_i, wbs0_err_i;
+
+    output [7:0] wbs1_adr_o;
+    output [7:0] wbs1_dat_o;
+    input [7:0] wbs1_dat_i;
+    output wbs1_we_o, wbs1_stb_o, wbs1_cyc_o;
+    input wbs1_ack_i, wbs1_err_i;
+
+    parameter WBS0_ADDR = 8'h00;
+    parameter WBS1_ADDR = 8'h80;
+    parameter ADDR_MASK = 8'h80;
+
+    wire wbs0_match;
+    wire wbs1_match;
+    wire wbs0_sel;
+    wire wbs1_sel;
+    reg  cycle_active;
+
+    assign wbs0_match = (wbm_adr_i & ADDR_MASK) == (WBS0_ADDR & ADDR_MASK);
+    assign wbs1_match = (wbm_adr_i & ADDR_MASK) == (WBS1_ADDR & ADDR_MASK);
+
+    assign wbs0_sel = wbs0_match & ~(wbs1_match & ~wbs0_match);
+    assign wbs1_sel = wbs1_match & ~wbs0_match;
+
+    assign wbs0_adr_o = wbm_adr_i;
+    assign wbs0_dat_o = wbm_dat_i;
+    assign wbs0_we_o  = wbm_we_i & wbs0_sel & wbm_cyc_i;
+    assign wbs0_stb_o = wbm_stb_i & wbs0_sel & wbm_cyc_i;
+    assign wbs0_cyc_o = wbm_cyc_i & wbs0_sel;
+
+    assign wbs1_adr_o = wbm_adr_i;
+    assign wbs1_dat_o = wbm_dat_i;
+    assign wbs1_we_o  = wbm_we_i & wbs1_sel & wbm_cyc_i;
+    assign wbs1_stb_o = wbm_stb_i & wbs1_sel & wbm_cyc_i;
+    assign wbs1_cyc_o = wbm_cyc_i & wbs1_sel;
+
+    assign wbm_ack_o = (wbs0_ack_i & wbs0_sel) | (wbs1_ack_i & wbs1_sel);
+    assign wbm_err_o = (wbs0_err_i & wbs0_sel) | (wbs1_err_i & wbs1_sel)
+                     | (wbm_cyc_i & wbm_stb_i & ~wbs0_match & ~wbs1_match);
+
+    always @(posedge wb_clk_i) begin
+        if (wb_rst_i)
+            cycle_active <= 1'b0;
+        else
+            cycle_active <= wbm_cyc_i & wbm_stb_i & ~wbm_ack_o;
+    end
+
+    always @(*) begin
+        if (wbs0_sel & cycle_active)
+            wbm_dat_o = wbs0_dat_i;
+        else if (wbs1_sel)
+            wbm_dat_o = wbs1_dat_i;
+        else
+            wbm_dat_o = 8'h00;
+    end
+endmodule
+"""
+
+#: Campaign targets from Table III.
+TARGETS = ("wbs0_we_o", "wbs0_stb_o")
+
+DESCRIPTION = "Wishbone 2-port Multiplexer"

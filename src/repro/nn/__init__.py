@@ -1,0 +1,60 @@
+"""Minimal deep-learning substrate (numpy reverse-mode autograd).
+
+Replaces PyTorch for the VeriBug model: tensors, layers, LSTM, attention
+building blocks, optimizers, and the paper's loss.
+"""
+
+from .functional import (
+    concat,
+    embedding,
+    frobenius_norm,
+    gather_rows,
+    log_softmax,
+    one_hot,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+    softmax,
+    stack,
+)
+from .layers import MLP, Embedding, Linear, Module, Parameter
+from .loss import (
+    attention_norm_regularizer,
+    class_weights_from_labels,
+    veribug_loss,
+    weighted_cross_entropy,
+)
+from .optim import SGD, Adam, Optimizer
+from .rnn import LSTM, LSTMCell
+from .serialization import load_state, save_state
+from .tensor import Tensor
+
+__all__ = [
+    "Adam",
+    "Embedding",
+    "LSTM",
+    "LSTMCell",
+    "Linear",
+    "MLP",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Tensor",
+    "attention_norm_regularizer",
+    "class_weights_from_labels",
+    "concat",
+    "embedding",
+    "frobenius_norm",
+    "gather_rows",
+    "load_state",
+    "log_softmax",
+    "one_hot",
+    "segment_mean",
+    "segment_softmax",
+    "segment_sum",
+    "softmax",
+    "stack",
+    "veribug_loss",
+    "weighted_cross_entropy",
+]

@@ -1,0 +1,175 @@
+"""Neural-network modules: parameters, Linear, MLP, Embedding.
+
+Mirrors the small slice of ``torch.nn`` the VeriBug model needs.  Modules
+discover their parameters recursively through attribute inspection, so
+``model.parameters()`` and ``model.state_dict()`` work like in PyTorch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with recursive parameter discovery.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; lists of modules are also discovered (like
+    ``nn.ModuleList``).
+    """
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters, depth-first, in attribute order."""
+        params: list[Parameter] = []
+        for _name, value in self._items():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for element in value:
+                    if isinstance(element, Module):
+                        params.extend(element.parameters())
+                    elif isinstance(element, Parameter):
+                        params.append(element)
+        return params
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        """(dotted-path, parameter) pairs for serialization."""
+        named: list[tuple[str, Parameter]] = []
+        for name, value in self._items():
+            path = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                named.append((path, value))
+            elif isinstance(value, Module):
+                named.extend(value.named_parameters(prefix=f"{path}."))
+            elif isinstance(value, (list, tuple)):
+                for index, element in enumerate(value):
+                    if isinstance(element, Module):
+                        named.extend(element.named_parameters(prefix=f"{path}.{index}."))
+                    elif isinstance(element, Parameter):
+                        named.append((f"{path}.{index}", element))
+        return named
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter's data, keyed by dotted path."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict`.
+
+        Raises:
+            KeyError: If a parameter is missing from ``state``.
+            ValueError: On shape mismatch.
+        """
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def _items(self):
+        return sorted(vars(self).items())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+def _glorot(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b`` with Glorot initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator,
+                 bias: bool = True):
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_glorot(in_features, out_features, rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class MLP(Module):
+    """Multi-layer perceptron with LeakyReLU hidden activations.
+
+    Args:
+        sizes: Layer widths, e.g. ``[20, 32, 2]`` for one hidden layer.
+        rng: Numpy random generator for initialization.
+        activation: Hidden activation ("leaky_relu", "relu", or "tanh").
+    """
+
+    def __init__(
+        self,
+        sizes: list[int],
+        rng: np.random.Generator,
+        activation: str = "leaky_relu",
+    ):
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.activation = activation
+        self.layers = [
+            Linear(sizes[i], sizes[i + 1], rng) for i in range(len(sizes) - 1)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < len(self.layers) - 1:
+                x = self._activate(x)
+        return x
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "leaky_relu":
+            return x.leaky_relu(0.01)
+        if self.activation == "relu":
+            return x.relu()
+        if self.activation == "tanh":
+            return x.tanh()
+        raise ValueError(f"unknown activation {self.activation!r}")
+
+
+class Embedding(Module):
+    """A learned lookup table of shape ``[vocab_size, dim]``."""
+
+    def __init__(self, vocab_size: int, dim: int, rng: np.random.Generator):
+        self.vocab_size = vocab_size
+        self.dim = dim
+        scale = 1.0 / np.sqrt(dim)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(vocab_size, dim)), name="weight"
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        from .functional import embedding
+
+        return embedding(self.weight, indices)

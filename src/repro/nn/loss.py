@@ -1,0 +1,111 @@
+"""Loss functions for the VeriBug learning task.
+
+Implements the paper's training loss (§IV-C "Training Loss"):
+
+.. math::
+
+    L(X_B) = \\frac{\\sum_i CE(y_i, \\tilde y_i)}
+                  {\\sum_i w_0 \\mathbb{1}_{\\tilde y_i = 0}
+                   + w_1 \\mathbb{1}_{\\tilde y_i = 1}}
+           + \\frac{\\alpha}{N} \\sum_i \\frac{1}{\\lVert X^*_i \\rVert}
+
+where the per-sample cross-entropy is weighted by inverse class frequency
+(``w_c``), and the second term pushes the *updated operand embeddings*
+``X*`` away from zero so the attention head keeps receiving informative
+inputs (the paper observes the attention vector barely trains without it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import frobenius_norm, log_softmax, segment_sum
+from .tensor import Tensor
+
+
+def class_weights_from_labels(labels: np.ndarray, n_classes: int = 2) -> np.ndarray:
+    """Inverse-class-frequency weights, normalized to mean 1.
+
+    Args:
+        labels: Integer class labels of the training set.
+        n_classes: Total number of classes.
+
+    Returns:
+        ``[n_classes]`` float weights; classes absent from ``labels`` get
+        weight 1.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    counts = np.bincount(labels, minlength=n_classes).astype(np.float64)
+    weights = np.where(counts > 0, len(labels) / np.maximum(counts, 1.0), 1.0)
+    weights = weights / weights.mean()
+    return weights
+
+
+def weighted_cross_entropy(
+    logits: Tensor, labels: np.ndarray, class_weights: np.ndarray | None = None
+) -> Tensor:
+    """Class-weighted cross-entropy from logits.
+
+    Args:
+        logits: ``[B, C]`` unnormalized scores.
+        labels: ``[B]`` integer ground-truth classes.
+        class_weights: ``[C]`` per-class weights (defaults to all-ones).
+
+    Returns:
+        Scalar loss: ``sum_i w_{y_i} * CE_i / sum_i w_{y_i}``.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    batch = len(labels)
+    if class_weights is None:
+        class_weights = np.ones(logits.shape[-1])
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[np.arange(batch), labels]
+    sample_weights = Tensor(class_weights[labels])
+    weighted = -(picked * sample_weights).sum()
+    return weighted / float(class_weights[labels].sum())
+
+
+def attention_norm_regularizer(
+    updated_embeddings: Tensor, statement_ids: np.ndarray, n_statements: int
+) -> Tensor:
+    """The paper's localization regularizer ``(1/N) Σ 1/‖X*_i‖``.
+
+    ``X*_i`` is the matrix of updated operand embeddings of statement
+    ``i``; its Frobenius norm is computed per statement by segmenting the
+    flat operand-row matrix.
+
+    Args:
+        updated_embeddings: ``[M, da]`` updated operand embeddings (all
+            operands of the batch, flattened).
+        statement_ids: ``[M]`` owning statement per operand row.
+        n_statements: Number of statements in the batch.
+
+    Returns:
+        Scalar regularization term (without the ``alpha`` factor).
+    """
+    squared = (updated_embeddings * updated_embeddings).sum(axis=1)
+    per_stmt = segment_sum(squared, statement_ids, n_statements)
+    norms = (per_stmt + 1e-8).sqrt()
+    return (1.0 / norms).mean()
+
+
+def veribug_loss(
+    logits: Tensor,
+    labels: np.ndarray,
+    updated_embeddings: Tensor,
+    statement_ids: np.ndarray,
+    class_weights: np.ndarray | None = None,
+    alpha: float = 0.1,
+) -> tuple[Tensor, dict[str, float]]:
+    """Full VeriBug training loss: weighted CE + α · norm regularizer.
+
+    Returns:
+        (loss, parts) where ``parts`` holds the scalar components for
+        logging: ``{"ce": ..., "reg": ...}``.
+    """
+    ce = weighted_cross_entropy(logits, labels, class_weights)
+    reg = attention_norm_regularizer(
+        updated_embeddings, statement_ids, n_statements=logits.shape[0]
+    )
+    loss = ce + alpha * reg
+    return loss, {"ce": ce.item(), "reg": reg.item()}

@@ -1,0 +1,83 @@
+"""LSTM implementation (the paper's PathRNN backbone).
+
+The cell follows the standard formulation with a fused gate projection:
+
+.. math::
+
+    i, f, g, o = \\mathrm{split}(x W_{ih} + h W_{hh} + b)
+
+    c' = \\sigma(f) c + \\sigma(i) \\tanh(g), \\qquad
+    h' = \\sigma(o) \\tanh(c')
+
+:class:`LSTM` runs the cell over a padded batch of sequences with a step
+mask, so ragged path batches can be processed fully vectorized.  The
+forget-gate bias is initialized to 1, the usual trick for gradient flow
+through time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module, Parameter, _glorot
+from .tensor import Tensor
+
+
+class LSTMCell(Module):
+    """A single LSTM step over a batch."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Parameter(_glorot(input_size, 4 * hidden_size, rng), name="w_ih")
+        self.w_hh = Parameter(_glorot(hidden_size, 4 * hidden_size, rng), name="w_hh")
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias, name="bias")
+
+    def forward(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """One step: inputs ``[B, I]``, state ``[B, H]`` -> new state."""
+        gates = x @ self.w_ih + h @ self.w_hh + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_new = f_gate * c + i_gate * g_gate
+        h_new = o_gate * c_new.tanh()
+        return h_new, c_new
+
+
+class LSTM(Module):
+    """Masked LSTM over padded sequences, returning the final hidden state.
+
+    Sequences must be left-aligned: valid steps first, padding after.  The
+    mask freezes the state on padded steps, so the returned hidden state is
+    the one after each sequence's last valid step.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        self.cell = LSTMCell(input_size, hidden_size, rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        """Run the LSTM.
+
+        Args:
+            x: ``[B, T, I]`` padded input sequences.
+            mask: ``[B, T]`` float/bool array, 1 for valid steps.
+
+        Returns:
+            ``[B, H]`` final hidden states.
+        """
+        batch, steps, _ = x.shape
+        mask = np.asarray(mask, dtype=np.float64)
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        for t in range(steps):
+            x_t = x[:, t, :]
+            h_new, c_new = self.cell(x_t, h, c)
+            step_mask = Tensor(mask[:, t : t + 1])
+            h = step_mask * h_new + (1.0 - step_mask) * h
+            c = step_mask * c_new + (1.0 - step_mask) * c
+        return h

@@ -1,0 +1,29 @@
+"""Parameter (de)serialization for trained models.
+
+State dicts are stored as ``.npz`` archives; dotted parameter paths map
+directly to archive member names.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_state(module: Module, path: str | os.PathLike) -> None:
+    """Save a module's parameters to an ``.npz`` file."""
+    np.savez(path, **module.state_dict())
+
+
+def load_state(module: Module, path: str | os.PathLike) -> None:
+    """Load parameters saved by :func:`save_state` into a module.
+
+    Raises:
+        KeyError / ValueError: On missing parameters or shape mismatch.
+    """
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

@@ -1,0 +1,31 @@
+"""Simulation substrate: values, evaluator, simulator, traces, testbenches.
+
+Replaces the commercial/open simulator the paper relies on, with the
+statement-level instrumentation VeriBug needs built in.
+"""
+
+from .evaluator import Evaluator
+from .simulator import SimulationError, Simulator
+from .testbench import (
+    TestbenchConfig,
+    generate_stimulus,
+    generate_testbench_suite,
+    identify_clock,
+    identify_reset,
+    random_value,
+)
+from .trace import StatementExecution, Trace
+
+__all__ = [
+    "Evaluator",
+    "SimulationError",
+    "Simulator",
+    "StatementExecution",
+    "TestbenchConfig",
+    "Trace",
+    "generate_stimulus",
+    "generate_testbench_suite",
+    "identify_clock",
+    "identify_reset",
+    "random_value",
+]

@@ -1,0 +1,257 @@
+"""Expression evaluator with simplified Verilog width semantics.
+
+Evaluation returns ``(value, width)`` pairs.  Width rules follow a
+self-determined model that is sufficient for the synthesizable subset:
+
+* identifiers take their declared width; parameters are 32-bit constants,
+* bitwise/arithmetic binary operators take ``max`` of operand widths,
+* comparisons, logical operators, and reductions are 1 bit,
+* shifts take the left operand's width,
+* concatenation sums part widths, replication multiplies,
+* the conditional operator takes ``max`` of its arms.
+
+All results are masked to their width, so two's-complement wraparound on
+subtraction and negation behaves like real hardware.
+"""
+
+from __future__ import annotations
+
+from ..verilog.ast_nodes import (
+    BinaryOp,
+    BitSelect,
+    Concat,
+    Expr,
+    Identifier,
+    Lvalue,
+    Module,
+    Number,
+    PartSelect,
+    Repeat,
+    Ternary,
+    UnaryOp,
+)
+from ..verilog.errors import SemanticError
+from . import values as V
+
+_UNSIZED_WIDTH = 32
+
+
+class Evaluator:
+    """Evaluates expressions of one module against a signal environment.
+
+    The environment is a plain ``dict[str, int]`` mapping signal names to
+    current values.  Parameters are resolved from the module and do not
+    need to be present in the environment.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._widths = {name: decl.width for name, decl in module.decls.items()}
+        self._params = {name: p.value for name, p in module.params.items()}
+
+    def width_of(self, expr: Expr) -> int:
+        """Self-determined width of an expression."""
+        if isinstance(expr, Identifier):
+            if expr.name in self._widths:
+                return self._widths[expr.name]
+            if expr.name in self._params:
+                return _UNSIZED_WIDTH
+            raise SemanticError(f"unknown identifier {expr.name!r}", expr.line, expr.col)
+        if isinstance(expr, Number):
+            return expr.width if expr.width is not None else _UNSIZED_WIDTH
+        if isinstance(expr, UnaryOp):
+            if expr.op in ("!",) or expr.op in ("&", "|", "^", "~&", "~|", "~^", "^~"):
+                return 1
+            return self.width_of(expr.operand)
+        if isinstance(expr, BinaryOp):
+            op = expr.op
+            if op in ("&&", "||", "==", "!=", "===", "!==", "<", "<=", ">", ">="):
+                return 1
+            if op in ("<<", ">>", "<<<", ">>>"):
+                return self.width_of(expr.left)
+            return max(self.width_of(expr.left), self.width_of(expr.right))
+        if isinstance(expr, Ternary):
+            return max(self.width_of(expr.then), self.width_of(expr.otherwise))
+        if isinstance(expr, BitSelect):
+            return 1
+        if isinstance(expr, PartSelect):
+            msb = self._const(expr.msb)
+            lsb = self._const(expr.lsb)
+            return abs(msb - lsb) + 1
+        if isinstance(expr, Concat):
+            return sum(self.width_of(p) for p in expr.parts)
+        if isinstance(expr, Repeat):
+            return self._const(expr.count) * self.width_of(expr.value)
+        raise SemanticError(f"cannot compute width of {type(expr).__name__}", expr.line)
+
+    def eval(self, expr: Expr, env: dict[str, int]) -> int:
+        """Evaluate ``expr`` in ``env``; the result is masked to its width."""
+        value, _width = self._eval(expr, env)
+        return value
+
+    def _const(self, expr: Expr) -> int:
+        """Evaluate a constant (number or parameter) expression."""
+        value, _ = self._eval(expr, {})
+        return value
+
+    def _eval(self, expr: Expr, env: dict[str, int]) -> tuple[int, int]:
+        if isinstance(expr, Identifier):
+            return self._eval_identifier(expr, env)
+        if isinstance(expr, Number):
+            width = expr.width if expr.width is not None else _UNSIZED_WIDTH
+            return V.truncate(expr.value, width), width
+        if isinstance(expr, UnaryOp):
+            return self._eval_unary(expr, env)
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, env)
+        if isinstance(expr, Ternary):
+            cond = self.eval(expr.cond, env)
+            width = self.width_of(expr)
+            chosen = expr.then if cond else expr.otherwise
+            return V.truncate(self.eval(chosen, env), width), width
+        if isinstance(expr, BitSelect):
+            base, _ = self._eval_identifier(expr.base, env)
+            index = self.eval(expr.index, env)
+            return V.bit(base, index), 1
+        if isinstance(expr, PartSelect):
+            base, _ = self._eval_identifier(expr.base, env)
+            msb = self._const(expr.msb)
+            lsb = self._const(expr.lsb)
+            return V.bits(base, msb, lsb), abs(msb - lsb) + 1
+        if isinstance(expr, Concat):
+            value = 0
+            total = 0
+            for part in expr.parts:
+                pval, pwidth = self._eval(part, env)
+                value = (value << pwidth) | V.truncate(pval, pwidth)
+                total += pwidth
+            return value, total
+        if isinstance(expr, Repeat):
+            count = self._const(expr.count)
+            pval, pwidth = self._eval(expr.value, env)
+            value = 0
+            for _ in range(count):
+                value = (value << pwidth) | V.truncate(pval, pwidth)
+            return value, count * pwidth
+        raise SemanticError(f"cannot evaluate {type(expr).__name__}", expr.line)
+
+    def _eval_identifier(self, expr: Identifier, env: dict[str, int]) -> tuple[int, int]:
+        if expr.name in env:
+            return V.truncate(env[expr.name], self._widths.get(expr.name, _UNSIZED_WIDTH)), (
+                self._widths.get(expr.name, _UNSIZED_WIDTH)
+            )
+        if expr.name in self._params:
+            return V.truncate(self._params[expr.name], _UNSIZED_WIDTH), _UNSIZED_WIDTH
+        raise SemanticError(f"signal {expr.name!r} has no value", expr.line, expr.col)
+
+    def _eval_unary(self, expr: UnaryOp, env: dict[str, int]) -> tuple[int, int]:
+        val, width = self._eval(expr.operand, env)
+        op = expr.op
+        if op == "~":
+            return V.truncate(~val, width), width
+        if op == "!":
+            return 1 - V.to_bool(val), 1
+        if op == "-":
+            return V.truncate(-val, width), width
+        if op == "+":
+            return val, width
+        if op == "&":
+            return V.reduce_and(val, width), 1
+        if op == "|":
+            return V.reduce_or(val, width), 1
+        if op == "^":
+            return V.reduce_xor(val, width), 1
+        if op == "~&":
+            return 1 - V.reduce_and(val, width), 1
+        if op == "~|":
+            return 1 - V.reduce_or(val, width), 1
+        if op in ("~^", "^~"):
+            return 1 - V.reduce_xor(val, width), 1
+        raise SemanticError(f"unknown unary operator {op!r}", expr.line)
+
+    def _eval_binary(self, expr: BinaryOp, env: dict[str, int]) -> tuple[int, int]:
+        op = expr.op
+        if op == "&&":
+            lhs = self.eval(expr.left, env)
+            if not lhs:
+                return 0, 1
+            return V.to_bool(self.eval(expr.right, env)), 1
+        if op == "||":
+            lhs = self.eval(expr.left, env)
+            if lhs:
+                return 1, 1
+            return V.to_bool(self.eval(expr.right, env)), 1
+
+        lval, lwidth = self._eval(expr.left, env)
+        rval, rwidth = self._eval(expr.right, env)
+        width = max(lwidth, rwidth)
+
+        if op in ("&", "|", "^", "~^", "^~"):
+            table = {
+                "&": lval & rval,
+                "|": lval | rval,
+                "^": lval ^ rval,
+                "~^": ~(lval ^ rval),
+                "^~": ~(lval ^ rval),
+            }
+            return V.truncate(table[op], width), width
+        if op in ("==", "==="):
+            return (1 if lval == rval else 0), 1
+        if op in ("!=", "!=="):
+            return (1 if lval != rval else 0), 1
+        if op == "<":
+            return (1 if lval < rval else 0), 1
+        if op == "<=":
+            return (1 if lval <= rval else 0), 1
+        if op == ">":
+            return (1 if lval > rval else 0), 1
+        if op == ">=":
+            return (1 if lval >= rval else 0), 1
+        if op in ("<<", "<<<"):
+            return V.truncate(lval << min(rval, 64), lwidth), lwidth
+        if op in (">>", ">>>"):
+            return V.truncate(lval >> min(rval, 64), lwidth), lwidth
+        if op == "+":
+            return V.truncate(lval + rval, width), width
+        if op == "-":
+            return V.truncate(lval - rval, width), width
+        if op == "*":
+            return V.truncate(lval * rval, width), width
+        if op == "/":
+            return V.truncate(lval // rval if rval else 0, width), width
+        if op == "%":
+            return V.truncate(lval % rval if rval else 0, width), width
+        raise SemanticError(f"unknown binary operator {op!r}", expr.line)
+
+    def eval_identifier_value(self, name: str, env: dict[str, int]) -> int:
+        """Current value of a signal or parameter by name."""
+        if name in env:
+            return V.truncate(env[name], self._widths.get(name, _UNSIZED_WIDTH))
+        if name in self._params:
+            return V.truncate(self._params[name], _UNSIZED_WIDTH)
+        raise SemanticError(f"signal {name!r} has no value")
+
+    def lvalue_width(self, lv: Lvalue) -> int:
+        """Width of the bits written by an assignment target."""
+        if lv.index is not None:
+            return 1
+        if lv.msb is not None and lv.lsb is not None:
+            return abs(self._const(lv.msb) - self._const(lv.lsb)) + 1
+        return self._widths[lv.name]
+
+    def write_lvalue(self, lv: Lvalue, value: int, env: dict[str, int]) -> int:
+        """Compute the full new value of ``lv.name`` after writing ``value``.
+
+        Handles bit and part selects with read-modify-write semantics.
+        Returns the new full-width value (the caller stores it).
+        """
+        full_width = self._widths[lv.name]
+        current = V.truncate(env.get(lv.name, 0), full_width)
+        if lv.index is not None:
+            index = self.eval(lv.index, env)
+            return V.truncate(V.set_bit(current, index, value), full_width)
+        if lv.msb is not None and lv.lsb is not None:
+            msb = self._const(lv.msb)
+            lsb = self._const(lv.lsb)
+            return V.truncate(V.set_bits(current, msb, lsb, value), full_width)
+        return V.truncate(value, full_width)

@@ -1,0 +1,254 @@
+"""Cycle-based two-state simulator with statement-level instrumentation.
+
+The simulator models one clock domain.  Each call to :meth:`Simulator.run`
+executes the following schedule per cycle:
+
+1. apply the cycle's input stimulus,
+2. settle all combinational logic (level-sensitive always blocks and
+   continuous assigns) to a fixpoint,
+3. sample the design outputs,
+4. fire every edge-sensitive always block once (the cycle *is* the active
+   clock edge) collecting non-blocking updates, then commit them
+   simultaneously.
+
+Asynchronous resets are handled naturally: the reset input is part of the
+stimulus and the clocked block's ``if (!rst_n)`` branch performs the reset
+on the next cycle boundary, which is indistinguishable from a true async
+reset at cycle granularity.
+
+Every executed assignment is recorded as a
+:class:`repro.sim.trace.StatementExecution`; combinational statements keep
+only the record of the final (settled) evaluation pass of the cycle.
+"""
+
+from __future__ import annotations
+
+from ..verilog.ast_nodes import (
+    AlwaysBlock,
+    Assignment,
+    Block,
+    Case,
+    ContinuousAssign,
+    If,
+    Module,
+    Statement,
+    collect_identifiers,
+)
+from .evaluator import Evaluator
+from .trace import StatementExecution, Trace
+from .values import truncate
+
+
+class SimulationError(Exception):
+    """Raised when the design cannot be simulated (e.g. comb oscillation)."""
+
+
+class Simulator:
+    """Instrumented simulator for one parsed module.
+
+    Example:
+        >>> from repro.verilog import parse_module
+        >>> m = parse_module("module t(input a, output y); assign y = ~a; endmodule")
+        >>> trace = Simulator(m).run([{"a": 0}, {"a": 1}])
+        >>> trace.output_series("y")
+        [1, 0]
+    """
+
+    #: Maximum settling passes before declaring combinational oscillation.
+    MAX_SETTLE_ITERS = 64
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.evaluator = Evaluator(module)
+        self.comb_blocks: list[AlwaysBlock] = [
+            blk for blk in module.always_blocks if not blk.is_clocked
+        ]
+        self.seq_blocks: list[AlwaysBlock] = [
+            blk for blk in module.always_blocks if blk.is_clocked
+        ]
+        # Pre-compute RHS operand name tuples per statement id.
+        self._operands: dict[int, tuple[str, ...]] = {}
+        for stmt in module.statements():
+            self._operands[stmt.stmt_id] = tuple(collect_identifiers(stmt.rhs))
+
+    def initial_env(self) -> dict[str, int]:
+        """Fresh environment with every declared signal at 0."""
+        return {name: 0 for name in self.module.decls}
+
+    def run(
+        self,
+        stimulus: list[dict[str, int]],
+        record: bool = True,
+        env: dict[str, int] | None = None,
+    ) -> Trace:
+        """Simulate the design under per-cycle input assignments.
+
+        Args:
+            stimulus: One dict per cycle mapping input names to values.
+                Missing inputs hold their previous value.
+            record: When False, skip execution recording (faster; used when
+                only output waveforms are needed).
+            env: Optional pre-initialized environment (resumes state).
+
+        Returns:
+            The completed :class:`Trace`.
+        """
+        env = env if env is not None else self.initial_env()
+        trace = Trace(design=self.module.name, stimulus=[dict(s) for s in stimulus])
+        widths = {n: d.width for n, d in self.module.decls.items()}
+        outputs = self.module.outputs
+
+        for cycle, frame in enumerate(stimulus):
+            for name, value in frame.items():
+                if name not in env:
+                    raise SimulationError(f"stimulus drives unknown input {name!r}")
+                env[name] = truncate(value, widths[name])
+
+            comb_records = self._settle(env, cycle, record)
+            trace.outputs.append({name: env[name] for name in outputs})
+            if record:
+                trace.executions.extend(comb_records)
+
+            seq_records = self._clock_edge(env, cycle, record)
+            if record:
+                trace.executions.extend(seq_records)
+
+        return trace
+
+    # ------------------------------------------------------------------
+    # Scheduling phases
+    # ------------------------------------------------------------------
+    def _settle(
+        self, env: dict[str, int], cycle: int, record: bool
+    ) -> list[StatementExecution]:
+        """Run combinational logic to a fixpoint; return final-pass records."""
+        for _iteration in range(self.MAX_SETTLE_ITERS):
+            before = dict(env)
+            self._comb_pass(env, cycle, record=False)
+            if env == before:
+                break
+        else:
+            raise SimulationError(
+                f"combinational logic did not settle in design {self.module.name!r}"
+            )
+        if not record:
+            return []
+        records: list[StatementExecution] = []
+        self._comb_pass(env, cycle, record=True, records=records)
+        # Deduplicate: keep the last record per statement within the pass.
+        latest: dict[int, StatementExecution] = {}
+        for rec in records:
+            latest[rec.stmt_id] = rec
+        return [latest[sid] for sid in sorted(latest)]
+
+    def _comb_pass(
+        self,
+        env: dict[str, int],
+        cycle: int,
+        record: bool,
+        records: list[StatementExecution] | None = None,
+    ) -> None:
+        """One in-order evaluation pass over all combinational logic."""
+        nba_updates: list[tuple[Assignment, int]] = []
+        for assign in self.module.assigns:
+            self._exec_assign(assign, env, cycle, record, records, nba_updates)
+        for blk in self.comb_blocks:
+            self._exec_stmt(blk.body, env, cycle, record, records, nba_updates)
+        for stmt, value in nba_updates:
+            env[stmt.target.name] = self.evaluator.write_lvalue(stmt.target, value, env)
+
+    def _clock_edge(
+        self, env: dict[str, int], cycle: int, record: bool
+    ) -> list[StatementExecution]:
+        """Fire all clocked blocks and commit non-blocking updates."""
+        records: list[StatementExecution] = [] if record else None  # type: ignore[assignment]
+        nba_updates: list[tuple[Assignment, int]] = []
+        for blk in self.seq_blocks:
+            self._exec_stmt(blk.body, env, cycle, record, records, nba_updates)
+        for stmt, value in nba_updates:
+            env[stmt.target.name] = self.evaluator.write_lvalue(stmt.target, value, env)
+        return records or []
+
+    # ------------------------------------------------------------------
+    # Statement interpreter
+    # ------------------------------------------------------------------
+    def _exec_stmt(
+        self,
+        stmt: Statement,
+        env: dict[str, int],
+        cycle: int,
+        record: bool,
+        records: list[StatementExecution] | None,
+        nba_updates: list[tuple[Assignment, int]],
+    ) -> None:
+        if isinstance(stmt, Block):
+            for child in stmt.statements:
+                self._exec_stmt(child, env, cycle, record, records, nba_updates)
+        elif isinstance(stmt, If):
+            if self.evaluator.eval(stmt.cond, env):
+                self._exec_stmt(stmt.then_stmt, env, cycle, record, records, nba_updates)
+            elif stmt.else_stmt is not None:
+                self._exec_stmt(stmt.else_stmt, env, cycle, record, records, nba_updates)
+        elif isinstance(stmt, Case):
+            self._exec_case(stmt, env, cycle, record, records, nba_updates)
+        elif isinstance(stmt, Assignment):
+            self._exec_assign(stmt, env, cycle, record, records, nba_updates)
+        else:
+            raise SimulationError(f"cannot execute statement {type(stmt).__name__}")
+
+    def _exec_case(
+        self,
+        stmt: Case,
+        env: dict[str, int],
+        cycle: int,
+        record: bool,
+        records: list[StatementExecution] | None,
+        nba_updates: list[tuple[Assignment, int]],
+    ) -> None:
+        subject = self.evaluator.eval(stmt.subject, env)
+        default_body = None
+        for item in stmt.items:
+            if not item.labels:
+                default_body = item.body
+                continue
+            for label in item.labels:
+                if self.evaluator.eval(label, env) == subject:
+                    self._exec_stmt(item.body, env, cycle, record, records, nba_updates)
+                    return
+        if default_body is not None:
+            self._exec_stmt(default_body, env, cycle, record, records, nba_updates)
+
+    def _exec_assign(
+        self,
+        stmt: "Assignment | ContinuousAssign",
+        env: dict[str, int],
+        cycle: int,
+        record: bool,
+        records: list[StatementExecution] | None,
+        nba_updates: list[tuple[Assignment, int]],
+    ) -> None:
+        operand_names = self._operands[stmt.stmt_id]
+        if record and records is not None:
+            operand_values = tuple(
+                self.evaluator.eval_identifier_value(name, env) for name in operand_names
+            )
+        value = self.evaluator.eval(stmt.rhs, env)
+        width = self.evaluator.lvalue_width(stmt.target)
+        value = truncate(value, width)
+        blocking = not isinstance(stmt, Assignment) or stmt.blocking
+        if blocking:
+            env[stmt.target.name] = self.evaluator.write_lvalue(stmt.target, value, env)
+        else:
+            nba_updates.append((stmt, value))
+        if record and records is not None:
+            records.append(
+                StatementExecution(
+                    stmt_id=stmt.stmt_id,
+                    cycle=cycle,
+                    target=stmt.target.name,
+                    operands=operand_names,
+                    operand_values=operand_values,
+                    lhs_value=value,
+                    lhs_width=width,
+                )
+            )

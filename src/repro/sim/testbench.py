@@ -1,0 +1,143 @@
+"""Random testbench (stimulus) generation.
+
+Replaces GoldMine's testbench generator: given a parsed module it
+identifies the clock and reset inputs by naming convention, asserts reset
+for an initial window, and drives every other input with constrained
+random values.  A hold probability keeps signals stable across cycles so
+sequential behaviors (FSM transitions, counters) are actually exercised
+rather than washed out by white noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..verilog.ast_nodes import Module
+
+#: Input names treated as clocks (never randomized).
+CLOCK_NAMES = frozenset({"clk", "clock", "clk_i", "wb_clk_i", "clk_in"})
+
+#: Input names treated as resets, mapped to active level.
+RESET_NAMES: dict[str, int] = {
+    "rst": 1,
+    "reset": 1,
+    "wb_rst_i": 1,
+    "rst_i": 1,
+    "rst_n": 0,
+    "rst_ni": 0,
+    "resetn": 0,
+    "reset_n": 0,
+    "nreset": 0,
+}
+
+
+@dataclass
+class TestbenchConfig:
+    """Knobs for random stimulus generation.
+
+    Attributes:
+        n_cycles: Number of simulated cycles per trace.
+        reset_cycles: Cycles to hold reset active at the start.
+        hold_probability: Per-cycle probability that an input keeps its
+            previous value instead of being re-randomized.
+        one_probability: Probability of each bit being 1 when randomized.
+        forced: Input name -> constant value overrides.
+        biases: Input name -> per-bit one-probability override (used to
+            make rare events such as address matches reachable).
+    """
+
+    n_cycles: int = 30
+    reset_cycles: int = 2
+    hold_probability: float = 0.5
+    one_probability: float = 0.5
+    forced: dict[str, int] = field(default_factory=dict)
+    biases: dict[str, float] = field(default_factory=dict)
+
+
+def identify_clock(module: Module) -> str | None:
+    """Name of the clock input, or None for purely combinational designs."""
+    for name in module.inputs:
+        if name in CLOCK_NAMES:
+            return name
+    return None
+
+
+def identify_reset(module: Module) -> tuple[str, int] | None:
+    """(name, active_level) of the reset input, or None."""
+    for name in module.inputs:
+        if name in RESET_NAMES:
+            return name, RESET_NAMES[name]
+    return None
+
+
+def random_value(width: int, rng: random.Random, one_probability: float = 0.5) -> int:
+    """Random ``width``-bit value with per-bit density ``one_probability``."""
+    value = 0
+    for i in range(width):
+        if rng.random() < one_probability:
+            value |= 1 << i
+    return value
+
+
+def generate_stimulus(
+    module: Module,
+    config: TestbenchConfig | None = None,
+    seed: int = 0,
+) -> list[dict[str, int]]:
+    """Generate one random stimulus (list of per-cycle input frames).
+
+    Clock inputs are held at 0 (the cycle-based simulator implies the
+    edge), the reset input follows the reset window, and all other inputs
+    are constrained-random.
+
+    Args:
+        module: The design to stimulate.
+        config: Generation knobs; defaults to :class:`TestbenchConfig`.
+        seed: RNG seed; the same seed always yields the same stimulus.
+
+    Returns:
+        A list of ``config.n_cycles`` dicts, each driving every input.
+    """
+    config = config or TestbenchConfig()
+    rng = random.Random(seed)
+    clock = identify_clock(module)
+    reset = identify_reset(module)
+    widths = {name: module.decls[name].width for name in module.inputs}
+
+    frames: list[dict[str, int]] = []
+    previous: dict[str, int] = {}
+    for cycle in range(config.n_cycles):
+        frame: dict[str, int] = {}
+        for name in module.inputs:
+            if name == clock:
+                frame[name] = 0
+                continue
+            if reset is not None and name == reset[0]:
+                active, level = cycle < config.reset_cycles, reset[1]
+                frame[name] = level if active else 1 - level
+                continue
+            if name in config.forced:
+                frame[name] = config.forced[name]
+                continue
+            if name in previous and rng.random() < config.hold_probability:
+                frame[name] = previous[name]
+            else:
+                density = config.biases.get(name, config.one_probability)
+                frame[name] = random_value(widths[name], rng, density)
+        previous = frame
+        frames.append(frame)
+    return frames
+
+
+def generate_testbench_suite(
+    module: Module,
+    n_traces: int,
+    config: TestbenchConfig | None = None,
+    seed: int = 0,
+) -> list[list[dict[str, int]]]:
+    """Generate ``n_traces`` independent stimuli with derived seeds."""
+    return [
+        generate_stimulus(module, config, seed=seed * 100003 + idx)
+        for idx in range(n_traces)
+    ]

@@ -1,0 +1,98 @@
+"""Trace containers produced by the simulator.
+
+A :class:`Trace` is the unit of data VeriBug learns from: per-cycle input
+stimulus, per-cycle output values, and — crucially — one
+:class:`StatementExecution` record for every assignment statement that
+actually executed in a cycle, with the values its operands held at
+evaluation time.  This is the "free supervision" of paper §IV-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StatementExecution:
+    """One dynamic execution of an assignment statement.
+
+    Attributes:
+        stmt_id: Stable id of the executed statement.
+        cycle: 0-based simulation cycle.
+        target: Name of the assigned signal.
+        operands: RHS identifier names in first-use order.
+        operand_values: Value of each operand at evaluation time.
+        lhs_value: Value written (for non-blocking: value to be committed).
+        lhs_width: Width of the written slice.
+    """
+
+    stmt_id: int
+    cycle: int
+    target: str
+    operands: tuple[str, ...]
+    operand_values: tuple[int, ...]
+    lhs_value: int
+    lhs_width: int
+
+    @property
+    def operand_map(self) -> dict[str, int]:
+        """Operand name -> value mapping for this execution."""
+        return dict(zip(self.operands, self.operand_values))
+
+
+@dataclass
+class Trace:
+    """A full simulation run of one design under one stimulus."""
+
+    design: str
+    stimulus: list[dict[str, int]] = field(default_factory=list)
+    outputs: list[dict[str, int]] = field(default_factory=list)
+    executions: list[StatementExecution] = field(default_factory=list)
+    is_failure: bool = False
+
+    @property
+    def n_cycles(self) -> int:
+        """Number of simulated cycles."""
+        return len(self.outputs)
+
+    def executions_of(self, stmt_id: int) -> list[StatementExecution]:
+        """All executions of one statement across the trace."""
+        return [e for e in self.executions if e.stmt_id == stmt_id]
+
+    def executed_stmt_ids(self) -> set[int]:
+        """Ids of statements that executed at least once."""
+        return {e.stmt_id for e in self.executions}
+
+    def output_series(self, name: str) -> list[int]:
+        """Per-cycle values of one output signal."""
+        return [frame[name] for frame in self.outputs]
+
+    def diverges_from(self, other: "Trace", signals: list[str] | None = None) -> bool:
+        """True when any (selected) output differs from ``other`` in any cycle.
+
+        Used to classify a mutant trace as failing relative to the golden
+        design simulated under the same stimulus.
+        """
+        if self.n_cycles != other.n_cycles:
+            return True
+        names = signals if signals is not None else sorted(
+            set(self.outputs[0]) & set(other.outputs[0])
+        ) if self.outputs else []
+        for mine, theirs in zip(self.outputs, other.outputs):
+            for name in names:
+                if mine.get(name) != theirs.get(name):
+                    return True
+        return False
+
+    def first_divergence(
+        self, other: "Trace", signals: list[str] | None = None
+    ) -> tuple[int, str] | None:
+        """Return (cycle, signal) of the first output mismatch, or None."""
+        names = signals if signals is not None else sorted(
+            set(self.outputs[0]) & set(other.outputs[0])
+        ) if self.outputs else []
+        for cycle, (mine, theirs) in enumerate(zip(self.outputs, other.outputs)):
+            for name in names:
+                if mine.get(name) != theirs.get(name):
+                    return cycle, name
+        return None

@@ -1,0 +1,74 @@
+"""Two-state value helpers for the simulator.
+
+Signal values are plain non-negative Python integers, always masked to the
+declared width of the signal that holds them.  This module centralizes the
+masking arithmetic so width bugs stay in one place.
+"""
+
+from __future__ import annotations
+
+
+def mask(width: int) -> int:
+    """Return the all-ones mask for ``width`` bits."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (two's-complement wraparound)."""
+    return value & mask(width)
+
+
+def to_bool(value: int) -> int:
+    """Verilog truthiness: 1 when any bit is set, else 0."""
+    return 1 if value != 0 else 0
+
+
+def bit(value: int, index: int) -> int:
+    """Extract a single bit; out-of-range bits read as 0."""
+    if index < 0:
+        return 0
+    return (value >> index) & 1
+
+
+def bits(value: int, msb: int, lsb: int) -> int:
+    """Extract the ``[msb:lsb]`` slice of ``value``."""
+    if msb < lsb:
+        msb, lsb = lsb, msb
+    return (value >> lsb) & mask(msb - lsb + 1)
+
+
+def set_bit(value: int, index: int, bit_value: int) -> int:
+    """Return ``value`` with bit ``index`` replaced by ``bit_value``."""
+    cleared = value & ~(1 << index)
+    return cleared | ((bit_value & 1) << index)
+
+
+def set_bits(value: int, msb: int, lsb: int, field_value: int) -> int:
+    """Return ``value`` with the ``[msb:lsb]`` slice replaced."""
+    if msb < lsb:
+        msb, lsb = lsb, msb
+    width = msb - lsb + 1
+    field_mask = mask(width) << lsb
+    return (value & ~field_mask) | ((field_value & mask(width)) << lsb)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    return bin(value).count("1")
+
+
+def reduce_and(value: int, width: int) -> int:
+    """Verilog reduction AND over ``width`` bits."""
+    return 1 if value == mask(width) else 0
+
+
+def reduce_or(value: int, width: int) -> int:
+    """Verilog reduction OR over ``width`` bits."""
+    return to_bool(value)
+
+
+def reduce_xor(value: int, width: int) -> int:
+    """Verilog reduction XOR over ``width`` bits."""
+    return popcount(truncate(value, width)) & 1

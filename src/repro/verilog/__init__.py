@@ -1,0 +1,75 @@
+"""Verilog-subset frontend: lexer, parser, typed AST, and printer.
+
+This package replaces the parsing layer that the VeriBug paper obtains
+from GoldMine.  The entry point is :func:`parse_module`.
+"""
+
+from .ast_nodes import (
+    AlwaysBlock,
+    Assignment,
+    BinaryOp,
+    BitSelect,
+    Block,
+    Case,
+    CaseItem,
+    Concat,
+    ContinuousAssign,
+    Expr,
+    Identifier,
+    If,
+    Lvalue,
+    Module,
+    NetDecl,
+    Node,
+    Number,
+    ParamDecl,
+    PartSelect,
+    Repeat,
+    SensItem,
+    Statement,
+    Ternary,
+    UnaryOp,
+    collect_identifiers,
+)
+from .errors import LexerError, ParseError, SemanticError, VerilogError
+from .lexer import Lexer
+from .parser import parse_module
+from .printer import format_expr, format_module, format_statement, statement_source
+
+__all__ = [
+    "AlwaysBlock",
+    "Assignment",
+    "BinaryOp",
+    "BitSelect",
+    "Block",
+    "Case",
+    "CaseItem",
+    "Concat",
+    "ContinuousAssign",
+    "Expr",
+    "Identifier",
+    "If",
+    "Lexer",
+    "LexerError",
+    "Lvalue",
+    "Module",
+    "NetDecl",
+    "Node",
+    "Number",
+    "ParamDecl",
+    "ParseError",
+    "PartSelect",
+    "Repeat",
+    "SemanticError",
+    "SensItem",
+    "Statement",
+    "Ternary",
+    "UnaryOp",
+    "VerilogError",
+    "collect_identifiers",
+    "format_expr",
+    "format_module",
+    "format_statement",
+    "parse_module",
+    "statement_source",
+]

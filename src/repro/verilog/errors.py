@@ -1,0 +1,37 @@
+"""Error types raised by the Verilog frontend.
+
+All frontend errors carry a source location (line, column) when one is
+available so that tools built on top of the parser (mutation engine,
+heatmap renderer) can point back at the offending source text.
+"""
+
+from __future__ import annotations
+
+
+class VerilogError(Exception):
+    """Base class for all errors raised by :mod:`repro.verilog`."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.message = message
+        self.line = line
+        self.col = col
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        if self.line is None:
+            return self.message
+        if self.col is None:
+            return f"line {self.line}: {self.message}"
+        return f"line {self.line}, col {self.col}: {self.message}"
+
+
+class LexerError(VerilogError):
+    """Raised when the lexer encounters a character it cannot tokenize."""
+
+
+class ParseError(VerilogError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(VerilogError):
+    """Raised for semantically invalid designs (undeclared names, etc.)."""

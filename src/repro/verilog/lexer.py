@@ -1,0 +1,176 @@
+"""Lexer for the supported Verilog subset.
+
+The lexer is a straightforward hand-rolled scanner.  It understands
+identifiers (including escaped identifiers), sized and unsized numeric
+literals (``8'hFF``, ``4'b10_10``, ``'d5``, ``42``), all operators used by
+the parser, line and block comments, and compiler directives (which are
+skipped, as the subset does not support macros).
+"""
+
+from __future__ import annotations
+
+from .errors import LexerError
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenKind,
+)
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789$")
+_DIGITS = set("0123456789")
+_NUMBER_CONT = _DIGITS | set("abcdefABCDEFxXzZ_?")
+
+
+class Lexer:
+    """Tokenizes Verilog source text.
+
+    Example:
+        >>> toks = Lexer("assign y = a & b;").tokenize()
+        >>> [t.value for t in toks[:-1]]
+        ['assign', 'y', '=', 'a', '&', 'b', ';']
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def tokenize(self) -> list[Token]:
+        """Scan the full input and return the token list (EOF-terminated)."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenKind.EOF, "", self.line, self.col))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif ch == "`":
+                # Compiler directives (`timescale, `define-free subset): skip line.
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self.line, self.col
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise LexerError("unterminated block comment", start_line, start_col)
+
+    def _next_token(self) -> Token:
+        line, col = self.line, self.col
+        ch = self._peek()
+
+        if ch in _IDENT_START:
+            return self._lex_ident(line, col)
+        if ch in _DIGITS:
+            return self._lex_number(line, col)
+        if ch == "'":
+            return self._lex_based_number(line, col, size_text="")
+        if ch == "\\":
+            return self._lex_escaped_ident(line, col)
+
+        for op in MULTI_CHAR_OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.OPERATOR, op, line, col)
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenKind.OPERATOR, ch, line, col)
+        if ch in PUNCTUATION:
+            self._advance()
+            return Token(TokenKind.PUNCT, ch, line, col)
+
+        raise LexerError(f"unexpected character {ch!r}", line, col)
+
+    def _lex_ident(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, col)
+
+    def _lex_escaped_ident(self, line: int, col: int) -> Token:
+        self._advance()  # backslash
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() not in " \t\r\n":
+            self._advance()
+        text = self.source[start : self.pos]
+        if not text:
+            raise LexerError("empty escaped identifier", line, col)
+        return Token(TokenKind.IDENT, text, line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() in _DIGITS | {"_"}:
+            self._advance()
+        size_text = self.source[start : self.pos]
+        self._skip_trivia_within_number()
+        if self._peek() == "'":
+            return self._lex_based_number(line, col, size_text)
+        return Token(TokenKind.NUMBER, size_text, line, col)
+
+    def _skip_trivia_within_number(self) -> None:
+        # Verilog allows whitespace between size and base: "8 'hFF".
+        save = self.pos, self.line, self.col
+        while self.pos < len(self.source) and self._peek() in " \t":
+            self._advance()
+        if self._peek() != "'":
+            self.pos, self.line, self.col = save
+
+    def _lex_based_number(self, line: int, col: int, size_text: str) -> Token:
+        self._advance()  # the apostrophe
+        signed = ""
+        if self._peek() in "sS":
+            signed = self._advance()
+        base = self._peek()
+        if base not in "bBoOdDhH":
+            raise LexerError(f"invalid number base {base!r}", self.line, self.col)
+        self._advance()
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() in _NUMBER_CONT:
+            self._advance()
+        digits = self.source[start : self.pos]
+        if not digits:
+            raise LexerError("number literal has no digits", line, col)
+        text = f"{size_text}'{signed}{base}{digits}"
+        return Token(TokenKind.NUMBER, text, line, col)

@@ -1,0 +1,604 @@
+"""Recursive-descent parser for the supported Verilog subset.
+
+The subset covers the synthesizable constructs used by the VeriBug
+evaluation designs and the random design generator:
+
+* module headers in ANSI (``module m(input a, output reg [1:0] b);``) and
+  non-ANSI (``module m(a, b); input a; ...``) style,
+* ``parameter``/``localparam`` with constant integer values,
+* ``wire``/``reg``/``integer`` declarations with constant ranges,
+* ``assign`` continuous assignments,
+* ``always @(...)`` blocks with ``posedge``/``negedge``/level sensitivity,
+* ``begin/end``, ``if/else``, ``case``/``casez``/``casex``,
+  blocking and non-blocking assignments,
+* the full expression grammar of the subset (see ``_parse_expr``).
+
+Each assignment statement receives a stable ``stmt_id`` in source order.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AlwaysBlock,
+    Assignment,
+    BinaryOp,
+    BitSelect,
+    Block,
+    Case,
+    CaseItem,
+    Concat,
+    ContinuousAssign,
+    Expr,
+    Identifier,
+    If,
+    Lvalue,
+    Module,
+    NetDecl,
+    Node,
+    Number,
+    ParamDecl,
+    PartSelect,
+    Repeat,
+    SensItem,
+    Ternary,
+    UnaryOp,
+)
+from .errors import ParseError, SemanticError
+from .lexer import Lexer
+from .tokens import Token, TokenKind
+
+# Binary operator precedence levels, lowest binds loosest.
+_BINARY_PRECEDENCE = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^", "~^", "^~"),
+    ("&",),
+    ("==", "!=", "===", "!=="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>", "<<<", ">>>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_UNARY_OPS = ("~", "!", "-", "+", "&", "|", "^", "~&", "~|", "~^", "^~")
+
+
+def parse_module(source: str) -> Module:
+    """Parse Verilog source text containing exactly one module.
+
+    Args:
+        source: Verilog source text.
+
+    Returns:
+        The parsed :class:`Module` with stable statement ids assigned.
+
+    Raises:
+        ParseError: On syntax errors.
+        SemanticError: On undeclared identifiers or bad constant expressions.
+    """
+    return Parser(source).parse()
+
+
+class Parser:
+    """Single-module recursive-descent parser."""
+
+    def __init__(self, source: str):
+        self.tokens = Lexer(source).tokenize()
+        self.pos = 0
+        self.module = Module()
+        self._next_stmt_id = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect_keyword(self, word: str) -> Token:
+        tok = self._advance()
+        if not tok.is_keyword(word):
+            raise ParseError(f"expected {word!r}, found {tok.value!r}", tok.line, tok.col)
+        return tok
+
+    def _expect_punct(self, punct: str) -> Token:
+        tok = self._advance()
+        if not tok.is_punct(punct):
+            raise ParseError(f"expected {punct!r}, found {tok.value!r}", tok.line, tok.col)
+        return tok
+
+    def _expect_op(self, op: str) -> Token:
+        tok = self._advance()
+        if not tok.is_op(op):
+            raise ParseError(f"expected {op!r}, found {tok.value!r}", tok.line, tok.col)
+        return tok
+
+    def _expect_ident(self) -> Token:
+        tok = self._advance()
+        if tok.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {tok.value!r}", tok.line, tok.col)
+        return tok
+
+    def _accept_punct(self, punct: str) -> bool:
+        if self._peek().is_punct(punct):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Module structure
+    # ------------------------------------------------------------------
+    def parse(self) -> Module:
+        """Parse the module and return it."""
+        tok = self._expect_keyword("module")
+        self.module.line, self.module.col = tok.line, tok.col
+        self.module.name = self._expect_ident().value
+        self._parse_port_list()
+        self._expect_punct(";")
+        while not self._peek().is_keyword("endmodule"):
+            if self._peek().kind is TokenKind.EOF:
+                raise ParseError("unexpected end of file inside module", self._peek().line)
+            self._parse_module_item()
+        self._expect_keyword("endmodule")
+        self._check_module()
+        return self.module
+
+    def _parse_port_list(self) -> None:
+        if not self._accept_punct("("):
+            return
+        if self._accept_punct(")"):
+            return
+        while True:
+            tok = self._peek()
+            if tok.kind is TokenKind.KEYWORD and tok.value in ("input", "output", "inout"):
+                self._parse_ansi_port()
+            else:
+                self.module.ports.append(self._expect_ident().value)
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+
+    def _parse_ansi_port(self) -> None:
+        direction = self._advance().value
+        kinds = {direction}
+        if self._peek().is_keyword("reg") or self._peek().is_keyword("wire"):
+            kinds.add(self._advance().value)
+        signed = self._accept_keyword("signed")
+        msb, lsb = self._parse_optional_range()
+        name_tok = self._expect_ident()
+        self.module.ports.append(name_tok.value)
+        self._declare(name_tok, frozenset(kinds), msb, lsb, signed)
+        # ANSI style allows subsequent names to reuse the direction/range,
+        # but only when the next token after a comma is an identifier
+        # followed by another comma/close-paren (not a new direction).
+        while self._peek().is_punct(",") and self._peek(1).kind is TokenKind.IDENT:
+            self._advance()  # comma
+            extra = self._expect_ident()
+            self.module.ports.append(extra.value)
+            self._declare(extra, frozenset(kinds), msb, lsb, signed)
+
+    def _parse_module_item(self) -> None:
+        tok = self._peek()
+        if tok.kind is TokenKind.KEYWORD and tok.value in (
+            "input",
+            "output",
+            "inout",
+            "wire",
+            "reg",
+            "integer",
+        ):
+            self._parse_decl()
+        elif tok.is_keyword("parameter") or tok.is_keyword("localparam"):
+            self._parse_param()
+        elif tok.is_keyword("assign"):
+            self._parse_continuous_assign()
+        elif tok.is_keyword("always"):
+            self._parse_always()
+        else:
+            raise ParseError(f"unexpected token {tok.value!r} at module level", tok.line, tok.col)
+
+    def _parse_decl(self) -> None:
+        kinds: set[str] = set()
+        while self._peek().kind is TokenKind.KEYWORD and self._peek().value in (
+            "input",
+            "output",
+            "inout",
+            "wire",
+            "reg",
+            "integer",
+        ):
+            kinds.add(self._advance().value)
+        signed = self._accept_keyword("signed")
+        if kinds == {"integer"}:
+            msb, lsb = 31, 0
+        else:
+            msb, lsb = self._parse_optional_range()
+        while True:
+            name_tok = self._expect_ident()
+            self._declare(name_tok, frozenset(kinds), msb, lsb, signed)
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+
+    def _declare(
+        self, name_tok: Token, kinds: frozenset[str], msb: int, lsb: int, signed: bool
+    ) -> None:
+        name = name_tok.value
+        existing = self.module.decls.get(name)
+        if existing is not None:
+            # Merge non-ANSI split declarations: "output y; reg y;".
+            if existing.width != abs(msb - lsb) + 1 and (msb, lsb) != (0, 0):
+                if existing.width != 1:
+                    raise SemanticError(
+                        f"conflicting ranges for {name!r}", name_tok.line, name_tok.col
+                    )
+                existing.msb, existing.lsb = msb, lsb
+            existing.kinds = existing.kinds | kinds
+            existing.signed = existing.signed or signed
+            return
+        self.module.decls[name] = NetDecl(
+            name=name,
+            kinds=kinds,
+            msb=msb,
+            lsb=lsb,
+            signed=signed,
+            line=name_tok.line,
+            col=name_tok.col,
+        )
+
+    def _parse_optional_range(self) -> tuple[int, int]:
+        if not self._accept_punct("["):
+            return 0, 0
+        msb = self._const_eval(self._parse_expr())
+        self._expect_punct(":")
+        lsb = self._const_eval(self._parse_expr())
+        self._expect_punct("]")
+        return msb, lsb
+
+    def _parse_param(self) -> None:
+        local = self._advance().value == "localparam"
+        # Optional range on parameters is accepted and ignored.
+        if self._peek().is_punct("["):
+            self._parse_optional_range()
+        while True:
+            name_tok = self._expect_ident()
+            self._expect_op("=")
+            value = self._const_eval(self._parse_expr())
+            self.module.params[name_tok.value] = ParamDecl(
+                name=name_tok.value,
+                value=value,
+                local=local,
+                line=name_tok.line,
+                col=name_tok.col,
+            )
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+
+    def _parse_continuous_assign(self) -> None:
+        tok = self._expect_keyword("assign")
+        while True:
+            target = self._parse_lvalue()
+            self._expect_op("=")
+            rhs = self._parse_expr()
+            assign = ContinuousAssign(
+                target=target,
+                rhs=rhs,
+                line=tok.line,
+                col=tok.col,
+                stmt_id=self._take_stmt_id(),
+            )
+            self.module.assigns.append(assign)
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(";")
+
+    def _parse_always(self) -> None:
+        tok = self._expect_keyword("always")
+        self._expect_punct("@")
+        sens: list[SensItem] = []
+        if self._peek().is_op("*"):
+            self._advance()
+        else:
+            self._expect_punct("(")
+            if self._peek().is_op("*"):
+                self._advance()
+            else:
+                while True:
+                    edge = "level"
+                    if self._accept_keyword("posedge"):
+                        edge = "posedge"
+                    elif self._accept_keyword("negedge"):
+                        edge = "negedge"
+                    sig = self._expect_ident().value
+                    sens.append(SensItem(edge=edge, signal=sig))
+                    if not (self._accept_keyword("or") or self._accept_punct(",")):
+                        break
+            self._expect_punct(")")
+        body = self._parse_statement()
+        self.module.always_blocks.append(
+            AlwaysBlock(sens=sens, body=body, line=tok.line, col=tok.col)
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _take_stmt_id(self) -> int:
+        sid = self._next_stmt_id
+        self._next_stmt_id += 1
+        return sid
+
+    def _parse_statement(self) -> "Block | If | Case | Assignment":
+        tok = self._peek()
+        if tok.is_keyword("begin"):
+            return self._parse_block()
+        if tok.is_keyword("if"):
+            return self._parse_if()
+        if tok.kind is TokenKind.KEYWORD and tok.value in ("case", "casez", "casex"):
+            return self._parse_case()
+        if tok.kind is TokenKind.IDENT or tok.is_punct("{"):
+            return self._parse_assignment()
+        raise ParseError(f"unexpected token {tok.value!r} in statement", tok.line, tok.col)
+
+    def _parse_block(self) -> Block:
+        tok = self._expect_keyword("begin")
+        if self._accept_punct(":"):
+            self._expect_ident()  # named blocks: name is ignored
+        statements: list = []
+        while not self._peek().is_keyword("end"):
+            if self._peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated begin/end block", tok.line, tok.col)
+            statements.append(self._parse_statement())
+        self._expect_keyword("end")
+        return Block(statements=statements, line=tok.line, col=tok.col)
+
+    def _parse_if(self) -> If:
+        tok = self._expect_keyword("if")
+        self._expect_punct("(")
+        cond = self._parse_expr()
+        self._expect_punct(")")
+        then_stmt = self._parse_statement()
+        else_stmt = None
+        if self._accept_keyword("else"):
+            else_stmt = self._parse_statement()
+        return If(cond=cond, then_stmt=then_stmt, else_stmt=else_stmt, line=tok.line, col=tok.col)
+
+    def _parse_case(self) -> Case:
+        tok = self._advance()
+        kind = tok.value
+        self._expect_punct("(")
+        subject = self._parse_expr()
+        self._expect_punct(")")
+        items: list[CaseItem] = []
+        while not self._peek().is_keyword("endcase"):
+            if self._peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated case statement", tok.line, tok.col)
+            items.append(self._parse_case_item())
+        self._expect_keyword("endcase")
+        return Case(subject=subject, items=items, kind=kind, line=tok.line, col=tok.col)
+
+    def _parse_case_item(self) -> CaseItem:
+        tok = self._peek()
+        labels: list[Expr] = []
+        if self._accept_keyword("default"):
+            self._accept_punct(":")
+        else:
+            while True:
+                labels.append(self._parse_expr())
+                if not self._accept_punct(","):
+                    break
+            self._expect_punct(":")
+        body = self._parse_statement()
+        return CaseItem(labels=labels, body=body, line=tok.line, col=tok.col)
+
+    def _parse_assignment(self) -> Assignment:
+        tok = self._peek()
+        target = self._parse_lvalue()
+        op = self._advance()
+        if op.is_op("="):
+            blocking = True
+        elif op.is_op("<="):
+            blocking = False
+        else:
+            raise ParseError(f"expected '=' or '<=', found {op.value!r}", op.line, op.col)
+        rhs = self._parse_expr()
+        self._expect_punct(";")
+        return Assignment(
+            target=target,
+            rhs=rhs,
+            blocking=blocking,
+            line=tok.line,
+            col=tok.col,
+            stmt_id=self._take_stmt_id(),
+        )
+
+    def _parse_lvalue(self) -> Lvalue:
+        tok = self._expect_ident()
+        lv = Lvalue(name=tok.value, line=tok.line, col=tok.col)
+        if self._accept_punct("["):
+            first = self._parse_expr()
+            if self._accept_punct(":"):
+                lv.msb = first
+                lv.lsb = self._parse_expr()
+            else:
+                lv.index = first
+            self._expect_punct("]")
+        return lv
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_binary(0)
+        if self._peek().is_op("?"):
+            tok = self._advance()
+            then = self._parse_ternary()
+            self._expect_punct(":")
+            otherwise = self._parse_ternary()
+            return Ternary(cond=cond, then=then, otherwise=otherwise, line=tok.line, col=tok.col)
+        return cond
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_BINARY_PRECEDENCE):
+            return self._parse_unary()
+        ops = _BINARY_PRECEDENCE[level]
+        left = self._parse_binary(level + 1)
+        while self._peek().kind is TokenKind.OPERATOR and self._peek().value in ops:
+            # "<=" is an operator only inside expressions; at statement level
+            # it is the non-blocking assignment token.  The statement parser
+            # consumes it before ever reaching here, so no ambiguity remains.
+            tok = self._advance()
+            right = self._parse_binary(level + 1)
+            left = BinaryOp(op=tok.value, left=left, right=right, line=tok.line, col=tok.col)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.OPERATOR and tok.value in _UNARY_OPS:
+            self._advance()
+            operand = self._parse_unary()
+            return UnaryOp(op=tok.value, operand=operand, line=tok.line, col=tok.col)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        tok = self._peek()
+        if tok.is_punct("("):
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_punct(")")
+            return expr
+        if tok.is_punct("{"):
+            return self._parse_concat()
+        if tok.kind is TokenKind.NUMBER:
+            self._advance()
+            value, width = _parse_number_literal(tok)
+            return Number(value=value, width=width, text=tok.value, line=tok.line, col=tok.col)
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            ident = Identifier(name=tok.value, line=tok.line, col=tok.col)
+            if self._peek().is_punct("["):
+                self._advance()
+                first = self._parse_expr()
+                if self._accept_punct(":"):
+                    lsb = self._parse_expr()
+                    self._expect_punct("]")
+                    return PartSelect(base=ident, msb=first, lsb=lsb, line=tok.line, col=tok.col)
+                self._expect_punct("]")
+                return BitSelect(base=ident, index=first, line=tok.line, col=tok.col)
+            return ident
+        raise ParseError(f"unexpected token {tok.value!r} in expression", tok.line, tok.col)
+
+    def _parse_concat(self) -> Expr:
+        tok = self._expect_punct("{")
+        first = self._parse_expr()
+        if self._peek().is_punct("{"):
+            # Replication: {count{expr}}
+            self._advance()
+            value = self._parse_expr()
+            self._expect_punct("}")
+            self._expect_punct("}")
+            return Repeat(count=first, value=value, line=tok.line, col=tok.col)
+        parts = [first]
+        while self._accept_punct(","):
+            parts.append(self._parse_expr())
+        self._expect_punct("}")
+        return Concat(parts=parts, line=tok.line, col=tok.col)
+
+    # ------------------------------------------------------------------
+    # Constant evaluation and semantic checks
+    # ------------------------------------------------------------------
+    def _const_eval(self, expr: Expr) -> int:
+        """Evaluate a constant expression using declared parameters."""
+        if isinstance(expr, Number):
+            return expr.value
+        if isinstance(expr, Identifier):
+            param = self.module.params.get(expr.name)
+            if param is None:
+                raise SemanticError(
+                    f"{expr.name!r} is not a constant parameter", expr.line, expr.col
+                )
+            return param.value
+        if isinstance(expr, UnaryOp):
+            val = self._const_eval(expr.operand)
+            table = {
+                "-": lambda v: -v,
+                "+": lambda v: v,
+                "~": lambda v: ~v,
+                "!": lambda v: int(v == 0),
+            }
+            if expr.op not in table:
+                raise SemanticError(f"operator {expr.op!r} not allowed in constants", expr.line)
+            return table[expr.op](val)
+        if isinstance(expr, BinaryOp):
+            lhs = self._const_eval(expr.left)
+            rhs = self._const_eval(expr.right)
+            table = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "/": lambda a, b: a // b if b else 0,
+                "%": lambda a, b: a % b if b else 0,
+                "<<": lambda a, b: a << b,
+                ">>": lambda a, b: a >> b,
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+            }
+            if expr.op not in table:
+                raise SemanticError(f"operator {expr.op!r} not allowed in constants", expr.line)
+            return table[expr.op](lhs, rhs)
+        raise SemanticError("expression is not constant", expr.line, expr.col)
+
+    def _check_module(self) -> None:
+        """Verify every referenced identifier is declared."""
+        known = set(self.module.decls) | set(self.module.params)
+        for node in self._all_nodes():
+            if isinstance(node, Identifier) and node.name not in known:
+                raise SemanticError(f"undeclared identifier {node.name!r}", node.line, node.col)
+            if isinstance(node, Lvalue) and node.name not in self.module.decls:
+                raise SemanticError(f"assignment to undeclared {node.name!r}", node.line, node.col)
+
+    def _all_nodes(self):
+        for assign in self.module.assigns:
+            yield from assign.walk()
+        for blk in self.module.always_blocks:
+            yield from blk.body.walk()
+
+
+def _parse_number_literal(tok: Token) -> tuple[int, int | None]:
+    """Decode a numeric literal token into (value, width-or-None)."""
+    text = tok.value.replace("_", "")
+    if "'" not in text:
+        return int(text), None
+    size_text, rest = text.split("'", 1)
+    if rest and rest[0] in "sS":
+        rest = rest[1:]
+    base_char, digits = rest[0].lower(), rest[1:]
+    bases = {"b": 2, "o": 8, "d": 10, "h": 16}
+    base = bases[base_char]
+    # Two-state semantics: x/z/? digits are folded to 0.
+    cleaned = "".join("0" if c in "xXzZ?" else c for c in digits)
+    try:
+        value = int(cleaned, base)
+    except ValueError as exc:
+        raise ParseError(f"bad number literal {tok.value!r}", tok.line, tok.col) from exc
+    width = int(size_text) if size_text else None
+    if width is not None:
+        value &= (1 << width) - 1
+    return value, width

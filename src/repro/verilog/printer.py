@@ -1,0 +1,185 @@
+"""Pretty-printer: AST back to Verilog source text.
+
+Round-tripping through :func:`repro.verilog.parser.parse_module` and
+:func:`format_module` is stable (print(parse(print(ast))) == print(ast)),
+which the property-based tests rely on.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    AlwaysBlock,
+    Assignment,
+    BinaryOp,
+    BitSelect,
+    Block,
+    Case,
+    Concat,
+    ContinuousAssign,
+    Expr,
+    Identifier,
+    If,
+    Lvalue,
+    Module,
+    Node,
+    Number,
+    PartSelect,
+    Repeat,
+    Statement,
+    Ternary,
+    UnaryOp,
+)
+
+# Precedence used to decide where parentheses are required.  Higher binds
+# tighter.  Mirrors the parser's precedence table.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "~^": 4,
+    "^~": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "===": 6,
+    "!==": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "<<<": 8,
+    ">>>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+_UNARY_PRECEDENCE = 11
+
+
+def format_expr(expr: Expr) -> str:
+    """Render an expression to Verilog source text."""
+    return _format_expr(expr, parent_prec=0)
+
+
+def _format_expr(expr: Expr, parent_prec: int) -> str:
+    if isinstance(expr, Identifier):
+        return expr.name
+    if isinstance(expr, Number):
+        if expr.width is not None:
+            return f"{expr.width}'d{expr.value}"
+        return str(expr.value)
+    if isinstance(expr, UnaryOp):
+        inner = _format_expr(expr.operand, _UNARY_PRECEDENCE)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec > _UNARY_PRECEDENCE else text
+    if isinstance(expr, BinaryOp):
+        prec = _PRECEDENCE[expr.op]
+        left = _format_expr(expr.left, prec)
+        right = _format_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, Ternary):
+        cond = _format_expr(expr.cond, 1)
+        then = _format_expr(expr.then, 0)
+        other = _format_expr(expr.otherwise, 0)
+        text = f"{cond} ? {then} : {other}"
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, BitSelect):
+        return f"{expr.base.name}[{format_expr(expr.index)}]"
+    if isinstance(expr, PartSelect):
+        return f"{expr.base.name}[{format_expr(expr.msb)}:{format_expr(expr.lsb)}]"
+    if isinstance(expr, Concat):
+        return "{" + ", ".join(format_expr(p) for p in expr.parts) + "}"
+    if isinstance(expr, Repeat):
+        return "{" + format_expr(expr.count) + "{" + format_expr(expr.value) + "}}"
+    raise TypeError(f"cannot format expression node {type(expr).__name__}")
+
+
+def format_lvalue(lv: Lvalue) -> str:
+    """Render an assignment target to source text."""
+    if lv.index is not None:
+        return f"{lv.name}[{format_expr(lv.index)}]"
+    if lv.msb is not None and lv.lsb is not None:
+        return f"{lv.name}[{format_expr(lv.msb)}:{format_expr(lv.lsb)}]"
+    return lv.name
+
+
+def format_statement(stmt: Node, indent: int = 0) -> str:
+    """Render a procedural statement (recursively) to source text."""
+    pad = "    " * indent
+    if isinstance(stmt, Assignment):
+        op = "=" if stmt.blocking else "<="
+        return f"{pad}{format_lvalue(stmt.target)} {op} {format_expr(stmt.rhs)};"
+    if isinstance(stmt, Block):
+        lines = [f"{pad}begin"]
+        lines.extend(format_statement(s, indent + 1) for s in stmt.statements)
+        lines.append(f"{pad}end")
+        return "\n".join(lines)
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({format_expr(stmt.cond)})"]
+        lines.append(format_statement(stmt.then_stmt, indent + 1))
+        if stmt.else_stmt is not None:
+            lines.append(f"{pad}else")
+            lines.append(format_statement(stmt.else_stmt, indent + 1))
+        return "\n".join(lines)
+    if isinstance(stmt, Case):
+        lines = [f"{pad}{stmt.kind} ({format_expr(stmt.subject)})"]
+        for item in stmt.items:
+            if item.labels:
+                label = ", ".join(format_expr(lbl) for lbl in item.labels)
+            else:
+                label = "default"
+            lines.append(f"{pad}    {label}:")
+            lines.append(format_statement(item.body, indent + 2))
+        lines.append(f"{pad}endcase")
+        return "\n".join(lines)
+    raise TypeError(f"cannot format statement node {type(stmt).__name__}")
+
+
+def format_module(module: Module) -> str:
+    """Render a full module to Verilog source text."""
+    lines = [f"module {module.name} ({', '.join(module.ports)});"]
+    for param in module.params.values():
+        kw = "localparam" if param.local else "parameter"
+        lines.append(f"    {kw} {param.name} = {param.value};")
+    for decl in module.decls.values():
+        kinds = []
+        for kind in ("input", "output", "inout", "wire", "reg", "integer"):
+            if kind in decl.kinds:
+                kinds.append(kind)
+        rng = f" [{decl.msb}:{decl.lsb}]" if decl.width > 1 else ""
+        signed = " signed" if decl.signed else ""
+        lines.append(f"    {' '.join(kinds)}{signed}{rng} {decl.name};")
+    lines.append("")
+    for assign in module.assigns:
+        lines.append(
+            f"    assign {format_lvalue(assign.target)} = {format_expr(assign.rhs)};"
+        )
+    for blk in module.always_blocks:
+        if not blk.sens:
+            sens_text = "@(*)"
+        else:
+            parts = []
+            for item in blk.sens:
+                prefix = f"{item.edge} " if item.edge != "level" else ""
+                parts.append(f"{prefix}{item.signal}")
+            sens_text = "@(" + " or ".join(parts) + ")"
+        lines.append(f"    always {sens_text}")
+        lines.append(format_statement(blk.body, indent=2))
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def statement_source(stmt: Statement) -> str:
+    """One-line source form of an assignment statement (for heatmaps)."""
+    if isinstance(stmt, ContinuousAssign):
+        return f"assign {format_lvalue(stmt.target)} = {format_expr(stmt.rhs)};"
+    if isinstance(stmt, Assignment):
+        op = "=" if stmt.blocking else "<="
+        return f"{format_lvalue(stmt.target)} {op} {format_expr(stmt.rhs)};"
+    raise TypeError(f"not an assignment statement: {type(stmt).__name__}")

@@ -1,0 +1,107 @@
+"""Token definitions for the Verilog-subset lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    """Kinds of lexical tokens produced by :class:`repro.verilog.lexer.Lexer`."""
+
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+#: Reserved words of the supported Verilog subset.
+KEYWORDS = frozenset(
+    {
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "inout",
+        "wire",
+        "reg",
+        "integer",
+        "parameter",
+        "localparam",
+        "assign",
+        "always",
+        "posedge",
+        "negedge",
+        "or",
+        "if",
+        "else",
+        "case",
+        "casez",
+        "casex",
+        "endcase",
+        "default",
+        "begin",
+        "end",
+        "signed",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can greedily match.
+MULTI_CHAR_OPERATORS = (
+    "<<<",
+    ">>>",
+    "===",
+    "!==",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "~&",
+    "~|",
+    "~^",
+    "^~",
+)
+
+#: Single-character operators.
+SINGLE_CHAR_OPERATORS = "+-*/%&|^~!<>?="
+
+#: Punctuation characters.
+PUNCTUATION = "()[]{},;:@#."
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: The token category.
+        value: The exact source text of the token.
+        line: 1-based source line.
+        col: 1-based source column.
+    """
+
+    kind: TokenKind
+    value: str
+    line: int
+    col: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Return True when this token is the keyword ``word``."""
+        return self.kind is TokenKind.KEYWORD and self.value == word
+
+    def is_op(self, op: str) -> bool:
+        """Return True when this token is the operator ``op``."""
+        return self.kind is TokenKind.OPERATOR and self.value == op
+
+    def is_punct(self, punct: str) -> bool:
+        """Return True when this token is the punctuation ``punct``."""
+        return self.kind is TokenKind.PUNCT and self.value == punct
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.kind.value}({self.value!r}@{self.line}:{self.col})"

@@ -1,0 +1,109 @@
+"""Shared fixtures.
+
+Expensive artifacts (trained model, simulated corpus) are session-scoped
+so the suite stays fast while still exercising real end-to-end behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BatchEncoder, VeriBugConfig, VeriBugModel, Vocabulary
+from repro.pipeline import CorpusSpec, generate_corpus_samples, train_pipeline
+from repro.verilog import parse_module
+
+ARBITER_SOURCE = """
+module arb (clk, rst_n, req1, req2, gnt1, gnt2);
+    input clk, rst_n, req1, req2;
+    output reg gnt1, gnt2;
+    reg state;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) state <= 1'b0;
+        else state <= ~state;
+    end
+    always @(*) begin
+        if (state) begin
+            gnt1 = req1 & ~req2;
+            gnt2 = req2;
+        end else begin
+            gnt1 = req1;
+            gnt2 = ~req1 & req2;
+        end
+    end
+endmodule
+"""
+
+
+@pytest.fixture
+def arbiter():
+    """The paper's running example: a tiny two-request arbiter."""
+    return parse_module(ARBITER_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def vocab():
+    return Vocabulary()
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    """Small-but-real hyper-parameters for fast tests."""
+    return VeriBugConfig(
+        dc=8, da=12, node_embed_dim=8, predictor_hidden=12, epochs=3, batch_size=32
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_samples(tiny_config):
+    """A small simulated RVDG corpus."""
+    return generate_corpus_samples(
+        CorpusSpec(n_designs=3, n_traces_per_design=2, n_cycles=12), seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_pipeline(tmp_path_factory):
+    """A paper-scale trained pipeline shared by explainer/localizer tests.
+
+    Trained once per machine (~70 s) and cached on disk: later sessions
+    reload the weights in under a second.  The cache key includes the
+    config so changing hyper-parameters invalidates it.
+    """
+    import pathlib
+
+    from repro.core import BugLocalizer
+    from repro.nn import load_state, save_state
+    from repro.pipeline import TrainedPipeline
+
+    config = VeriBugConfig(epochs=30)
+    corpus = CorpusSpec(n_designs=16, n_traces_per_design=4, n_cycles=25)
+    cache_dir = pathlib.Path(__file__).parent / ".cache"
+    cache_dir.mkdir(exist_ok=True)
+    key = f"model_e{config.epochs}_d{corpus.n_designs}_s1.npz"
+    cache = cache_dir / key
+
+    if cache.exists():
+        vocab = Vocabulary()
+        model = VeriBugModel(config, vocab)
+        load_state(model, cache)
+        encoder = BatchEncoder(vocab)
+        return TrainedPipeline(
+            model=model,
+            encoder=encoder,
+            localizer=BugLocalizer(model, encoder, config),
+            config=config,
+        )
+    pipeline = train_pipeline(config, corpus, seed=1, evaluate=False)
+    save_state(pipeline.model, cache)
+    return pipeline
+
+
+@pytest.fixture
+def fresh_model(tiny_config, vocab):
+    """An untrained model (deterministic init)."""
+    return VeriBugModel(tiny_config, vocab)
+
+
+@pytest.fixture
+def encoder(vocab):
+    return BatchEncoder(vocab)

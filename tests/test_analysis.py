@@ -1,0 +1,202 @@
+"""Tests for VDG, CDFG, COI, and slicing."""
+
+import pytest
+
+from repro.analysis import (
+    build_cdfg,
+    build_coi_graph,
+    build_vdg,
+    compute_dynamic_slice,
+    compute_static_slice,
+    cone_of_influence,
+    dependency_cone,
+    slice_statements,
+    stmt_nodes,
+)
+from repro.sim import Simulator
+from repro.verilog import parse_module
+
+
+class TestVDG:
+    def test_data_edges(self, arbiter):
+        vdg = build_vdg(arbiter)
+        assert vdg.has_edge("req1", "gnt1")
+        assert vdg.has_edge("req2", "gnt1")
+
+    def test_control_edges(self, arbiter):
+        vdg = build_vdg(arbiter)
+        assert vdg.has_edge("state", "gnt1")
+        assert "control" in vdg.edges["state", "gnt1"]["etype"]
+
+    def test_control_edge_from_reset(self, arbiter):
+        vdg = build_vdg(arbiter)
+        assert vdg.has_edge("rst_n", "state")
+
+    def test_data_plus_control_label(self):
+        m = parse_module(
+            "module t(a, y); input a; output reg y;"
+            " always @(*) if (a) y = a; else y = 1'b0; endmodule"
+        )
+        vdg = build_vdg(m)
+        assert vdg.edges["a", "y"]["etype"] == "data+control"
+
+    def test_case_subject_is_control(self):
+        m = parse_module(
+            "module t(s, y); input [1:0] s; output reg y;"
+            " always @(*) case (s) default: y = 1'b1; endcase endmodule"
+        )
+        vdg = build_vdg(m)
+        assert vdg.has_edge("s", "y")
+
+    def test_lvalue_index_is_data_dep(self):
+        m = parse_module(
+            "module t(i, y); input [1:0] i; output reg [3:0] y;"
+            " always @(*) y[i] = 1'b1; endmodule"
+        )
+        vdg = build_vdg(m)
+        assert vdg.has_edge("i", "y")
+
+    def test_parameters_excluded(self):
+        m = parse_module(
+            "module t(a, y); parameter P = 1; input a; output y;"
+            " assign y = a & P; endmodule"
+        )
+        vdg = build_vdg(m)
+        assert "P" not in vdg
+
+    def test_dependency_cone(self, arbiter):
+        vdg = build_vdg(arbiter)
+        cone = dependency_cone(vdg, "gnt1")
+        assert cone == {"gnt1", "req1", "req2", "state", "rst_n"}
+
+    def test_dependency_cone_includes_target(self, arbiter):
+        vdg = build_vdg(arbiter)
+        assert "gnt2" in dependency_cone(vdg, "gnt2")
+
+    def test_dependency_cone_unknown_target(self, arbiter):
+        with pytest.raises(KeyError):
+            dependency_cone(build_vdg(arbiter), "ghost")
+
+
+class TestCDFG:
+    def test_stmt_nodes_cover_all_statements(self, arbiter):
+        cdfg = build_cdfg(arbiter)
+        mapping = stmt_nodes(cdfg)
+        assert set(mapping) == {s.stmt_id for s in arbiter.statements()}
+
+    def test_branch_nodes_exist(self, arbiter):
+        cdfg = build_cdfg(arbiter)
+        kinds = {attrs["kind"] for _n, attrs in cdfg.nodes(data=True)}
+        assert "branch" in kinds and "merge" in kinds
+
+    def test_data_edge_between_statements(self):
+        m = parse_module(
+            "module t(a, y); input a; output y; wire mid;"
+            " assign mid = ~a; assign y = mid; endmodule"
+        )
+        cdfg = build_cdfg(m)
+        data_edges = [
+            (u, v)
+            for u, v, attrs in cdfg.edges(data=True)
+            if attrs.get("etype") == "data"
+        ]
+        assert ("stmt_0", "stmt_1") in data_edges
+
+    def test_branch_edge_labels(self):
+        m = parse_module(
+            "module t(a, y); input a; output reg y;"
+            " always @(*) if (a) y = 1'b1; else y = 1'b0; endmodule"
+        )
+        cdfg = build_cdfg(m)
+        labels = {
+            attrs.get("label")
+            for _u, _v, attrs in cdfg.edges(data=True)
+            if "label" in attrs
+        }
+        assert "true" in labels
+
+    def test_case_without_default_falls_through(self):
+        m = parse_module(
+            "module t(s, y); input [1:0] s; output reg y;"
+            " always @(*) case (s) 2'd0: y = 1'b1; endcase endmodule"
+        )
+        cdfg = build_cdfg(m)  # must not raise
+        assert stmt_nodes(cdfg)
+
+
+class TestCOI:
+    def test_same_cycle_comb_dependence(self, arbiter):
+        graph = build_coi_graph(arbiter, 2)
+        assert graph.has_edge(("req1", 0), ("gnt1", 0))
+
+    def test_cross_cycle_seq_dependence(self, arbiter):
+        graph = build_coi_graph(arbiter, 2)
+        assert graph.has_edge(("state", 0), ("state", 1))
+
+    def test_no_seq_edge_at_cycle_zero(self, arbiter):
+        graph = build_coi_graph(arbiter, 2)
+        assert not any(src[1] < 0 for src, _dst in graph.edges)
+
+    def test_cone_of_influence_grows_with_depth(self, arbiter):
+        shallow = cone_of_influence(arbiter, "gnt1", 1)
+        deep = cone_of_influence(arbiter, "gnt1", 3)
+        assert len(deep) > len(shallow)
+
+    def test_cone_includes_goal(self, arbiter):
+        cone = cone_of_influence(arbiter, "gnt1", 2)
+        assert ("gnt1", 1) in cone
+
+    def test_bad_depth_raises(self, arbiter):
+        with pytest.raises(ValueError):
+            build_coi_graph(arbiter, 0)
+
+    def test_unknown_target_raises(self, arbiter):
+        with pytest.raises(KeyError):
+            cone_of_influence(arbiter, "ghost", 2)
+
+
+class TestSlicing:
+    def test_static_slice_statements(self, arbiter):
+        sl = compute_static_slice(arbiter, "gnt1")
+        targets = {arbiter.statement_by_id(sid).target.name for sid in sl.stmt_ids}
+        assert targets == {"gnt1", "state"}
+
+    def test_static_slice_excludes_other_output(self, arbiter):
+        sl = compute_static_slice(arbiter, "gnt1")
+        gnt2_stmts = {
+            s.stmt_id for s in arbiter.statements() if s.target.name == "gnt2"
+        }
+        assert not (sl.stmt_ids & gnt2_stmts)
+
+    def test_slice_statements_ordered(self, arbiter):
+        sl = compute_static_slice(arbiter, "gnt1")
+        stmts = slice_statements(arbiter, sl)
+        assert [s.stmt_id for s in stmts] == sorted(s.stmt_id for s in stmts)
+
+    def test_dynamic_slice_excludes_untaken(self, arbiter):
+        sl = compute_static_slice(arbiter, "gnt1")
+        sim = Simulator(arbiter)
+        trace = sim.run([{"clk": 0, "rst_n": 1, "req1": 1, "req2": 0}])
+        dyn = compute_dynamic_slice(sl, trace)
+        # state=0 -> only the else-branch gnt1 stmt (id 4) executes.
+        assert 4 in dyn.stmt_ids
+        assert 2 not in dyn.stmt_ids
+
+    def test_dynamic_slice_subset_of_static(self, arbiter):
+        sl = compute_static_slice(arbiter, "gnt1")
+        sim = Simulator(arbiter)
+        trace = sim.run(
+            [{"clk": 0, "rst_n": 1, "req1": 1, "req2": 1} for _ in range(4)]
+        )
+        dyn = compute_dynamic_slice(sl, trace)
+        assert dyn.stmt_ids <= sl.stmt_ids
+
+    def test_dynamic_slice_execution_order(self, arbiter):
+        sl = compute_static_slice(arbiter, "gnt1")
+        sim = Simulator(arbiter)
+        trace = sim.run(
+            [{"clk": 0, "rst_n": 1, "req1": 1, "req2": 0} for _ in range(3)]
+        )
+        dyn = compute_dynamic_slice(sl, trace)
+        cycles = [e.cycle for e in dyn.executions]
+        assert cycles == sorted(cycles)

@@ -1,0 +1,146 @@
+"""Tests for AST operand-context extraction (paper §IV-B / Figure 2)."""
+
+import pytest
+
+from repro.analysis import extract_module_contexts, extract_statement_context
+from repro.verilog import parse_module
+
+
+def stmt_of(source: str, stmt_id: int = 0):
+    return parse_module(source).statement_by_id(stmt_id)
+
+
+class TestFigure2Example:
+    """The paper's worked example must reproduce exactly."""
+
+    SOURCE = (
+        "module t(req1, req2, gnt1); input req1, req2; output reg gnt1;"
+        " always @(*) gnt1 = req1 & ~req2; endmodule"
+    )
+
+    def test_req1_context(self):
+        ctx = extract_statement_context(stmt_of(self.SOURCE))
+        req1_paths = ctx.contexts[0]
+        assert ("And", "Not") in req1_paths
+        assert ("And", "Rvalue", "BlockingAssignment", "Lvalue") in req1_paths
+
+    def test_req2_context(self):
+        ctx = extract_statement_context(stmt_of(self.SOURCE))
+        req2_paths = ctx.contexts[1]
+        assert ("Not", "And") in req2_paths
+        assert ("Not", "And", "Rvalue", "BlockingAssignment", "Lvalue") in req2_paths
+
+    def test_operand_order(self):
+        ctx = extract_statement_context(stmt_of(self.SOURCE))
+        assert ctx.operand_names() == ("req1", "req2")
+
+    def test_metadata(self):
+        ctx = extract_statement_context(stmt_of(self.SOURCE))
+        assert ctx.target == "gnt1"
+        assert ctx.assign_type == "BlockingAssignment"
+        assert ctx.n_operands == 2
+
+
+class TestOtherShapes:
+    def test_single_operand_has_lvalue_path(self):
+        ctx = extract_statement_context(
+            stmt_of(
+                "module t(a, y); input a; output reg y;"
+                " always @(*) y = a; endmodule"
+            )
+        )
+        assert ctx.contexts[0] == [("Rvalue", "BlockingAssignment", "Lvalue")]
+
+    def test_nonblocking_assignment_type(self):
+        ctx = extract_statement_context(
+            stmt_of(
+                "module t(clk, a, y); input clk, a; output reg y;"
+                " always @(posedge clk) y <= a; endmodule"
+            )
+        )
+        assert ctx.assign_type == "NonBlockingAssignment"
+        assert ctx.contexts[0][0][-2] == "NonBlockingAssignment"
+
+    def test_continuous_assign_type(self):
+        ctx = extract_statement_context(
+            stmt_of("module t(a, y); input a; output y; assign y = a; endmodule")
+        )
+        assert ctx.assign_type == "ContinuousAssign"
+
+    def test_repeated_operand_instances(self):
+        ctx = extract_statement_context(
+            stmt_of(
+                "module t(a, b, y); input a, b; output reg y;"
+                " always @(*) y = a & b | a; endmodule"
+            )
+        )
+        assert ctx.operand_names() == ("a", "b", "a")
+        assert ctx.operands[0].occurrence == 0
+        assert ctx.operands[2].occurrence == 1
+
+    def test_constant_leaf_reachable(self):
+        ctx = extract_statement_context(
+            stmt_of(
+                "module t(a, y); input [1:0] a; output reg y;"
+                " always @(*) y = a == 2'd2; endmodule"
+            )
+        )
+        # path from a to the constant ends just above the Constant leaf
+        assert ("Equal",) in ctx.contexts[0]
+
+    def test_ternary_paths(self):
+        ctx = extract_statement_context(
+            stmt_of(
+                "module t(c, a, b, y); input c, a, b; output reg y;"
+                " always @(*) y = c ? a : b; endmodule"
+            )
+        )
+        names = ctx.operand_names()
+        assert names == ("c", "a", "b")
+        c_paths = ctx.contexts[0]
+        assert ("Conditional",) in c_paths  # to each sibling leaf
+
+    def test_no_operand_statement(self):
+        ctx = extract_statement_context(
+            stmt_of(
+                "module t(y); output reg y; always @(*) y = 1'b0; endmodule"
+            )
+        )
+        assert ctx.n_operands == 0
+
+    def test_deep_nesting_path_length(self):
+        ctx = extract_statement_context(
+            stmt_of(
+                "module t(a, b, c, d, y); input a, b, c, d; output reg y;"
+                " always @(*) y = ((a & b) | (c & d)) ^ a; endmodule"
+            )
+        )
+        # first 'a' is 3 levels deep: And, Or, Xor then Rvalue chain.
+        lvalue_path = [p for p in ctx.contexts[0] if p[-1] == "Lvalue"][0]
+        assert lvalue_path == (
+            "And",
+            "Or",
+            "Xor",
+            "Rvalue",
+            "BlockingAssignment",
+            "Lvalue",
+        )
+
+    def test_rejects_non_assignment(self, arbiter):
+        with pytest.raises(TypeError):
+            extract_statement_context(arbiter.always_blocks[0].body)
+
+    def test_extract_module_contexts_keys(self, arbiter):
+        contexts = extract_module_contexts(arbiter.statements())
+        assert set(contexts) == {s.stmt_id for s in arbiter.statements()}
+
+    def test_bitselect_in_path(self):
+        ctx = extract_statement_context(
+            stmt_of(
+                "module t(a, i, y); input [3:0] a; input [1:0] i;"
+                " output reg y; always @(*) y = a[i]; endmodule"
+            )
+        )
+        assert ctx.operand_names() == ("a", "i")
+        a_paths = ctx.contexts[0]
+        assert ("BitSelect",) in a_paths

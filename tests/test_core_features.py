@@ -1,0 +1,170 @@
+"""Tests for the vocabulary, value encoder, and batch encoder."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_module_contexts, extract_statement_context
+from repro.core import (
+    BatchEncoder,
+    Sample,
+    ValueEncoder,
+    Vocabulary,
+    build_samples,
+    sample_from_execution,
+    train_test_split,
+)
+from repro.sim import Simulator
+from repro.verilog import parse_module
+
+
+class TestVocabulary:
+    def test_deterministic_across_instances(self):
+        v1, v2 = Vocabulary(), Vocabulary()
+        assert [v1.decode(i) for i in range(len(v1))] == [
+            v2.decode(i) for i in range(len(v2))
+        ]
+
+    def test_pad_and_unk_reserved(self, vocab):
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.decode(0) == "<pad>"
+
+    def test_known_types_encoded(self, vocab):
+        for node_type in ("And", "Or", "Not", "Lvalue", "Rvalue", "BlockingAssignment"):
+            assert vocab.encode(node_type) > 1
+
+    def test_unknown_type_maps_to_unk(self, vocab):
+        assert vocab.encode("Banana") == vocab.unk_id
+
+    def test_encode_path(self, vocab):
+        ids = vocab.encode_path(("And", "Not"))
+        assert len(ids) == 2 and all(i > 1 for i in ids)
+
+    def test_pad_paths_shapes_and_mask(self, vocab):
+        tokens, mask = vocab.pad_paths([[2, 3], [4]])
+        assert tokens.shape == (2, 2)
+        assert mask.tolist() == [[1.0, 1.0], [1.0, 0.0]]
+        assert tokens[1, 1] == vocab.pad_id
+
+    def test_pad_paths_empty(self, vocab):
+        tokens, mask = vocab.pad_paths([])
+        assert tokens.shape[0] == 0
+
+
+class TestValueEncoder:
+    @pytest.mark.parametrize(
+        "value,bucket", [(0, 0), (1, 1), (2, 2), (255, 2), (256, 3), (1 << 20, 3)]
+    )
+    def test_buckets(self, value, bucket):
+        assert ValueEncoder().encode(value) == bucket
+
+    def test_one_hot_shape(self):
+        out = ValueEncoder().one_hot(np.array([0, 1, 300]))
+        assert out.shape == (3, 4)
+        assert out.sum(axis=1).tolist() == [1.0, 1.0, 1.0]
+
+    def test_one_hot_empty(self):
+        assert ValueEncoder().one_hot(np.array([])).shape == (0, 4)
+
+
+def arbiter_samples(arbiter):
+    sim = Simulator(arbiter)
+    stim = [{"clk": 0, "rst_n": 1, "req1": 1, "req2": 0} for _ in range(3)]
+    traces = [sim.run(stim)]
+    contexts = extract_module_contexts(arbiter.statements())
+    return build_samples(contexts, traces, design="arb")
+
+
+class TestSampleBuilding:
+    def test_build_samples_skips_no_operand_statements(self, arbiter):
+        samples = arbiter_samples(arbiter)
+        assert all(s.context.n_operands > 0 for s in samples)
+
+    def test_sample_labels_match_lhs(self, arbiter):
+        samples = arbiter_samples(arbiter)
+        assert {s.label for s in samples} <= {0, 1}
+
+    def test_sample_from_execution_none_when_no_operands(self):
+        m = parse_module(
+            "module t(y); output reg y; always @(*) y = 1'b1; endmodule"
+        )
+        ctx = extract_statement_context(m.statements()[0])
+        trace = Simulator(m).run([{}])
+        execution = trace.executions[0]
+        assert sample_from_execution(ctx, execution) is None
+
+    def test_restrict_to_filter(self, arbiter):
+        sim = Simulator(arbiter)
+        trace = sim.run([{"clk": 0, "rst_n": 1, "req1": 1, "req2": 0}])
+        contexts = extract_module_contexts(arbiter.statements())
+        samples = build_samples(contexts, [trace], restrict_to={4})
+        assert {s.context.stmt_id for s in samples} == {4}
+
+    def test_design_tag(self, arbiter):
+        samples = arbiter_samples(arbiter)
+        assert all(s.design == "arb" for s in samples)
+
+    def test_train_test_split_sizes(self, arbiter):
+        samples = arbiter_samples(arbiter)
+        train, test = train_test_split(samples, 0.5, seed=0)
+        assert len(train) + len(test) == len(samples)
+        assert test  # half the set is not empty
+
+    def test_train_test_split_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split([], 1.5)
+
+    def test_train_test_split_deterministic(self, arbiter):
+        samples = arbiter_samples(arbiter)
+        a = train_test_split(samples, 0.3, seed=9)
+        b = train_test_split(samples, 0.3, seed=9)
+        assert [s.label for s in a[0]] == [s.label for s in b[0]]
+
+
+class TestBatchEncoder:
+    def test_encode_shapes(self, arbiter, encoder):
+        samples = arbiter_samples(arbiter)
+        batch = encoder.encode(samples)
+        assert batch.n_statements == len(samples)
+        assert batch.n_operands == sum(s.context.n_operands for s in samples)
+        assert batch.path_tokens.shape[0] == batch.path_mask.shape[0]
+        assert len(batch.path_operand) == batch.path_tokens.shape[0]
+        assert len(batch.operand_stmt) == batch.n_operands
+        assert batch.value_onehot.shape == (batch.n_operands, 4)
+
+    def test_operand_stmt_mapping_monotonic(self, arbiter, encoder):
+        samples = arbiter_samples(arbiter)
+        batch = encoder.encode(samples)
+        assert (np.diff(batch.operand_stmt) >= 0).all()
+
+    def test_labels_preserved(self, arbiter, encoder):
+        samples = arbiter_samples(arbiter)
+        batch = encoder.encode(samples)
+        assert batch.labels.tolist() == [s.label for s in samples]
+
+    def test_rejects_operandless_sample(self, encoder):
+        m = parse_module(
+            "module t(y); output reg y; always @(*) y = 1'b1; endmodule"
+        )
+        ctx = extract_statement_context(m.statements()[0])
+        bad = Sample(context=ctx, operand_values=(), label=1)
+        with pytest.raises(ValueError):
+            encoder.encode([bad])
+
+    def test_rejects_value_count_mismatch(self, arbiter, encoder):
+        samples = arbiter_samples(arbiter)
+        sample = samples[0]
+        bad = Sample(
+            context=sample.context,
+            operand_values=sample.operand_values + (1,),
+            label=sample.label,
+        )
+        with pytest.raises(ValueError):
+            encoder.encode([bad])
+
+    def test_path_cache_reused(self, arbiter, encoder):
+        samples = arbiter_samples(arbiter)
+        encoder.encode(samples)
+        cache_size = len(encoder._path_cache)
+        encoder.encode(samples)
+        assert len(encoder._path_cache) == cache_size

@@ -1,0 +1,139 @@
+"""Unit tests for the Verilog lexer."""
+
+import pytest
+
+from repro.verilog.errors import LexerError
+from repro.verilog.lexer import Lexer
+from repro.verilog.tokens import TokenKind
+
+
+def lex(source: str):
+    return Lexer(source).tokenize()
+
+
+def values(source: str):
+    return [t.value for t in lex(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = lex("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (tok,) = lex("foo")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.value == "foo"
+
+    def test_identifier_with_dollar_and_digits(self):
+        assert values("sig_1$x") == ["sig_1$x"]
+
+    def test_keyword_recognized(self):
+        (tok,) = lex("module")[:-1]
+        assert tok.kind is TokenKind.KEYWORD
+
+    def test_keyword_prefix_is_identifier(self):
+        (tok,) = lex("moduleX")[:-1]
+        assert tok.kind is TokenKind.IDENT
+
+    def test_escaped_identifier(self):
+        (tok,) = lex("\\foo+bar ")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.value == "foo+bar"
+
+    def test_punctuation_sequence(self):
+        assert values("( ) [ ] { } , ; : @") == list("()[]{},;:@")
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op",
+        ["==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "<<<", ">>>", "===", "!=="],
+    )
+    def test_multichar_operator(self, op):
+        (tok,) = lex(op)[:-1]
+        assert tok.kind is TokenKind.OPERATOR
+        assert tok.value == op
+
+    @pytest.mark.parametrize("op", list("+-*/%&|^~!<>?="))
+    def test_single_char_operator(self, op):
+        (tok,) = lex(op)[:-1]
+        assert tok.kind is TokenKind.OPERATOR
+
+    def test_greedy_matching(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+    def test_reduction_nand(self):
+        assert values("~&x") == ["~&", "x"]
+
+    def test_shift_then_compare(self):
+        assert values("a >> 1 >= b") == ["a", ">>", "1", ">=", "b"]
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text",
+        ["42", "8'hFF", "4'b1010", "12'o777", "'d5", "3'd7", "8'b1010_1010", "1'b0"],
+    )
+    def test_number_forms(self, text):
+        (tok,) = lex(text)[:-1]
+        assert tok.kind is TokenKind.NUMBER
+
+    def test_size_space_base(self):
+        (tok,) = lex("8 'hFF")[:-1]
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.value == "8'hFF"
+
+    def test_signed_base(self):
+        (tok,) = lex("8'sb101")[:-1]
+        assert tok.value == "8'sb101"
+
+    def test_x_and_z_digits_tokenize(self):
+        (tok,) = lex("4'bx0z1")[:-1]
+        assert tok.kind is TokenKind.NUMBER
+
+    def test_bad_base_raises(self):
+        with pytest.raises(LexerError):
+            lex("4'q1010")
+
+    def test_missing_digits_raises(self):
+        with pytest.raises(LexerError):
+            lex("4'b;")
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert values("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            lex("a /* never ends")
+
+    def test_directive_line_skipped(self):
+        assert values("`timescale 1ns/1ps\nmodule") == ["module"]
+
+    def test_whitespace_variants(self):
+        assert values("a\tb\r\nc") == ["a", "b", "c"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = lex("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_unexpected_character_reports_position(self):
+        with pytest.raises(LexerError) as excinfo:
+            lex('a\n"')
+        assert excinfo.value.line == 2
+
+    def test_token_helpers(self):
+        tokens = lex("module ( ==")
+        assert tokens[0].is_keyword("module")
+        assert tokens[1].is_punct("(")
+        assert tokens[2].is_op("==")
+        assert not tokens[0].is_op("module")

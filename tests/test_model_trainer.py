@@ -1,0 +1,155 @@
+"""Tests for the VeriBug model and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import extract_module_contexts
+from repro.core import (
+    BatchEncoder,
+    Trainer,
+    VeriBugConfig,
+    VeriBugModel,
+    Vocabulary,
+    build_samples,
+    compute_metrics,
+)
+from repro.sim import Simulator
+from repro.verilog import parse_module
+
+
+@pytest.fixture
+def xor_samples():
+    """Samples from a tiny XOR design: fully learnable from values."""
+    m = parse_module(
+        "module t(a, b, y); input a, b; output reg y;"
+        " always @(*) y = a ^ b; endmodule"
+    )
+    sim = Simulator(m)
+    contexts = extract_module_contexts(m.statements())
+    frames = [{"a": a, "b": b} for a in (0, 1) for b in (0, 1)] * 8
+    trace = sim.run(frames)
+    return build_samples(contexts, [trace], design="xor")
+
+
+class TestModelForward:
+    def test_output_shapes(self, fresh_model, encoder, xor_samples):
+        batch = encoder.encode(xor_samples[:6])
+        out = fresh_model(batch)
+        assert out.logits.shape == (6, 2)
+        assert out.attention.shape == (batch.n_operands,)
+        assert out.updated_embeddings.shape == (batch.n_operands, fresh_model.config.da)
+
+    def test_attention_sums_to_one_per_statement(self, fresh_model, encoder, xor_samples):
+        batch = encoder.encode(xor_samples[:6])
+        out = fresh_model(batch)
+        sums = np.zeros(batch.n_statements)
+        np.add.at(sums, batch.operand_stmt, out.attention.data)
+        assert np.allclose(sums, 1.0)
+
+    def test_attention_per_statement_split(self, fresh_model, encoder, xor_samples):
+        batch = encoder.encode(xor_samples[:4])
+        out = fresh_model(batch)
+        split = out.attention_per_statement()
+        assert len(split) == 4
+        assert all(len(w) == c for w, c in zip(split, batch.operand_counts))
+
+    def test_forward_deterministic(self, fresh_model, encoder, xor_samples):
+        batch = encoder.encode(xor_samples[:4])
+        out1 = fresh_model(batch).logits.data
+        out2 = fresh_model(batch).logits.data
+        assert np.array_equal(out1, out2)
+
+    def test_same_seed_same_init(self, tiny_config, vocab):
+        m1 = VeriBugModel(tiny_config, vocab)
+        m2 = VeriBugModel(tiny_config, vocab)
+        for (n1, p1), (n2, p2) in zip(m1.named_parameters(), m2.named_parameters()):
+            assert n1 == n2
+            assert np.array_equal(p1.data, p2.data)
+
+    def test_batch_invariance(self, fresh_model, encoder, xor_samples):
+        """A sample's logits must not depend on its batch neighbors."""
+        alone = fresh_model(encoder.encode(xor_samples[:1])).logits.data[0]
+        batched = fresh_model(encoder.encode(xor_samples[:5])).logits.data[0]
+        assert np.allclose(alone, batched, atol=1e-10)
+
+    def test_gradients_reach_all_parameters(self, fresh_model, encoder, xor_samples):
+        from repro.nn import veribug_loss
+
+        batch = encoder.encode(xor_samples[:8])
+        out = fresh_model(batch)
+        loss, _ = veribug_loss(
+            out.logits, batch.labels, out.updated_embeddings, batch.operand_stmt
+        )
+        loss.backward()
+        missing = [
+            name
+            for name, p in fresh_model.named_parameters()
+            if p.grad is None or not np.abs(p.grad).sum() > 0
+        ]
+        assert not missing, f"no gradient for {missing}"
+
+    def test_predict_returns_classes(self, fresh_model, encoder, xor_samples):
+        batch = encoder.encode(xor_samples[:4])
+        preds = fresh_model.predict(batch)
+        assert set(preds.tolist()) <= {0, 1}
+
+
+class TestTrainer:
+    def test_loss_decreases(self, tiny_config, vocab, xor_samples):
+        model = VeriBugModel(tiny_config, vocab)
+        trainer = Trainer(model, BatchEncoder(vocab), tiny_config)
+        history = trainer.train(xor_samples, epochs=6)
+        assert history.losses[-1] < history.losses[0]
+
+    def test_learns_xor(self, tiny_config, vocab, xor_samples):
+        model = VeriBugModel(tiny_config, vocab)
+        trainer = Trainer(model, BatchEncoder(vocab), tiny_config)
+        trainer.train(xor_samples, epochs=60)
+        metrics = trainer.evaluate(xor_samples)
+        assert metrics.accuracy > 0.95
+
+    def test_train_empty_raises(self, tiny_config, vocab):
+        model = VeriBugModel(tiny_config, vocab)
+        trainer = Trainer(model, BatchEncoder(vocab), tiny_config)
+        with pytest.raises(ValueError):
+            trainer.train([])
+
+    def test_evaluate_empty_raises(self, tiny_config, vocab):
+        model = VeriBugModel(tiny_config, vocab)
+        trainer = Trainer(model, BatchEncoder(vocab), tiny_config)
+        with pytest.raises(ValueError):
+            trainer.evaluate([])
+
+    def test_history_lengths(self, tiny_config, vocab, xor_samples):
+        model = VeriBugModel(tiny_config, vocab)
+        trainer = Trainer(model, BatchEncoder(vocab), tiny_config)
+        history = trainer.train(xor_samples, epochs=4)
+        assert len(history.losses) == 4
+        assert len(history.ce_terms) == 4
+        assert len(history.reg_terms) == 4
+
+
+class TestMetrics:
+    def test_perfect_predictions(self):
+        labels = np.array([0, 1, 0, 1])
+        metrics = compute_metrics(labels, labels.copy())
+        assert metrics.accuracy == 1.0
+        assert metrics.precision == (1.0, 1.0)
+        assert metrics.recall == (1.0, 1.0)
+
+    def test_all_wrong(self):
+        labels = np.array([0, 1])
+        metrics = compute_metrics(labels, 1 - labels)
+        assert metrics.accuracy == 0.0
+
+    def test_single_class_predictions(self):
+        labels = np.array([0, 0, 1])
+        preds = np.array([0, 0, 0])
+        metrics = compute_metrics(labels, preds)
+        assert metrics.recall[1] == 0.0
+        assert metrics.precision[1] == 0.0  # no positive predictions
+
+    def test_row_formatting(self):
+        metrics = compute_metrics(np.array([0, 1]), np.array([0, 1]))
+        row = metrics.row()
+        assert "100.0" in row

@@ -1,0 +1,198 @@
+"""Tests for the mutation (bug-injection) engine."""
+
+import pytest
+
+from repro.datagen import (
+    Mutation,
+    apply_mutation,
+    creates_combinational_cycle,
+    enumerate_mutations,
+    sample_mutations,
+)
+from repro.sim import Simulator
+from repro.verilog import parse_module
+from repro.verilog.printer import format_module, statement_source
+
+SIMPLE = (
+    "module t(a, b, c, y); input a, b, c; output y;"
+    " assign y = a & ~b | c; endmodule"
+)
+
+
+class TestEnumeration:
+    def test_all_kinds_present(self):
+        kinds = {m.kind for m in enumerate_mutations(parse_module(SIMPLE))}
+        assert kinds == {"negation", "operation", "misuse"}
+
+    def test_negation_insert_sites(self):
+        muts = enumerate_mutations(parse_module(SIMPLE), kinds=("negation",))
+        inserts = [m for m in muts if m.replacement == "insert"]
+        assert len(inserts) == 3  # a, b, c
+
+    def test_negation_remove_sites(self):
+        muts = enumerate_mutations(parse_module(SIMPLE), kinds=("negation",))
+        removes = [m for m in muts if m.replacement == "remove"]
+        assert len(removes) == 1  # the ~b
+
+    def test_operation_substitutions_within_group(self):
+        muts = enumerate_mutations(parse_module(SIMPLE), kinds=("operation",))
+        replacements = {m.replacement for m in muts}
+        assert replacements <= {"&", "|", "^"}
+        assert len(muts) == 4  # two ops x two alternatives each
+
+    def test_misuse_same_width_only(self):
+        src = (
+            "module t(a, b, w, y); input a, b; input [3:0] w; output y;"
+            " assign y = a & b; endmodule"
+        )
+        muts = enumerate_mutations(parse_module(src), kinds=("misuse",))
+        assert all(m.replacement != "w" for m in muts)
+
+    def test_misuse_excludes_own_target(self):
+        muts = enumerate_mutations(parse_module(SIMPLE), kinds=("misuse",))
+        assert all(m.replacement != "y" for m in muts)
+
+    def test_parameters_not_misused(self):
+        src = (
+            "module t(a, y); parameter P = 1; input a; output y;"
+            " assign y = a & P; endmodule"
+        )
+        muts = enumerate_mutations(parse_module(src), kinds=("misuse",))
+        # P itself is not a site; only 'a' is.
+        assert all("P ->" not in m.detail for m in muts)
+
+
+class TestApplication:
+    def test_negation_insert(self):
+        m = parse_module(SIMPLE)
+        mut = [
+            x
+            for x in enumerate_mutations(m, kinds=("negation",))
+            if x.replacement == "insert" and "before a" in x.detail
+        ][0]
+        mutant = apply_mutation(m, mut)
+        assert "~a" in statement_source(mutant.statements()[0])
+
+    def test_negation_remove(self):
+        m = parse_module(SIMPLE)
+        mut = [
+            x
+            for x in enumerate_mutations(m, kinds=("negation",))
+            if x.replacement == "remove"
+        ][0]
+        mutant = apply_mutation(m, mut)
+        assert "~" not in statement_source(mutant.statements()[0])
+
+    def test_operation_substitution(self):
+        m = parse_module(SIMPLE)
+        mut = [
+            x
+            for x in enumerate_mutations(m, kinds=("operation",))
+            if "'|' -> '&'" in x.detail or x.replacement == "^"
+        ][0]
+        mutant = apply_mutation(m, mut)
+        assert format_module(mutant) != format_module(m)
+
+    def test_misuse_replacement(self):
+        m = parse_module(SIMPLE)
+        mut = enumerate_mutations(m, kinds=("misuse",))[0]
+        mutant = apply_mutation(m, mut)
+        assert format_module(mutant) != format_module(m)
+
+    def test_golden_never_modified(self):
+        m = parse_module(SIMPLE)
+        before = format_module(m)
+        for mut in enumerate_mutations(m)[:10]:
+            apply_mutation(m, mut)
+        assert format_module(m) == before
+
+    def test_mutant_is_simulatable(self):
+        m = parse_module(SIMPLE)
+        for mut in enumerate_mutations(m)[:8]:
+            mutant = apply_mutation(m, mut)
+            trace = Simulator(mutant).run([{"a": 1, "b": 0, "c": 1}])
+            assert trace.n_cycles == 1
+
+    def test_bad_node_index_raises(self):
+        m = parse_module(SIMPLE)
+        bad = Mutation(
+            kind="operation", stmt_id=0, node_index=999, detail="", replacement="&"
+        )
+        with pytest.raises(ValueError):
+            apply_mutation(m, bad)
+
+    def test_kind_site_mismatch_raises(self):
+        m = parse_module(SIMPLE)
+        bad = Mutation(
+            kind="misuse", stmt_id=0, node_index=0, detail="", replacement="a"
+        )  # node 0 is the top-level BinaryOp, not an Identifier
+        with pytest.raises(ValueError):
+            apply_mutation(m, bad)
+
+    def test_unknown_kind_raises(self):
+        m = parse_module(SIMPLE)
+        bad = Mutation(kind="alien", stmt_id=0, node_index=0, detail="", replacement="")
+        with pytest.raises(ValueError):
+            apply_mutation(m, bad)
+
+
+class TestCycleCheck:
+    def test_golden_arbiter_is_clean(self, arbiter):
+        assert not creates_combinational_cycle(arbiter)
+
+    def test_assign_loop_detected(self):
+        m = parse_module(
+            "module t(x, y); input x; output y; wire a, b;"
+            " assign a = ~b; assign b = a & x; assign y = b; endmodule"
+        )
+        assert creates_combinational_cycle(m)
+
+    def test_self_loop_detected(self):
+        m = parse_module(
+            "module t(x, y); input x; output y; assign y = y ^ x; endmodule"
+        )
+        assert creates_combinational_cycle(m)
+
+    def test_blocking_chain_with_defaults_is_clean(self):
+        m = parse_module(
+            "module t(a, y); input a; output reg y; reg n;"
+            " always @(*) begin n = a; n = n ^ a; y = n; end endmodule"
+        )
+        assert not creates_combinational_cycle(m)
+
+    def test_use_before_def_in_block_is_cross_pass(self):
+        # y reads n before n is assigned: n's value comes from the previous
+        # pass, and n depends on y -> cycle.
+        m = parse_module(
+            "module t(a, y); input a; output reg y; reg n;"
+            " always @(*) begin y = n; n = y ^ a; end endmodule"
+        )
+        assert creates_combinational_cycle(m)
+
+    def test_clocked_feedback_is_fine(self, arbiter):
+        # state feeds back through a clocked block; that's sequential, OK.
+        assert not creates_combinational_cycle(arbiter)
+
+
+class TestSampling:
+    def test_counts_respected(self):
+        m = parse_module(SIMPLE)
+        plan = sample_mutations(m, {"negation": 2, "operation": 2}, seed=0)
+        kinds = [p.kind for p in plan]
+        assert kinds.count("negation") == 2
+        assert kinds.count("operation") == 2
+
+    def test_restrict_to_filter(self, arbiter):
+        plan = sample_mutations(arbiter, {"negation": 10}, seed=0, restrict_to={2})
+        assert all(p.stmt_id == 2 for p in plan)
+
+    def test_deterministic(self):
+        m = parse_module(SIMPLE)
+        p1 = sample_mutations(m, {"misuse": 3}, seed=4)
+        p2 = sample_mutations(m, {"misuse": 3}, seed=4)
+        assert p1 == p2
+
+    def test_pool_exhaustion_is_graceful(self):
+        m = parse_module(SIMPLE)
+        plan = sample_mutations(m, {"negation": 999}, seed=0)
+        assert 0 < len(plan) < 999

@@ -1,0 +1,292 @@
+"""Unit tests for the Verilog parser."""
+
+import pytest
+
+from repro.verilog import (
+    Assignment,
+    BinaryOp,
+    BitSelect,
+    Block,
+    Case,
+    Concat,
+    ContinuousAssign,
+    Identifier,
+    If,
+    Number,
+    ParseError,
+    PartSelect,
+    Repeat,
+    SemanticError,
+    Ternary,
+    UnaryOp,
+    parse_module,
+)
+
+
+def parse_expr(text: str, decls: str = "input a, b, c; output y;"):
+    module = parse_module(f"module t(a, b, c, y); {decls} assign y = {text}; endmodule")
+    return module.assigns[0].rhs
+
+
+class TestModuleStructure:
+    def test_module_name_and_ports(self):
+        m = parse_module("module top(a, y); input a; output y; assign y = a; endmodule")
+        assert m.name == "top"
+        assert m.ports == ["a", "y"]
+
+    def test_ansi_ports(self):
+        m = parse_module(
+            "module t(input a, input [3:0] b, output reg [1:0] y);"
+            " always @(*) y = b[1:0]; endmodule"
+        )
+        assert m.decls["a"].is_input
+        assert m.decls["b"].width == 4
+        assert m.decls["y"].is_output and m.decls["y"].is_reg
+
+    def test_ansi_port_group_shares_direction(self):
+        m = parse_module("module t(input a, b, output y); assign y = a & b; endmodule")
+        assert m.decls["b"].is_input
+
+    def test_non_ansi_merged_decl(self):
+        m = parse_module(
+            "module t(y); output y; reg y; always @(*) y = 1'b0; endmodule"
+        )
+        assert m.decls["y"].is_output and m.decls["y"].is_reg
+
+    def test_non_ansi_range_merge(self):
+        m = parse_module(
+            "module t(y); output [3:0] y; reg [3:0] y;"
+            " always @(*) y = 4'd1; endmodule"
+        )
+        assert m.decls["y"].width == 4
+
+    def test_conflicting_ranges_raise(self):
+        with pytest.raises(SemanticError):
+            parse_module(
+                "module t(y); output [3:0] y; reg [7:0] y;"
+                " always @(*) y = 1'b0; endmodule"
+            )
+
+    def test_parameters(self):
+        m = parse_module(
+            "module t(y); output y; parameter W = 4; localparam X = W + 1;"
+            " assign y = 1'b0; endmodule"
+        )
+        assert m.params["W"].value == 4
+        assert m.params["X"].value == 5
+        assert m.params["X"].local
+
+    def test_parameter_in_range(self):
+        m = parse_module(
+            "module t(y); parameter W = 8; output [W-1:0] y;"
+            " assign y = 8'hAA; endmodule"
+        )
+        assert m.decls["y"].width == 8
+
+    def test_integer_decl_is_32_bits(self):
+        m = parse_module(
+            "module t(y); output y; integer i; always @(*) begin"
+            " i = 5; y = i > 2; end endmodule"
+        )
+        assert m.decls["i"].width == 32
+
+    def test_multiple_decl_names(self):
+        m = parse_module(
+            "module t(y); output y; wire a, b, c; assign a = 1'b0;"
+            " assign b = a; assign c = b; assign y = c; endmodule"
+        )
+        assert {"a", "b", "c"} <= set(m.decls)
+
+    def test_undeclared_identifier_raises(self):
+        with pytest.raises(SemanticError):
+            parse_module("module t(y); output y; assign y = ghost; endmodule")
+
+    def test_assignment_to_undeclared_raises(self):
+        with pytest.raises(SemanticError):
+            parse_module("module t(a); input a; assign ghost = a; endmodule")
+
+    def test_missing_endmodule_raises(self):
+        with pytest.raises(ParseError):
+            parse_module("module t(a); input a;")
+
+    def test_garbage_at_module_level_raises(self):
+        with pytest.raises(ParseError):
+            parse_module("module t(a); input a; banana; endmodule")
+
+
+class TestStatements:
+    def test_stmt_ids_are_sequential(self, arbiter):
+        ids = [s.stmt_id for s in arbiter.statements()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_blocking_vs_nonblocking(self):
+        m = parse_module(
+            "module t(clk, y); input clk; output reg y; reg q;"
+            " always @(posedge clk) q <= 1'b1;"
+            " always @(*) y = q; endmodule"
+        )
+        stmts = m.statements()
+        kinds = {s.target.name: getattr(s, "blocking", None) for s in stmts}
+        assert kinds["q"] is False
+        assert kinds["y"] is True
+
+    def test_if_else_chain(self):
+        m = parse_module(
+            "module t(a, b, y); input a, b; output reg y;"
+            " always @(*) if (a) y = 1'b1; else if (b) y = 1'b0;"
+            " else y = a ^ b; endmodule"
+        )
+        blk = m.always_blocks[0].body
+        assert isinstance(blk, If)
+        assert isinstance(blk.else_stmt, If)
+
+    def test_case_with_default(self):
+        m = parse_module(
+            "module t(s, y); input [1:0] s; output reg y;"
+            " always @(*) case (s) 2'd0: y = 1'b0; 2'd1, 2'd2: y = 1'b1;"
+            " default: y = 1'b0; endcase endmodule"
+        )
+        case = m.always_blocks[0].body
+        assert isinstance(case, Case)
+        assert len(case.items) == 3
+        assert case.items[1].labels and len(case.items[1].labels) == 2
+        assert not case.items[2].labels  # default
+
+    def test_named_block(self):
+        m = parse_module(
+            "module t(a, y); input a; output reg y;"
+            " always @(*) begin : blk y = a; end endmodule"
+        )
+        assert isinstance(m.always_blocks[0].body, Block)
+
+    def test_sensitivity_lists(self):
+        m = parse_module(
+            "module t(clk, rst_n, a, y, z); input clk, rst_n, a;"
+            " output reg y, z;"
+            " always @(posedge clk or negedge rst_n) y <= a;"
+            " always @(a) z = a; endmodule"
+        )
+        clocked, level = m.always_blocks
+        assert clocked.is_clocked
+        assert [s.edge for s in clocked.sens] == ["posedge", "negedge"]
+        assert not level.is_clocked
+
+    def test_star_sensitivity_forms(self):
+        for form in ("@(*)", "@*"):
+            m = parse_module(
+                f"module t(a, y); input a; output reg y;"
+                f" always {form} y = a; endmodule"
+            )
+            assert not m.always_blocks[0].is_clocked
+
+    def test_lvalue_bit_select(self):
+        m = parse_module(
+            "module t(a, y); input a; output reg [3:0] y;"
+            " always @(*) y[2] = a; endmodule"
+        )
+        stmt = m.statements()[0]
+        assert stmt.target.index is not None
+
+    def test_lvalue_part_select(self):
+        m = parse_module(
+            "module t(a, y); input [1:0] a; output reg [3:0] y;"
+            " always @(*) y[3:2] = a; endmodule"
+        )
+        stmt = m.statements()[0]
+        assert stmt.target.msb is not None
+
+    def test_multi_assign_statement(self):
+        m = parse_module(
+            "module t(a, x, y); input a; output x, y;"
+            " assign x = a, y = ~a; endmodule"
+        )
+        assert len(m.assigns) == 2
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        expr = parse_expr("a | b & c")
+        assert isinstance(expr, BinaryOp) and expr.op == "|"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "&"
+
+    def test_precedence_compare_vs_shift(self):
+        expr = parse_expr("a >> 1 == b")
+        assert expr.op == "=="
+        assert isinstance(expr.left, BinaryOp) and expr.left.op == ">>"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinaryOp)
+        assert isinstance(expr.right, Identifier)
+
+    def test_parentheses_override(self):
+        expr = parse_expr("a & (b | c)")
+        assert expr.op == "&"
+        assert expr.right.op == "|"
+
+    def test_unary_chain(self):
+        expr = parse_expr("~!a")
+        assert isinstance(expr, UnaryOp) and expr.op == "~"
+        assert isinstance(expr.operand, UnaryOp) and expr.operand.op == "!"
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, Ternary)
+
+    def test_nested_ternary_right_assoc(self):
+        expr = parse_expr("a ? b : c ? a : b")
+        assert isinstance(expr.otherwise, Ternary)
+
+    def test_bit_select(self):
+        expr = parse_expr("b[0]", decls="input a; input [3:0] b; input c; output y;")
+        assert isinstance(expr, BitSelect)
+
+    def test_part_select(self):
+        expr = parse_expr("b[2:1]", decls="input a; input [3:0] b; input c; output y;")
+        assert isinstance(expr, PartSelect)
+
+    def test_concat(self):
+        expr = parse_expr("{a, b, c}")
+        assert isinstance(expr, Concat)
+        assert len(expr.parts) == 3
+
+    def test_replication(self):
+        expr = parse_expr("{3{a}}")
+        assert isinstance(expr, Repeat)
+
+    def test_sized_number(self):
+        expr = parse_expr("8'hFF")
+        assert isinstance(expr, Number)
+        assert expr.value == 255 and expr.width == 8
+
+    def test_unsized_number(self):
+        expr = parse_expr("42")
+        assert expr.value == 42 and expr.width is None
+
+    def test_x_digits_fold_to_zero(self):
+        expr = parse_expr("4'b1x0z")
+        assert expr.value == 0b1000
+
+    def test_oversized_literal_truncated(self):
+        expr = parse_expr("2'd7")
+        assert expr.value == 3
+
+    def test_reduction_operator(self):
+        expr = parse_expr("&b", decls="input a; input [3:0] b; input c; output y;")
+        assert isinstance(expr, UnaryOp)
+        assert expr.node_type == "ReduceAnd"
+
+    def test_logical_operators(self):
+        expr = parse_expr("a && b || c")
+        assert expr.op == "||"
+
+    def test_unexpected_token_raises(self):
+        with pytest.raises(ParseError):
+            parse_expr("a &")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_module("module t(a);\ninput a;\nassign = a;\nendmodule")
+        assert excinfo.value.line == 3

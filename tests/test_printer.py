@@ -1,0 +1,101 @@
+"""Tests for the AST printer (round-trip stability is the key property)."""
+
+import pytest
+
+from repro.verilog import parse_module
+from repro.verilog.printer import (
+    format_expr,
+    format_module,
+    format_statement,
+    statement_source,
+)
+
+from .conftest import ARBITER_SOURCE
+
+
+def roundtrip(source: str) -> None:
+    first = format_module(parse_module(source))
+    second = format_module(parse_module(first))
+    assert first == second
+
+
+class TestRoundtrip:
+    def test_arbiter(self):
+        roundtrip(ARBITER_SOURCE)
+
+    def test_case_statement(self):
+        roundtrip(
+            "module t(s, y); input [1:0] s; output reg y;"
+            " always @(*) case (s) 2'd0: y = 1'b0; default: y = 1'b1;"
+            " endcase endmodule"
+        )
+
+    def test_parameters_and_ranges(self):
+        roundtrip(
+            "module t(a, y); parameter P = 3; input [7:0] a; output y;"
+            " assign y = a[P]; endmodule"
+        )
+
+    def test_concat_and_repeat(self):
+        roundtrip(
+            "module t(a, y); input [1:0] a; output [5:0] y;"
+            " assign y = {a, {2{a}}}; endmodule"
+        )
+
+    def test_nonblocking(self):
+        roundtrip(
+            "module t(clk, a, y); input clk, a; output reg y;"
+            " always @(posedge clk) y <= a; endmodule"
+        )
+
+
+class TestExprFormatting:
+    def expr(self, text, decls="input a, b, c; output y;"):
+        m = parse_module(f"module t(a,b,c,y); {decls} assign y = {text}; endmodule")
+        return m.assigns[0].rhs
+
+    def test_precedence_parens_preserved(self):
+        assert format_expr(self.expr("a & (b | c)")) == "a & (b | c)"
+
+    def test_no_redundant_parens(self):
+        assert format_expr(self.expr("(a & b) | c")) == "a & b | c"
+
+    def test_unary(self):
+        assert format_expr(self.expr("~a & b")) == "~a & b"
+
+    def test_unary_on_binary_parenthesized(self):
+        assert format_expr(self.expr("~(a & b)")) == "~(a & b)"
+
+    def test_ternary(self):
+        assert format_expr(self.expr("a ? b : c")) == "a ? b : c"
+
+    def test_sized_number_canonical(self):
+        assert format_expr(self.expr("8'hFF")) == "8'd255"
+
+    def test_part_select(self):
+        text = format_expr(
+            self.expr("b[2:1]", decls="input a; input [3:0] b; input c; output y;")
+        )
+        assert text == "b[2:1]"
+
+
+class TestStatementSource:
+    def test_continuous_assign(self):
+        m = parse_module("module t(a, y); input a; output y; assign y = ~a; endmodule")
+        assert statement_source(m.assigns[0]) == "assign y = ~a;"
+
+    def test_procedural_assign(self, arbiter):
+        stmt = arbiter.statement_by_id(2)
+        assert statement_source(stmt) == "gnt1 = req1 & ~req2;"
+
+    def test_nonblocking_arrow(self, arbiter):
+        stmt = arbiter.statement_by_id(0)
+        assert "<=" in statement_source(stmt)
+
+    def test_format_statement_indents(self, arbiter):
+        text = format_statement(arbiter.always_blocks[1].body, indent=1)
+        assert text.startswith("    begin")
+
+    def test_statement_source_rejects_non_assignment(self, arbiter):
+        with pytest.raises(TypeError):
+            statement_source(arbiter.always_blocks[0].body)

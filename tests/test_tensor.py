@@ -1,0 +1,191 @@
+"""Gradient checks and behavior tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+
+RNG = np.random.default_rng(1234)
+
+
+def gradcheck(fn, x0, eps=1e-6, tol=1e-5):
+    """Compare analytic gradient of sum(fn(x)) against central differences."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    fn(x).sum().backward()
+    analytic = x.grad.copy()
+    numeric = np.zeros_like(x0)
+    flat_in = x0.reshape(-1)
+    for i in range(flat_in.size):
+        up = flat_in.copy()
+        down = flat_in.copy()
+        up[i] += eps
+        down[i] -= eps
+        f_up = fn(Tensor(up.reshape(x0.shape))).data.sum()
+        f_down = fn(Tensor(down.reshape(x0.shape))).data.sum()
+        numeric.reshape(-1)[i] = (f_up - f_down) / (2 * eps)
+    assert np.abs(analytic - numeric).max() < tol
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        gradcheck(lambda x: x + other, RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast(self):
+        other = Tensor(RNG.normal(size=(4,)))
+        gradcheck(lambda x: x + other, RNG.normal(size=(3, 4)))
+
+    def test_scalar_radd_rsub(self):
+        gradcheck(lambda x: 3.0 + x, RNG.normal(size=(2, 3)))
+        gradcheck(lambda x: 3.0 - x, RNG.normal(size=(2, 3)))
+
+    def test_mul(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        gradcheck(lambda x: x * other, RNG.normal(size=(3, 4)))
+
+    def test_mul_broadcast_column(self):
+        other = Tensor(RNG.normal(size=(3, 1)))
+        gradcheck(lambda x: x * other, RNG.normal(size=(3, 4)))
+
+    def test_div(self):
+        other = Tensor(RNG.normal(size=(3, 4)) + 3.0)
+        gradcheck(lambda x: x / other, RNG.normal(size=(3, 4)))
+        gradcheck(lambda x: other / (x + 5.0), RNG.normal(size=(3, 4)))
+
+    def test_neg_sub(self):
+        other = Tensor(RNG.normal(size=(3,)))
+        gradcheck(lambda x: -x - other, RNG.normal(size=(3,)))
+
+    def test_pow(self):
+        gradcheck(lambda x: x**3, RNG.normal(size=(5,)))
+
+    def test_same_tensor_used_twice(self):
+        gradcheck(lambda x: x * x + x, RNG.normal(size=(4,)))
+
+
+class TestMatmulGradients:
+    def test_2d_2d(self):
+        other = Tensor(RNG.normal(size=(4, 2)))
+        gradcheck(lambda x: x @ other, RNG.normal(size=(3, 4)))
+        other2 = Tensor(RNG.normal(size=(5, 3)))
+        gradcheck(lambda x: other2 @ x, RNG.normal(size=(3, 4)))
+
+    def test_vector_dot(self):
+        other = Tensor(RNG.normal(size=(4,)))
+        gradcheck(lambda x: x @ other, RNG.normal(size=(4,)))
+
+    def test_matrix_vector(self):
+        vec = Tensor(RNG.normal(size=(4,)))
+        gradcheck(lambda x: x @ vec, RNG.normal(size=(3, 4)))
+
+    def test_vector_gradient_side(self):
+        mat = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        vec = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        (mat @ vec).sum().backward()
+        assert mat.grad.shape == (3, 4)
+        assert vec.grad.shape == (4,)
+
+    def test_batched(self):
+        other = Tensor(RNG.normal(size=(4, 2)))
+        gradcheck(lambda x: x @ other, RNG.normal(size=(2, 3, 4)))
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        gradcheck(lambda x: (x.reshape(2, 6) ** 2), RNG.normal(size=(3, 4)))
+
+    def test_transpose(self):
+        other = Tensor(RNG.normal(size=(3, 4)))
+        gradcheck(lambda x: x.transpose() * other, RNG.normal(size=(4, 3)))
+
+    def test_getitem_slice(self):
+        gradcheck(lambda x: x[1:, :2] * 2.0, RNG.normal(size=(3, 4)))
+
+    def test_getitem_fancy_repeated_index(self):
+        idx = np.array([0, 1, 0, 2])
+        gradcheck(lambda x: x[idx] ** 2, RNG.normal(size=(3, 4)))
+
+
+class TestReductionsAndActivations:
+    def test_sum_all(self):
+        gradcheck(lambda x: x.sum() * 2.0, RNG.normal(size=(3, 4)))
+
+    def test_sum_axis_keepdims(self):
+        gradcheck(lambda x: x.sum(axis=1, keepdims=True) * 3.0, RNG.normal(size=(3, 4)))
+
+    def test_sum_axis_no_keepdims(self):
+        gradcheck(lambda x: x.sum(axis=0), RNG.normal(size=(3, 4)))
+
+    def test_mean(self):
+        gradcheck(lambda x: x.mean(axis=1), RNG.normal(size=(3, 4)))
+
+    @pytest.mark.parametrize(
+        "name", ["exp", "tanh", "sigmoid", "relu", "leaky_relu", "sqrt"]
+    )
+    def test_elementwise(self, name):
+        x0 = np.abs(RNG.normal(size=(3, 4))) + 0.5  # positive for sqrt/log
+        gradcheck(lambda x: getattr(x, name)(), x0)
+
+    def test_log(self):
+        gradcheck(lambda x: x.log(), np.abs(RNG.normal(size=(4,))) + 0.5)
+
+    def test_relu_masks_negatives(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        x.relu().sum().backward()
+        assert x.grad.tolist() == [0.0, 1.0]
+
+
+class TestEngineBehavior:
+    def test_backward_on_nonscalar_requires_grad_arg(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_backward_with_seed_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2).backward(np.array([1.0, 0.0, 2.0]))
+        assert x.grad.tolist() == [2.0, 0.0, 4.0]
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        assert x.grad.tolist() == [4.0, 4.0]
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_leaf_untouched(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = Tensor(np.ones(2), requires_grad=False)
+        (x * y).sum().backward()
+        assert y.grad is None
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x.detach() * 2).sum()  # no backward possible, but no error either
+        assert x.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.sum().backward()
+        assert x.grad.tolist() == [1.0, 1.0]
+
+    def test_item_and_numpy(self):
+        x = Tensor(np.array([3.5]))
+        assert x.item() == 3.5
+        copied = x.numpy()
+        copied[0] = 0.0
+        assert x.data[0] == 3.5
+
+    def test_helpers(self):
+        assert Tensor.zeros(2, 3).shape == (2, 3)
+        assert Tensor.ones(2).data.tolist() == [1.0, 1.0]
+        assert Tensor.zeros(1).ndim == 1
+        assert Tensor.ones(2, 2).size == 4

@@ -1,0 +1,146 @@
+"""Tests for trace containers and testbench generation."""
+
+from repro.sim import (
+    Simulator,
+    TestbenchConfig,
+    Trace,
+    generate_stimulus,
+    generate_testbench_suite,
+    identify_clock,
+    identify_reset,
+    random_value,
+)
+from repro.sim.trace import StatementExecution
+from repro.verilog import parse_module
+
+import random
+
+
+def make_trace(design, outputs):
+    return Trace(design=design, outputs=outputs)
+
+
+class TestTrace:
+    def test_divergence_detected(self):
+        a = make_trace("d", [{"y": 0}, {"y": 1}])
+        b = make_trace("d", [{"y": 0}, {"y": 0}])
+        assert a.diverges_from(b)
+        assert a.first_divergence(b) == (1, "y")
+
+    def test_no_divergence(self):
+        a = make_trace("d", [{"y": 1}])
+        b = make_trace("d", [{"y": 1}])
+        assert not a.diverges_from(b)
+        assert a.first_divergence(b) is None
+
+    def test_divergence_respects_signal_filter(self):
+        a = make_trace("d", [{"y": 0, "z": 1}])
+        b = make_trace("d", [{"y": 0, "z": 0}])
+        assert not a.diverges_from(b, signals=["y"])
+        assert a.diverges_from(b, signals=["z"])
+
+    def test_length_mismatch_diverges(self):
+        a = make_trace("d", [{"y": 0}])
+        b = make_trace("d", [{"y": 0}, {"y": 0}])
+        assert a.diverges_from(b)
+
+    def test_executions_of(self):
+        e0 = StatementExecution(0, 0, "y", ("a",), (1,), 1, 1)
+        e1 = StatementExecution(1, 0, "z", ("a",), (1,), 0, 1)
+        trace = Trace(design="d", executions=[e0, e1, e0])
+        assert len(trace.executions_of(0)) == 2
+        assert trace.executed_stmt_ids() == {0, 1}
+
+    def test_operand_map(self):
+        e = StatementExecution(0, 0, "y", ("a", "b"), (1, 0), 1, 1)
+        assert e.operand_map == {"a": 1, "b": 0}
+
+
+class TestClockResetDetection:
+    def test_identify_clock(self):
+        m = parse_module(
+            "module t(clk, a, y); input clk, a; output y; assign y = a; endmodule"
+        )
+        assert identify_clock(m) == "clk"
+
+    def test_identify_wishbone_clock(self):
+        m = parse_module(
+            "module t(wb_clk_i, a, y); input wb_clk_i, a; output y;"
+            " assign y = a; endmodule"
+        )
+        assert identify_clock(m) == "wb_clk_i"
+
+    def test_identify_active_low_reset(self):
+        m = parse_module(
+            "module t(clk, rst_n, y); input clk, rst_n; output y;"
+            " assign y = rst_n; endmodule"
+        )
+        assert identify_reset(m) == ("rst_n", 0)
+
+    def test_identify_active_high_reset(self):
+        m = parse_module(
+            "module t(clk, rst, y); input clk, rst; output y;"
+            " assign y = rst; endmodule"
+        )
+        assert identify_reset(m) == ("rst", 1)
+
+    def test_no_clock_or_reset(self):
+        m = parse_module("module t(a, y); input a; output y; assign y = a; endmodule")
+        assert identify_clock(m) is None
+        assert identify_reset(m) is None
+
+
+class TestStimulusGeneration:
+    def test_deterministic_by_seed(self, arbiter):
+        s1 = generate_stimulus(arbiter, seed=42)
+        s2 = generate_stimulus(arbiter, seed=42)
+        assert s1 == s2
+
+    def test_different_seeds_differ(self, arbiter):
+        s1 = generate_stimulus(arbiter, seed=1)
+        s2 = generate_stimulus(arbiter, seed=2)
+        assert s1 != s2
+
+    def test_reset_window(self, arbiter):
+        stim = generate_stimulus(arbiter, TestbenchConfig(reset_cycles=3), seed=0)
+        assert all(frame["rst_n"] == 0 for frame in stim[:3])
+        assert all(frame["rst_n"] == 1 for frame in stim[3:])
+
+    def test_all_inputs_driven(self, arbiter):
+        stim = generate_stimulus(arbiter, seed=0)
+        for frame in stim:
+            assert set(frame) == set(arbiter.inputs)
+
+    def test_forced_inputs(self, arbiter):
+        config = TestbenchConfig(forced={"req1": 1})
+        stim = generate_stimulus(arbiter, config, seed=0)
+        assert all(frame["req1"] == 1 for frame in stim)
+
+    def test_n_cycles_respected(self, arbiter):
+        stim = generate_stimulus(arbiter, TestbenchConfig(n_cycles=7), seed=0)
+        assert len(stim) == 7
+
+    def test_hold_probability_one_freezes_inputs(self, arbiter):
+        config = TestbenchConfig(hold_probability=1.0, reset_cycles=0)
+        stim = generate_stimulus(arbiter, config, seed=3)
+        req1 = [frame["req1"] for frame in stim]
+        assert len(set(req1)) == 1
+
+    def test_suite_is_independent(self, arbiter):
+        suite = generate_testbench_suite(arbiter, 3, seed=0)
+        assert len(suite) == 3
+        assert suite[0] != suite[1]
+
+    def test_random_value_density(self):
+        rng = random.Random(0)
+        ones = sum(random_value(1, rng, 0.9) for _ in range(1000))
+        assert ones > 800
+
+    def test_random_value_width(self):
+        rng = random.Random(0)
+        assert all(random_value(4, rng) < 16 for _ in range(100))
+
+    def test_stimulus_runs_on_simulator(self, arbiter):
+        stim = generate_stimulus(arbiter, TestbenchConfig(n_cycles=10), seed=5)
+        trace = Simulator(arbiter).run(stim)
+        assert trace.n_cycles == 10

@@ -1,0 +1,196 @@
+"""Tests for two-state value helpers and the expression evaluator."""
+
+import pytest
+
+from repro.sim import values as V
+from repro.sim.evaluator import Evaluator
+from repro.verilog import parse_module
+from repro.verilog.errors import SemanticError
+
+
+class TestValueHelpers:
+    def test_mask(self):
+        assert V.mask(1) == 1
+        assert V.mask(8) == 255
+
+    def test_mask_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            V.mask(0)
+
+    def test_truncate_wraps(self):
+        assert V.truncate(256, 8) == 0
+        assert V.truncate(-1, 4) == 15
+
+    def test_bit_and_bits(self):
+        assert V.bit(0b1010, 1) == 1
+        assert V.bit(0b1010, 0) == 0
+        assert V.bit(5, -1) == 0
+        assert V.bits(0b110110, 4, 1) == 0b1011
+
+    def test_bits_swapped_range(self):
+        assert V.bits(0b110110, 1, 4) == 0b1011
+
+    def test_set_bit(self):
+        assert V.set_bit(0b1000, 0, 1) == 0b1001
+        assert V.set_bit(0b1001, 3, 0) == 0b0001
+
+    def test_set_bits(self):
+        assert V.set_bits(0b0000, 2, 1, 0b11) == 0b0110
+
+    def test_reductions(self):
+        assert V.reduce_and(0b111, 3) == 1
+        assert V.reduce_and(0b110, 3) == 0
+        assert V.reduce_or(0, 3) == 0
+        assert V.reduce_or(4, 3) == 1
+        assert V.reduce_xor(0b101, 3) == 0
+        assert V.reduce_xor(0b100, 3) == 1
+
+
+def make_eval(decls: str, expr: str):
+    module = parse_module(
+        f"module t(y); {decls} output [31:0] y; assign y = {expr}; endmodule"
+    )
+    return Evaluator(module), module.assigns[0].rhs
+
+
+class TestEvaluator:
+    @pytest.mark.parametrize(
+        "expr,env,expected",
+        [
+            ("a & b", {"a": 0b1100, "b": 0b1010}, 0b1000),
+            ("a | b", {"a": 0b1100, "b": 0b1010}, 0b1110),
+            ("a ^ b", {"a": 0b1100, "b": 0b1010}, 0b0110),
+            ("a + b", {"a": 15, "b": 1}, 0),  # 4-bit wraparound
+            ("a - b", {"a": 0, "b": 1}, 15),
+            ("a * b", {"a": 5, "b": 3}, 15),
+            ("a / b", {"a": 12, "b": 4}, 3),
+            ("a % b", {"a": 13, "b": 4}, 1),
+            ("a << 1", {"a": 0b1000, "b": 0}, 0),  # shifts out of 4 bits
+            ("a >> 2", {"a": 0b1100, "b": 0}, 0b0011),
+        ],
+    )
+    def test_binary_arithmetic(self, expr, env, expected):
+        ev, node = make_eval("reg [3:0] a, b;", expr)
+        assert ev.eval(node, env) == expected
+
+    def test_divide_by_zero_is_zero(self):
+        ev, node = make_eval("reg [3:0] a, b;", "a / b")
+        assert ev.eval(node, {"a": 9, "b": 0}) == 0
+
+    @pytest.mark.parametrize(
+        "expr,env,expected",
+        [
+            ("a == b", {"a": 3, "b": 3}, 1),
+            ("a != b", {"a": 3, "b": 3}, 0),
+            ("a < b", {"a": 2, "b": 3}, 1),
+            ("a >= b", {"a": 3, "b": 3}, 1),
+            ("a && b", {"a": 2, "b": 0}, 0),
+            ("a || b", {"a": 0, "b": 4}, 1),
+        ],
+    )
+    def test_comparisons_and_logical(self, expr, env, expected):
+        ev, node = make_eval("reg [3:0] a, b;", expr)
+        assert ev.eval(node, env) == expected
+
+    def test_logical_short_circuit_width_one(self):
+        ev, node = make_eval("reg [3:0] a, b;", "a && b")
+        assert ev.width_of(node) == 1
+
+    def test_unary_not_masks_to_width(self):
+        ev, node = make_eval("reg [3:0] a, b;", "~a")
+        assert ev.eval(node, {"a": 0b1010, "b": 0}) == 0b0101
+
+    def test_unary_minus_two_complement(self):
+        ev, node = make_eval("reg [3:0] a, b;", "-a")
+        assert ev.eval(node, {"a": 1, "b": 0}) == 15
+
+    def test_logical_not(self):
+        ev, node = make_eval("reg [3:0] a, b;", "!a")
+        assert ev.eval(node, {"a": 0, "b": 0}) == 1
+
+    def test_reduction_ops(self):
+        ev, node = make_eval("reg [3:0] a, b;", "&a")
+        assert ev.eval(node, {"a": 15, "b": 0}) == 1
+        assert ev.eval(node, {"a": 7, "b": 0}) == 0
+
+    def test_ternary_selects(self):
+        ev, node = make_eval("reg [3:0] a, b; reg c;", "c ? a : b")
+        assert ev.eval(node, {"a": 5, "b": 9, "c": 1}) == 5
+        assert ev.eval(node, {"a": 5, "b": 9, "c": 0}) == 9
+
+    def test_bit_select(self):
+        ev, node = make_eval("reg [3:0] a, b;", "a[2]")
+        assert ev.eval(node, {"a": 0b0100, "b": 0}) == 1
+
+    def test_part_select(self):
+        ev, node = make_eval("reg [7:0] a; reg b;", "a[6:4]")
+        assert ev.eval(node, {"a": 0b0101_0000, "b": 0}) == 0b101
+
+    def test_concat(self):
+        ev, node = make_eval("reg [3:0] a, b;", "{a, b}")
+        assert ev.eval(node, {"a": 0xA, "b": 0x5}) == 0xA5
+
+    def test_repeat(self):
+        ev, node = make_eval("reg [1:0] a; reg b;", "{3{a}}")
+        assert ev.eval(node, {"a": 0b10, "b": 0}) == 0b101010
+
+    def test_parameter_resolution(self):
+        module = parse_module(
+            "module t(y); parameter P = 7; output [31:0] y;"
+            " reg [3:0] a; assign y = a + P; endmodule"
+        )
+        ev = Evaluator(module)
+        assert ev.eval(module.assigns[0].rhs, {"a": 1}) == 8
+
+    def test_unknown_signal_raises(self):
+        ev, node = make_eval("reg [3:0] a, b;", "a & b")
+        with pytest.raises(SemanticError):
+            ev.eval(node, {"a": 1})
+
+    def test_width_of_mixed_expression(self):
+        ev, node = make_eval("reg [3:0] a; reg [7:0] b;", "a + b")
+        assert ev.width_of(node) == 8
+
+    def test_width_of_concat(self):
+        ev, node = make_eval("reg [3:0] a, b;", "{a, b, a}")
+        assert ev.width_of(node) == 12
+
+    def test_width_of_comparison_is_one(self):
+        ev, node = make_eval("reg [7:0] a, b;", "a == b")
+        assert ev.width_of(node) == 1
+
+
+class TestLvalueHandling:
+    def test_write_full(self):
+        module = parse_module(
+            "module t(y); output reg [7:0] y; always @(*) y = 8'hFF; endmodule"
+        )
+        ev = Evaluator(module)
+        stmt = module.statements()[0]
+        assert ev.write_lvalue(stmt.target, 0x1FF, {"y": 0}) == 0xFF
+
+    def test_write_bit(self):
+        module = parse_module(
+            "module t(y); output reg [7:0] y; reg a;"
+            " always @(*) y[3] = a; endmodule"
+        )
+        ev = Evaluator(module)
+        stmt = module.statements()[0]
+        assert ev.write_lvalue(stmt.target, 1, {"y": 0, "a": 1}) == 0b1000
+
+    def test_write_part(self):
+        module = parse_module(
+            "module t(y); output reg [7:0] y; reg [1:0] a;"
+            " always @(*) y[5:4] = a; endmodule"
+        )
+        ev = Evaluator(module)
+        stmt = module.statements()[0]
+        assert ev.write_lvalue(stmt.target, 0b11, {"y": 0, "a": 0}) == 0b0011_0000
+
+    def test_lvalue_width(self):
+        module = parse_module(
+            "module t(y); output reg [7:0] y; reg [1:0] a;"
+            " always @(*) y[5:4] = a; endmodule"
+        )
+        ev = Evaluator(module)
+        assert ev.lvalue_width(module.statements()[0].target) == 2
