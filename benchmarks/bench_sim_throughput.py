@@ -1,0 +1,119 @@
+"""Simulation-engine throughput: interpreted vs compiled.
+
+Measures cycles/sec and statements/sec on the four paper designs for
+both execution engines, with recording on (trace-learning workload) and
+off (golden-trace workload), and writes the results to ``BENCH_sim.json``
+at the repo root so the performance trajectory is tracked across PRs.
+
+Run with::
+
+    python benchmarks/bench_sim_throughput.py [--traces N] [--cycles N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.designs import REGISTRY, load_design  # noqa: E402
+from repro.sim import (  # noqa: E402
+    Simulator,
+    TestbenchConfig,
+    clear_compile_cache,
+    generate_testbench_suite,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def bench_design(name: str, n_traces: int, n_cycles: int, seed: int = 3) -> dict:
+    module = load_design(name)
+    stimuli = generate_testbench_suite(
+        module, n_traces, TestbenchConfig(n_cycles=n_cycles), seed=seed
+    )
+    total_cycles = n_traces * n_cycles
+    row: dict = {"n_traces": n_traces, "n_cycles": n_cycles}
+
+    for engine in ("interpreted", "compiled"):
+        t0 = time.perf_counter()
+        simulator = Simulator(module, engine=engine)
+        setup_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        traces = simulator.run_suite(stimuli, record=True)
+        record_s = time.perf_counter() - t0
+        n_statements = sum(len(t.executions) for t in traces)
+
+        t0 = time.perf_counter()
+        simulator.run_suite(stimuli, record=False)
+        norecord_s = time.perf_counter() - t0
+
+        row[engine] = {
+            "setup_s": round(setup_s, 6),
+            "record": {
+                "wall_s": round(record_s, 6),
+                "cycles_per_s": round(total_cycles / record_s),
+                "statements_per_s": round(n_statements / record_s),
+            },
+            "norecord": {
+                "wall_s": round(norecord_s, 6),
+                "cycles_per_s": round(total_cycles / norecord_s),
+            },
+        }
+
+    row["speedup_record"] = round(
+        row["interpreted"]["record"]["wall_s"] / row["compiled"]["record"]["wall_s"], 2
+    )
+    row["speedup_norecord"] = round(
+        row["interpreted"]["norecord"]["wall_s"]
+        / row["compiled"]["norecord"]["wall_s"],
+        2,
+    )
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traces", type=int, default=8, help="testbenches per design")
+    parser.add_argument("--cycles", type=int, default=50, help="cycles per testbench")
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_sim.json"), help="result path"
+    )
+    args = parser.parse_args()
+
+    clear_compile_cache()
+    results = {
+        "workload": {"traces_per_design": args.traces, "cycles_per_trace": args.cycles},
+        "designs": {},
+    }
+    for name in REGISTRY:
+        row = bench_design(name, args.traces, args.cycles)
+        results["designs"][name] = row
+        print(
+            f"{name:18s} record {row['speedup_record']:>5.2f}x "
+            f"norecord {row['speedup_norecord']:>5.2f}x "
+            f"({row['compiled']['record']['cycles_per_s']} cyc/s compiled, "
+            f"{row['interpreted']['record']['cycles_per_s']} interpreted)"
+        )
+
+    speedups = [r["speedup_record"] for r in results["designs"].values()]
+    results["geomean_speedup_record"] = round(
+        __import__("math").prod(speedups) ** (1 / len(speedups)), 2
+    )
+    existing = {}
+    out = pathlib.Path(args.output)
+    if out.exists():
+        existing = json.loads(out.read_text())
+    existing.update(results)
+    out.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"geomean record-mode speedup: {results['geomean_speedup_record']}x")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,9 +58,9 @@ def main() -> None:
     )
     golden_sim, buggy_sim = Simulator(golden), Simulator(buggy)
     failing, passing = [], []
-    for stim in stimuli:
-        golden_trace = golden_sim.run(stim, record=False)
-        trace = buggy_sim.run(stim)
+    golden_traces = golden_sim.run_suite(stimuli, record=False)
+    buggy_traces = buggy_sim.run_suite(stimuli)
+    for golden_trace, trace in zip(golden_traces, buggy_traces):
         if trace.diverges_from(golden_trace, signals=["y"]):
             failing.append(trace)
         else:

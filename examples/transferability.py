@@ -37,7 +37,7 @@ def main() -> None:
         stimuli = generate_testbench_suite(
             module, 4, design_testbench(name, n_cycles=25), seed=9
         )
-        traces = [simulator.run(stim) for stim in stimuli]
+        traces = simulator.run_suite(stimuli)
         contexts = extract_module_contexts(module.statements())
         samples = build_samples(contexts, traces, design=name)
         metrics = trainer.evaluate(samples)

@@ -1,0 +1,10 @@
+"""Shim for environments whose setuptools predates PEP 660 editable wheels.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e .`` via the legacy develop-mode path when the ``wheel``
+package is unavailable (as in the pinned CI/container toolchain).
+"""
+
+from setuptools import setup
+
+setup()

@@ -11,10 +11,19 @@ For each sampled mutation the campaign:
 3. declares the bug *observable* when at least one failing trace exists,
 4. runs the localizer and scores *top-1 localization*: the mutated
    statement must hold the single highest suspiciousness in ``Ht``.
+
+Simulation of mutants is embarrassingly parallel: with ``n_workers > 0``
+the campaign fans the simulate/classify phase out across a process pool
+(one task per mutation; the worker pool is seeded once with the golden
+design, stimuli, and golden traces).  Localization stays in the parent
+process so the trained model is never pickled.  Parallel campaigns are
+bit-identical to sequential ones because every mutant derives its extra
+testbench seeds from its own ``node_index``.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from ..core.localizer import BugLocalizer, LocalizationResult
@@ -82,8 +91,152 @@ class CampaignResult:
         return sum(1 for o in self.outcomes if o.mutation.kind == kind and not o.error)
 
 
+def _simulate_mutant(
+    module: Module,
+    target: str,
+    mutation: Mutation,
+    stimuli: list[list[dict[str, int]]],
+    golden_traces: list[Trace],
+    testbench_config: TestbenchConfig,
+    n_traces: int,
+    seed: int,
+    min_correct_traces: int,
+    max_extra_batches: int,
+) -> tuple[MutantOutcome, list[Trace], list[Trace]]:
+    """Simulate and classify one mutant (no localization).
+
+    Pure function of its arguments so it can run either inline or inside a
+    worker process; returns the outcome shell plus the failing/correct
+    trace sets the localizer needs.
+    """
+    engine = testbench_config.engine
+    outcome = MutantOutcome(mutation=mutation)
+    failing: list[Trace] = []
+    correct: list[Trace] = []
+    try:
+        mutant = apply_mutation(module, mutation)
+        simulator = Simulator(mutant, engine=engine)
+    except (ValueError, SimulationError) as exc:
+        outcome.error = str(exc)
+        return outcome, failing, correct
+
+    all_outputs = module.outputs
+
+    def classify(stims, goldens) -> bool:
+        for stim, golden_trace in zip(stims, goldens):
+            try:
+                trace = simulator.run(stim)
+            except SimulationError as exc:
+                outcome.error = str(exc)
+                return False
+            if trace.diverges_from(golden_trace, signals=[target]):
+                trace.is_failure = True
+                failing.append(trace)
+            elif not trace.diverges_from(golden_trace, signals=all_outputs):
+                correct.append(trace)
+            # Traces failing only at non-target outputs are dropped.
+        return True
+
+    if not classify(stimuli, golden_traces):
+        return outcome, failing, correct
+
+    # A verification environment has no shortage of passing runs:
+    # top up the correct set so Ft/Ct comparison is well-conditioned.
+    golden_sim = None
+    extra_batch = 0
+    while (
+        failing
+        and len(correct) < min_correct_traces
+        and extra_batch < max_extra_batches
+    ):
+        if golden_sim is None:
+            golden_sim = Simulator(module, engine=engine)
+        extra_batch += 1
+        extra_stimuli = generate_testbench_suite(
+            module,
+            n_traces,
+            testbench_config,
+            seed=seed + 1000 * extra_batch + mutation.node_index,
+        )
+        extra_golden = golden_sim.run_suite(extra_stimuli, record=False)
+        if not classify(extra_stimuli, extra_golden):
+            return outcome, failing, correct
+
+    outcome.n_failing = len(failing)
+    outcome.n_correct = len(correct)
+    outcome.observable = bool(failing)
+    return outcome, failing, correct
+
+
+#: Per-process state for campaign workers (set by the pool initializer).
+_WORKER_STATE: dict = {}
+
+
+def _init_campaign_worker(
+    module: Module,
+    target: str,
+    stimuli: list[list[dict[str, int]]],
+    golden_traces: list[Trace],
+    testbench_config: TestbenchConfig,
+    n_traces: int,
+    seed: int,
+    min_correct_traces: int,
+    max_extra_batches: int,
+) -> None:
+    _WORKER_STATE["args"] = (
+        module,
+        target,
+        stimuli,
+        golden_traces,
+        testbench_config,
+        n_traces,
+        seed,
+        min_correct_traces,
+        max_extra_batches,
+    )
+
+
+def _campaign_worker(
+    mutation: Mutation,
+) -> tuple[MutantOutcome, list[Trace], list[Trace]]:
+    (
+        module,
+        target,
+        stimuli,
+        golden_traces,
+        testbench_config,
+        n_traces,
+        seed,
+        min_correct,
+        max_extra,
+    ) = _WORKER_STATE["args"]
+    return _simulate_mutant(
+        module,
+        target,
+        mutation,
+        stimuli,
+        golden_traces,
+        testbench_config,
+        n_traces,
+        seed,
+        min_correct,
+        max_extra,
+    )
+
+
 class BugInjectionCampaign:
-    """Runs mutation campaigns against a trained localizer."""
+    """Runs mutation campaigns against a trained localizer.
+
+    Args:
+        localizer: Trained localizer scored against each observable bug.
+        n_traces: Testbenches per batch.
+        testbench_config: Stimulus knobs; its ``engine`` field selects the
+            simulation engine for golden and mutant runs.
+        seed: Base seed for the testbench suite.
+        min_correct_traces / max_extra_batches: Correct-trace top-up policy.
+        n_workers: When > 0, simulate mutants on a process pool of this
+            size; localization still runs in the parent process.
+    """
 
     def __init__(
         self,
@@ -93,6 +246,7 @@ class BugInjectionCampaign:
         seed: int = 0,
         min_correct_traces: int = 4,
         max_extra_batches: int = 4,
+        n_workers: int = 0,
     ):
         self.localizer = localizer
         self.n_traces = n_traces
@@ -100,6 +254,7 @@ class BugInjectionCampaign:
         self.seed = seed
         self.min_correct_traces = min_correct_traces
         self.max_extra_batches = max_extra_batches
+        self.n_workers = n_workers
 
     def run(
         self,
@@ -121,80 +276,74 @@ class BugInjectionCampaign:
         stimuli = generate_testbench_suite(
             module, self.n_traces, self.testbench_config, seed=self.seed
         )
-        golden = Simulator(module)
-        golden_traces = [golden.run(stim, record=False) for stim in stimuli]
+        golden = Simulator(module, engine=self.testbench_config.engine)
+        golden_traces = golden.run_suite(stimuli, record=False)
 
-        for mutation in mutations:
-            outcome = self._run_mutant(module, target, mutation, stimuli, golden_traces)
-            result.outcomes.append(outcome)
+        if self.n_workers > 0 and len(mutations) > 1:
+            simulated = self._simulate_parallel(
+                module, target, mutations, stimuli, golden_traces
+            )
+        else:
+            simulated = (
+                self._simulate(module, target, mutation, stimuli, golden_traces)
+                for mutation in mutations
+            )
+
+        # Localize each mutant as its simulation arrives so at most one
+        # mutant's trace sets are alive at a time.
+        for mutation, (outcome, failing, correct) in zip(mutations, simulated):
+            result.outcomes.append(
+                self._localize(module, target, mutation, outcome, failing, correct)
+            )
         return result
 
-    def _run_mutant(
+    def _simulate(self, module, target, mutation, stimuli, golden_traces):
+        return _simulate_mutant(
+            module,
+            target,
+            mutation,
+            stimuli,
+            golden_traces,
+            self.testbench_config,
+            self.n_traces,
+            self.seed,
+            self.min_correct_traces,
+            self.max_extra_batches,
+        )
+
+    def _simulate_parallel(self, module, target, mutations, stimuli, golden_traces):
+        initargs = (
+            module,
+            target,
+            stimuli,
+            golden_traces,
+            self.testbench_config,
+            self.n_traces,
+            self.seed,
+            self.min_correct_traces,
+            self.max_extra_batches,
+        )
+        with ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_init_campaign_worker,
+            initargs=initargs,
+        ) as pool:
+            # yield from inside the context manager so results stream to
+            # the caller while the pool stays alive.
+            yield from pool.map(_campaign_worker, mutations)
+
+    def _localize(
         self,
         module: Module,
         target: str,
         mutation: Mutation,
-        stimuli: list[list[dict[str, int]]],
-        golden_traces: list[Trace],
+        outcome: MutantOutcome,
+        failing: list[Trace],
+        correct: list[Trace],
     ) -> MutantOutcome:
-        outcome = MutantOutcome(mutation=mutation)
-        try:
-            mutant = apply_mutation(module, mutation)
-            simulator = Simulator(mutant)
-        except (ValueError, SimulationError) as exc:
-            outcome.error = str(exc)
+        if outcome.error or not outcome.observable:
             return outcome
-
-        failing: list[Trace] = []
-        correct: list[Trace] = []
-        all_outputs = module.outputs
-
-        def classify(stims, goldens) -> bool:
-            for stim, golden_trace in zip(stims, goldens):
-                try:
-                    trace = simulator.run(stim)
-                except SimulationError as exc:
-                    outcome.error = str(exc)
-                    return False
-                if trace.diverges_from(golden_trace, signals=[target]):
-                    trace.is_failure = True
-                    failing.append(trace)
-                elif not trace.diverges_from(golden_trace, signals=all_outputs):
-                    correct.append(trace)
-                # Traces failing only at non-target outputs are dropped.
-            return True
-
-        if not classify(stimuli, golden_traces):
-            return outcome
-
-        # A verification environment has no shortage of passing runs:
-        # top up the correct set so Ft/Ct comparison is well-conditioned.
-        golden_sim = Simulator(module)
-        extra_batch = 0
-        while (
-            failing
-            and len(correct) < self.min_correct_traces
-            and extra_batch < self.max_extra_batches
-        ):
-            extra_batch += 1
-            from ..sim.testbench import generate_testbench_suite
-
-            extra_stimuli = generate_testbench_suite(
-                module,
-                self.n_traces,
-                self.testbench_config,
-                seed=self.seed + 1000 * extra_batch + mutation.node_index,
-            )
-            extra_golden = [golden_sim.run(s, record=False) for s in extra_stimuli]
-            if not classify(extra_stimuli, extra_golden):
-                return outcome
-
-        outcome.n_failing = len(failing)
-        outcome.n_correct = len(correct)
-        outcome.observable = bool(failing)
-        if not outcome.observable:
-            return outcome
-
+        mutant = apply_mutation(module, mutation)
         localization: LocalizationResult = self.localizer.localize(
             mutant, target, failing_traces=failing, correct_traces=correct
         )

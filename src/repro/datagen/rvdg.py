@@ -139,6 +139,18 @@ class RandomVerilogDesignGenerator:
         """Generate ``count`` designs named ``<prefix>_<index>``."""
         return [self.generate(f"{prefix}_{index}") for index in range(count)]
 
+    def generate_corpus_sources(
+        self, count: int, prefix: str = "rvdg"
+    ) -> list[tuple[str, str]]:
+        """Generate ``count`` designs as ``(name, source)`` pairs.
+
+        Consumes the RNG stream exactly like :meth:`generate_corpus`, so
+        the parallel corpus layer (which ships sources to workers and
+        parses there) sees the same designs as the sequential path.
+        """
+        names = [f"{prefix}_{index}" for index in range(count)]
+        return [(name, self.generate_source(name)) for name in names]
+
     # ------------------------------------------------------------------
     # Expression generation
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ traces), then localize injected bugs on arbitrary designs with the
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from .analysis import extract_module_contexts
@@ -25,6 +26,7 @@ from .core import (
 )
 from .datagen import RandomVerilogDesignGenerator, RVDGConfig
 from .sim import Simulator, TestbenchConfig, generate_testbench_suite
+from .verilog import parse_module
 
 
 @dataclass
@@ -57,6 +59,10 @@ class CorpusSpec:
         n_cycles: Cycles per testbench.
         test_fraction: Held-out fraction for Table-II-style evaluation.
         rvdg: Generator shape knobs.
+        engine: Simulation engine ("compiled" or "interpreted").
+        n_workers: When > 0, simulate designs on a process pool of this
+            size; results are bit-identical to the sequential path because
+            every design's testbench seed is derived from its index.
     """
 
     n_designs: int = 16
@@ -64,23 +70,64 @@ class CorpusSpec:
     n_cycles: int = 25
     test_fraction: float = 0.2
     rvdg: RVDGConfig = field(default_factory=RVDGConfig)
+    engine: str = "compiled"
+    n_workers: int = 0
+
+
+def _design_samples(
+    index: int,
+    source: str,
+    spec: CorpusSpec,
+    seed: int,
+) -> list[Sample]:
+    """Simulate one corpus design and build its training samples.
+
+    Module-level so the parallel corpus layer can dispatch it to worker
+    processes; the sequential path calls it inline with identical results.
+    """
+    module = parse_module(source)
+    simulator = Simulator(module, engine=spec.engine)
+    stimuli = generate_testbench_suite(
+        module,
+        spec.n_traces_per_design,
+        TestbenchConfig(n_cycles=spec.n_cycles),
+        seed=seed * 7919 + index,
+    )
+    traces = simulator.run_suite(stimuli)
+    contexts = extract_module_contexts(module.statements())
+    return build_samples(contexts, traces, design=module.name)
 
 
 def generate_corpus_samples(spec: CorpusSpec, seed: int = 0) -> list[Sample]:
-    """Simulate an RVDG corpus and convert traces to training samples."""
+    """Simulate an RVDG corpus and convert traces to training samples.
+
+    Design sources are generated sequentially (the RVDG RNG stream is a
+    single sequence), then each design is simulated and featurized either
+    inline or — when ``spec.n_workers > 0`` — fanned out across a process
+    pool.  Both paths yield samples in design order, so the execution
+    strategy never changes the corpus.
+    """
     generator = RandomVerilogDesignGenerator(spec.rvdg, seed=seed)
+    sources = generator.generate_corpus_sources(spec.n_designs)
+    if spec.n_workers > 0 and spec.n_designs > 1:
+        with ProcessPoolExecutor(max_workers=spec.n_workers) as pool:
+            results = list(
+                pool.map(
+                    _design_samples,
+                    range(len(sources)),
+                    [source for _name, source in sources],
+                    [spec] * len(sources),
+                    [seed] * len(sources),
+                )
+            )
+    else:
+        results = [
+            _design_samples(index, source, spec, seed)
+            for index, (_name, source) in enumerate(sources)
+        ]
     samples: list[Sample] = []
-    for index, module in enumerate(generator.generate_corpus(spec.n_designs)):
-        simulator = Simulator(module)
-        stimuli = generate_testbench_suite(
-            module,
-            spec.n_traces_per_design,
-            TestbenchConfig(n_cycles=spec.n_cycles),
-            seed=seed * 7919 + index,
-        )
-        traces = [simulator.run(stim) for stim in stimuli]
-        contexts = extract_module_contexts(module.statements())
-        samples.extend(build_samples(contexts, traces, design=module.name))
+    for design_samples in results:
+        samples.extend(design_samples)
     return samples
 
 
@@ -104,7 +151,7 @@ def train_pipeline(
         The trained pipeline, ready for :meth:`BugLocalizer.localize`.
     """
     config = config or VeriBugConfig()
-    corpus = corpus or CorpusSpec()
+    corpus = corpus or CorpusSpec(engine=config.sim_engine)
     vocab = Vocabulary()
     model = VeriBugModel(config, vocab)
     encoder = BatchEncoder(vocab)

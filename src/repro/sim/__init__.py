@@ -1,11 +1,21 @@
-"""Simulation substrate: values, evaluator, simulator, traces, testbenches.
+"""Simulation substrate: values, evaluator, compiler, simulator, traces.
 
 Replaces the commercial/open simulator the paper relies on, with the
-statement-level instrumentation VeriBug needs built in.
+statement-level instrumentation VeriBug needs built in.  Two engines are
+provided: the default compiled engine (AST lowered once to an instruction
+stream, executed by a tight dispatch loop) and the original tree-walking
+interpreter, kept as the reference oracle.
 """
 
+from .compiler import (
+    CompiledEvaluator,
+    CompiledProgram,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_module,
+)
 from .evaluator import Evaluator
-from .simulator import SimulationError, Simulator
+from .simulator import ENGINES, SimulationError, Simulator
 from .testbench import (
     TestbenchConfig,
     generate_stimulus,
@@ -17,12 +27,18 @@ from .testbench import (
 from .trace import StatementExecution, Trace
 
 __all__ = [
+    "ENGINES",
+    "CompiledEvaluator",
+    "CompiledProgram",
     "Evaluator",
     "SimulationError",
     "Simulator",
     "StatementExecution",
     "TestbenchConfig",
     "Trace",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "compile_module",
     "generate_stimulus",
     "generate_testbench_suite",
     "identify_clock",

@@ -1,0 +1,836 @@
+"""AST -> instruction-stream compiler for the simulation engine.
+
+The tree-walking :class:`~repro.sim.evaluator.Evaluator` re-derives
+expression widths and re-dispatches on node types for every statement of
+every settle pass of every cycle.  This module lowers a parsed
+:class:`~repro.verilog.ast_nodes.Module` **once** into a flat,
+width-resolved instruction stream over a signal *slot table*:
+
+* every declared signal gets an integer slot; the runtime environment is
+  a plain ``list[int]`` instead of a dict,
+* every expression node becomes one register op with its width, mask and
+  constant operands resolved at compile time (SSA-ish: each op writes a
+  fresh virtual register),
+* statement control flow (``if``/``case``) becomes conditional jumps, so
+  executing one settle pass is a single tight dispatch loop with no
+  recursion and no isinstance checks,
+* non-blocking assignments push ``(writer, value)`` pairs onto a pending
+  list; writers re-resolve dynamic bit-select indices at commit time,
+  exactly like the reference interpreter's ``write_lvalue``.
+
+Each region (combinational pass, clock edge) is emitted twice: a *fast*
+stream with no instrumentation (used for settle iterations and
+``record=False`` runs) and an *instrumented* stream that additionally
+emits :class:`~repro.sim.trace.StatementExecution` records.  The compiled
+engine is trace-identical to the interpreter by construction; the
+differential property tests in ``tests/test_compiler.py`` enforce it.
+
+Compiled programs are cached per module *identity* (``id``), so repeated
+testbenches and campaign mutants over the same module object never
+recompile.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+
+from ..verilog.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    BitSelect,
+    Block,
+    Case,
+    Concat,
+    ContinuousAssign,
+    Expr,
+    Identifier,
+    If,
+    Lvalue,
+    Module,
+    Number,
+    PartSelect,
+    Repeat,
+    Statement,
+    Ternary,
+    UnaryOp,
+    collect_identifiers,
+)
+from ..verilog.errors import SemanticError
+from ..verilog.visitors import ExprVisitor, StatementVisitor
+from .evaluator import Evaluator
+from .trace import StatementExecution
+from .values import mask as make_mask
+from .values import truncate
+
+_UNSIZED_WIDTH = 32
+
+# ----------------------------------------------------------------------
+# Opcodes (ints; ordered roughly by runtime frequency for the dispatcher)
+# ----------------------------------------------------------------------
+
+LOAD = 0  # (LOAD, dst, slot, mask)         regs[dst] = env[slot] & mask
+STORE = 1  # (STORE, slot, src)             env[slot] = regs[src]
+CONST = 2  # (CONST, dst, value)            regs[dst] = value
+AND = 3  # (AND, dst, a, b)
+OR = 4  # (OR, dst, a, b)
+XOR = 5  # (XOR, dst, a, b)
+NOT = 6  # (NOT, dst, a, mask)
+JZ = 7  # (JZ, src, target)                 jump when regs[src] == 0
+JMP = 8  # (JMP, target)
+EQ = 9  # (EQ, dst, a, b)
+SELECT = 10  # (SELECT, dst, c, a, b)       regs[dst] = a if regs[c] else b
+RECORD = 11  # (RECORD, meta_idx, src)      append StatementExecution
+NBA = 12  # (NBA, writer_idx, src)          pending non-blocking update
+ADD = 13  # (ADD, dst, a, b, mask)
+SUB = 14  # (SUB, dst, a, b, mask)
+LNOT = 15  # (LNOT, dst, a)
+LAND = 16  # (LAND, dst, a, b)
+LOR = 17  # (LOR, dst, a, b)
+NE = 18  # (NE, dst, a, b)
+LT = 19  # (LT, dst, a, b)
+LE = 20  # (LE, dst, a, b)
+GT = 21  # (GT, dst, a, b)
+GE = 22  # (GE, dst, a, b)
+XNOR = 23  # (XNOR, dst, a, b, mask)
+NEG = 24  # (NEG, dst, a, mask)
+MUL = 25  # (MUL, dst, a, b, mask)
+DIV = 26  # (DIV, dst, a, b, mask)
+MOD = 27  # (MOD, dst, a, b, mask)
+SHL = 28  # (SHL, dst, a, b, mask)
+SHR = 29  # (SHR, dst, a, b)
+RAND = 30  # (RAND, dst, a, mask)
+ROR = 31  # (ROR, dst, a)
+RXOR = 32  # (RXOR, dst, a)
+RNAND = 33  # (RNAND, dst, a, mask)
+RNOR = 34  # (RNOR, dst, a)
+RNXOR = 35  # (RNXOR, dst, a)
+BITSEL = 36  # (BITSEL, dst, a, i)          regs[dst] = (regs[a] >> regs[i]) & 1
+PARTSEL = 37  # (PARTSEL, dst, a, lsb, mask)
+SHLOR = 38  # (SHLOR, dst, acc, shift, part)  concat step
+REPL = 39  # (REPL, dst, a, factor)         replication via multiply
+MASK = 40  # (MASK, dst, a, mask)           truncate to lvalue width
+JNZ = 41  # (JNZ, src, target)
+STOREBIT = 42  # (STOREBIT, slot, src, i, fullmask)       RMW single bit
+STOREPART = 43  # (STOREPART, slot, src, lsb, fieldmask, fullmask)
+
+#: Non-blocking writer kinds (first element of a writer spec tuple).
+_W_NAME = 0  # (0, slot)
+_W_BIT = 1  # (1, slot, fullmask, index_code, index_reg)
+_W_PART = 2  # (2, slot, fullmask, lsb, fieldmask)
+
+
+@dataclass(frozen=True)
+class RecordMeta:
+    """Per-statement instrumentation data resolved at compile time.
+
+    Attributes:
+        stmt_id: Stable statement id.
+        target: Assigned signal name.
+        operands: RHS identifier names in first-use order.
+        fetch: One ``(slot, mask)`` pair per operand; ``slot == -1`` marks
+            a parameter whose (pre-truncated) constant value is stored in
+            the mask field.
+        width: Width of the written slice (``lvalue_width``).
+    """
+
+    stmt_id: int
+    target: str
+    operands: tuple[str, ...]
+    fetch: tuple[tuple[int, int], ...]
+    width: int
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """A module lowered to executable instruction streams.
+
+    Attributes:
+        design: Module name.
+        slot_of: Signal name -> slot index.
+        names: Slot index -> signal name.
+        widths / masks: Declared width and all-ones mask per slot.
+        n_regs: Virtual registers needed by the widest stream.
+        comb_fast / comb_rec: Combinational pass without / with recording.
+        seq_fast / seq_rec: Clock-edge pass without / with recording.
+        nba_writers: Non-blocking lvalue writer specs (commit time).
+        metas: :class:`RecordMeta` table indexed by RECORD instructions.
+        output_slots: ``(name, slot)`` pairs for module outputs.
+        n_instructions: Total instruction count (diagnostics/benchmarks).
+    """
+
+    design: str
+    slot_of: dict[str, int]
+    names: tuple[str, ...]
+    widths: tuple[int, ...]
+    masks: tuple[int, ...]
+    n_regs: int
+    comb_fast: tuple[tuple, ...]
+    comb_rec: tuple[tuple, ...]
+    seq_fast: tuple[tuple, ...]
+    seq_rec: tuple[tuple, ...]
+    nba_writers: tuple[tuple, ...]
+    metas: tuple[RecordMeta, ...]
+    output_slots: tuple[tuple[str, int], ...]
+    n_instructions: int
+
+    def initial_slots(self) -> list[int]:
+        """Fresh slot table with every signal at 0."""
+        return [0] * len(self.names)
+
+
+# ----------------------------------------------------------------------
+# Lowering
+# ----------------------------------------------------------------------
+
+
+class _ExprLowerer(ExprVisitor):
+    """Lowers one expression tree to straight-line register ops.
+
+    Width rules mirror :class:`repro.sim.evaluator.Evaluator` exactly;
+    every handler returns ``(register, width)`` with the register holding
+    a value already truncated to that width.
+    """
+
+    def __init__(self, compiler: "_ModuleCompiler"):
+        super().__init__()
+        self.c = compiler
+
+    def visit_Identifier(self, e: Identifier, code: list) -> tuple[int, int]:
+        c = self.c
+        slot = c.slot_of.get(e.name)
+        if slot is not None:
+            r = c.new_reg()
+            code.append((LOAD, r, slot, c.slot_masks[slot]))
+            return r, c.slot_widths[slot]
+        if e.name in c.params:
+            r = c.new_reg()
+            code.append((CONST, r, truncate(c.params[e.name], _UNSIZED_WIDTH)))
+            return r, _UNSIZED_WIDTH
+        raise SemanticError(f"signal {e.name!r} has no value", e.line, e.col)
+
+    def visit_Number(self, e: Number, code: list) -> tuple[int, int]:
+        width = e.width if e.width is not None else _UNSIZED_WIDTH
+        r = self.c.new_reg()
+        code.append((CONST, r, truncate(e.value, width)))
+        return r, width
+
+    def visit_UnaryOp(self, e: UnaryOp, code: list) -> tuple[int, int]:
+        a, w = self.visit(e.operand, code)
+        op = e.op
+        if op == "+":
+            return a, w
+        r = self.c.new_reg()
+        if op == "~":
+            code.append((NOT, r, a, make_mask(w)))
+            return r, w
+        if op == "!":
+            code.append((LNOT, r, a))
+            return r, 1
+        if op == "-":
+            code.append((NEG, r, a, make_mask(w)))
+            return r, w
+        if op == "&":
+            code.append((RAND, r, a, make_mask(w)))
+            return r, 1
+        if op == "|":
+            code.append((ROR, r, a))
+            return r, 1
+        if op == "^":
+            code.append((RXOR, r, a))
+            return r, 1
+        if op == "~&":
+            code.append((RNAND, r, a, make_mask(w)))
+            return r, 1
+        if op == "~|":
+            code.append((RNOR, r, a))
+            return r, 1
+        if op in ("~^", "^~"):
+            code.append((RNXOR, r, a))
+            return r, 1
+        raise SemanticError(f"unknown unary operator {op!r}", e.line)
+
+    _SIMPLE_BINOPS = {"&": AND, "|": OR, "^": XOR}
+    _COMPARE_BINOPS = {
+        "==": EQ,
+        "===": EQ,
+        "!=": NE,
+        "!==": NE,
+        "<": LT,
+        "<=": LE,
+        ">": GT,
+        ">=": GE,
+    }
+    _MASKED_BINOPS = {"+": ADD, "-": SUB, "*": MUL, "/": DIV, "%": MOD}
+
+    def visit_BinaryOp(self, e: BinaryOp, code: list) -> tuple[int, int]:
+        op = e.op
+        # Both operand subtrees are pure, so the interpreter's lazy
+        # evaluation of &&/||/?: arms is value-identical to eager
+        # evaluation here; lowering stays branch-free.
+        a, lw = self.visit(e.left, code)
+        if op in ("&&", "||"):
+            b, _rw = self.visit(e.right, code)
+            r = self.c.new_reg()
+            code.append((LAND if op == "&&" else LOR, r, a, b))
+            return r, 1
+        b, rw = self.visit(e.right, code)
+        w = max(lw, rw)
+        r = self.c.new_reg()
+        simple = self._SIMPLE_BINOPS.get(op)
+        if simple is not None:
+            code.append((simple, r, a, b))
+            return r, w
+        compare = self._COMPARE_BINOPS.get(op)
+        if compare is not None:
+            code.append((compare, r, a, b))
+            return r, 1
+        masked = self._MASKED_BINOPS.get(op)
+        if masked is not None:
+            code.append((masked, r, a, b, make_mask(w)))
+            return r, w
+        if op in ("~^", "^~"):
+            code.append((XNOR, r, a, b, make_mask(w)))
+            return r, w
+        if op in ("<<", "<<<"):
+            code.append((SHL, r, a, b, make_mask(lw)))
+            return r, lw
+        if op in (">>", ">>>"):
+            code.append((SHR, r, a, b))
+            return r, lw
+        raise SemanticError(f"unknown binary operator {op!r}", e.line)
+
+    def visit_Ternary(self, e: Ternary, code: list) -> tuple[int, int]:
+        c, _ = self.visit(e.cond, code)
+        a, tw = self.visit(e.then, code)
+        b, ow = self.visit(e.otherwise, code)
+        r = self.c.new_reg()
+        # Both arms already fit max(tw, ow) bits; no extra mask needed.
+        code.append((SELECT, r, c, a, b))
+        return r, max(tw, ow)
+
+    def visit_BitSelect(self, e: BitSelect, code: list) -> tuple[int, int]:
+        base, _ = self.visit(e.base, code)
+        index, _ = self.visit(e.index, code)
+        r = self.c.new_reg()
+        code.append((BITSEL, r, base, index))
+        return r, 1
+
+    def visit_PartSelect(self, e: PartSelect, code: list) -> tuple[int, int]:
+        base, _ = self.visit(e.base, code)
+        msb = self.c.const_value(e.msb)
+        lsb = self.c.const_value(e.lsb)
+        if msb < lsb:
+            msb, lsb = lsb, msb
+        width = msb - lsb + 1
+        r = self.c.new_reg()
+        code.append((PARTSEL, r, base, lsb, make_mask(width)))
+        return r, width
+
+    def visit_Concat(self, e: Concat, code: list) -> tuple[int, int]:
+        acc, total = self.visit(e.parts[0], code)
+        for part in e.parts[1:]:
+            p, pw = self.visit(part, code)
+            r = self.c.new_reg()
+            code.append((SHLOR, r, acc, pw, p))
+            acc = r
+            total += pw
+        return acc, total
+
+    def visit_Repeat(self, e: Repeat, code: list) -> tuple[int, int]:
+        count = self.c.const_value(e.count)
+        a, w = self.visit(e.value, code)
+        # value < 2**w, so repetition is multiplication by sum_i 2**(i*w).
+        factor = sum(1 << (i * w) for i in range(count))
+        r = self.c.new_reg()
+        code.append((REPL, r, a, factor))
+        return r, count * w
+
+    def generic_visit(self, e: Expr, *args) -> tuple[int, int]:
+        raise SemanticError(f"cannot evaluate {type(e).__name__}", e.line)
+
+
+class _StmtLowerer(StatementVisitor):
+    """Lowers statements to instructions with jump-based control flow."""
+
+    def __init__(self, compiler: "_ModuleCompiler"):
+        super().__init__()
+        self.c = compiler
+
+    def visit_Block(self, s: Block, code: list, record: bool) -> None:
+        for child in s.statements:
+            self.visit(child, code, record)
+
+    def visit_If(self, s: If, code: list, record: bool) -> None:
+        cond, _ = self.c.expr.visit(s.cond, code)
+        jz_at = len(code)
+        code.append(None)
+        self.visit(s.then_stmt, code, record)
+        if s.else_stmt is None:
+            code[jz_at] = (JZ, cond, len(code))
+            return
+        jmp_at = len(code)
+        code.append(None)
+        code[jz_at] = (JZ, cond, len(code))
+        self.visit(s.else_stmt, code, record)
+        code[jmp_at] = (JMP, len(code))
+
+    def visit_Case(self, s: Case, code: list, record: bool) -> None:
+        subject, _ = self.c.expr.visit(s.subject, code)
+        # The interpreter keeps the *last* default arm and scans the
+        # labeled arms in source order; replicate both.
+        default_body: Statement | None = None
+        labeled = []
+        for item in s.items:
+            if not item.labels:
+                default_body = item.body
+            else:
+                labeled.append(item)
+
+        item_tests: list[list[tuple[int, int]]] = []
+        for item in labeled:
+            jumps: list[tuple[int, int]] = []
+            for label in item.labels:
+                lreg, _ = self.c.expr.visit(label, code)
+                hit = self.c.new_reg()
+                code.append((EQ, hit, subject, lreg))
+                jumps.append((len(code), hit))
+                code.append(None)
+            item_tests.append(jumps)
+        miss_at = len(code)
+        code.append(None)
+
+        end_jmps: list[int] = []
+        for item, jumps in zip(labeled, item_tests):
+            body_start = len(code)
+            for at, hit in jumps:
+                code[at] = (JNZ, hit, body_start)
+            self.visit(item.body, code, record)
+            end_jmps.append(len(code))
+            code.append(None)
+
+        if default_body is not None:
+            code[miss_at] = (JMP, len(code))
+            self.visit(default_body, code, record)
+        else:
+            code[miss_at] = (JMP, len(code))
+        end = len(code)
+        for at in end_jmps:
+            code[at] = (JMP, end)
+
+    def visit_Assignment(self, s: Assignment, code: list, record: bool) -> None:
+        self.c.emit_assign(s, code, record, blocking=s.blocking)
+
+    def visit_ContinuousAssign(
+        self, s: ContinuousAssign, code: list, record: bool
+    ) -> None:
+        self.c.emit_assign(s, code, record, blocking=True)
+
+    def generic_visit(self, s: Statement, *args) -> None:
+        # Matches the interpreter's error for unsupported statements.
+        from .simulator import SimulationError
+
+        raise SimulationError(f"cannot execute statement {type(s).__name__}")
+
+
+class _ModuleCompiler:
+    """Drives the lowering of one module into a :class:`CompiledProgram`."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.slot_of: dict[str, int] = {}
+        names: list[str] = []
+        widths: list[int] = []
+        for name, decl in module.decls.items():
+            self.slot_of[name] = len(names)
+            names.append(name)
+            widths.append(decl.width)
+        self.slot_names = tuple(names)
+        self.slot_widths = tuple(widths)
+        self.slot_masks = tuple(make_mask(w) for w in widths)
+        self.params = {name: p.value for name, p in module.params.items()}
+        self._const_evaluator = Evaluator(module)
+        self.expr = _ExprLowerer(self)
+        self.stmt = _StmtLowerer(self)
+        self.nba_writers: list[tuple] = []
+        self._writer_of: dict[int, int] = {}
+        self.metas: list[RecordMeta] = []
+        self._meta_of: dict[int, int] = {}
+        self._reg = 0
+        self._max_regs = 0
+
+    # -- helpers -------------------------------------------------------
+    def new_reg(self) -> int:
+        r = self._reg
+        self._reg = r + 1
+        return r
+
+    def const_value(self, expr: Expr) -> int:
+        """Compile-time constant (number or parameter) evaluation.
+
+        Delegates to the reference :class:`Evaluator` so select bounds and
+        replication counts resolve with exactly the interpreter's rules.
+        """
+        return self._const_evaluator._const(expr)
+
+    def lvalue_width(self, lv: Lvalue) -> int:
+        return self._const_evaluator.lvalue_width(lv)
+
+    # -- assignment lowering -------------------------------------------
+    def emit_assign(
+        self,
+        stmt: "Assignment | ContinuousAssign",
+        code: list,
+        record: bool,
+        blocking: bool,
+    ) -> None:
+        value, vwidth = self.expr.visit(stmt.rhs, code)
+        lv = stmt.target
+        lv_width = self.lvalue_width(lv)
+        if vwidth > lv_width:
+            r = self.new_reg()
+            code.append((MASK, r, value, make_mask(lv_width)))
+            value = r
+        if record:
+            code.append((RECORD, self._meta_index(stmt, lv_width), value))
+        if not blocking:
+            code.append((NBA, self._writer_index(stmt), value))
+            return
+        slot = self.slot_of[lv.name]
+        if lv.index is not None:
+            index, _ = self.expr.visit(lv.index, code)
+            code.append((STOREBIT, slot, value, index, self.slot_masks[slot]))
+        elif lv.msb is not None and lv.lsb is not None:
+            msb = self.const_value(lv.msb)
+            lsb = self.const_value(lv.lsb)
+            if msb < lsb:
+                msb, lsb = lsb, msb
+            field = make_mask(msb - lsb + 1)
+            code.append((STOREPART, slot, value, lsb, field, self.slot_masks[slot]))
+        else:
+            code.append((STORE, slot, value))
+
+    def _writer_index(self, stmt) -> int:
+        idx = self._writer_of.get(stmt.stmt_id)
+        if idx is not None:
+            return idx
+        lv = stmt.target
+        slot = self.slot_of[lv.name]
+        fullmask = self.slot_masks[slot]
+        if lv.index is not None:
+            # Dynamic index: resolved at commit time against the
+            # commit-time environment, like the interpreter.
+            index_code: list = []
+            index_reg, _ = self.expr.visit(lv.index, index_code)
+            spec = (_W_BIT, slot, fullmask, tuple(index_code), index_reg)
+        elif lv.msb is not None and lv.lsb is not None:
+            msb = self.const_value(lv.msb)
+            lsb = self.const_value(lv.lsb)
+            if msb < lsb:
+                msb, lsb = lsb, msb
+            spec = (_W_PART, slot, fullmask, lsb, make_mask(msb - lsb + 1))
+        else:
+            spec = (_W_NAME, slot)
+        idx = len(self.nba_writers)
+        self.nba_writers.append(spec)
+        self._writer_of[stmt.stmt_id] = idx
+        return idx
+
+    def _meta_index(self, stmt, lv_width: int) -> int:
+        idx = self._meta_of.get(stmt.stmt_id)
+        if idx is not None:
+            return idx
+        operands = tuple(collect_identifiers(stmt.rhs))
+        fetch = []
+        for name in operands:
+            slot = self.slot_of.get(name)
+            if slot is not None:
+                fetch.append((slot, self.slot_masks[slot]))
+            elif name in self.params:
+                fetch.append((-1, truncate(self.params[name], _UNSIZED_WIDTH)))
+            else:
+                raise SemanticError(f"signal {name!r} has no value")
+        meta = RecordMeta(
+            stmt_id=stmt.stmt_id,
+            target=stmt.target.name,
+            operands=operands,
+            fetch=tuple(fetch),
+            width=lv_width,
+        )
+        idx = len(self.metas)
+        self.metas.append(meta)
+        self._meta_of[stmt.stmt_id] = idx
+        return idx
+
+    # -- regions -------------------------------------------------------
+    def _emit_region(self, record: bool, sequential: bool) -> tuple[tuple, ...]:
+        code: list = []
+        self._reg = 0
+        if sequential:
+            for blk in self.module.always_blocks:
+                if blk.is_clocked:
+                    self.stmt.visit(blk.body, code, record)
+        else:
+            for assign in self.module.assigns:
+                self.stmt.visit(assign, code, record)
+            for blk in self.module.always_blocks:
+                if not blk.is_clocked:
+                    self.stmt.visit(blk.body, code, record)
+        self._max_regs = max(self._max_regs, self._reg)
+        return tuple(code)
+
+    def compile(self) -> CompiledProgram:
+        comb_fast = self._emit_region(record=False, sequential=False)
+        comb_rec = self._emit_region(record=True, sequential=False)
+        seq_fast = self._emit_region(record=False, sequential=True)
+        seq_rec = self._emit_region(record=True, sequential=True)
+        outputs = tuple(
+            (name, self.slot_of[name]) for name in self.module.outputs
+        )
+        return CompiledProgram(
+            design=self.module.name,
+            slot_of=self.slot_of,
+            names=self.slot_names,
+            widths=self.slot_widths,
+            masks=self.slot_masks,
+            n_regs=max(self._max_regs, 1),
+            comb_fast=comb_fast,
+            comb_rec=comb_rec,
+            seq_fast=seq_fast,
+            seq_rec=seq_rec,
+            nba_writers=tuple(self.nba_writers),
+            metas=tuple(self.metas),
+            output_slots=outputs,
+            n_instructions=len(comb_fast) + len(seq_fast),
+        )
+
+
+# ----------------------------------------------------------------------
+# Compile cache (keyed by module identity)
+# ----------------------------------------------------------------------
+
+_CACHE: dict[int, tuple] = {}
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_module(module: Module) -> CompiledProgram:
+    """Compile ``module``, reusing the cached program for the same object.
+
+    The cache is keyed by ``id(module)`` with a weak reference guard, so
+    campaign mutants (fresh clones) each compile once and golden designs
+    shared across testbenches never recompile.  Entries are evicted when
+    the module object is garbage collected.
+
+    The key is identity, not content: a module must not be mutated in
+    place after it has been compiled, or later simulators will silently
+    reuse the stale program.  Derive modified designs from ``clone()``
+    (as :func:`repro.datagen.mutation.apply_mutation` does) or call
+    :func:`clear_compile_cache` after an in-place edit.
+    """
+    key = id(module)
+    entry = _CACHE.get(key)
+    if entry is not None and entry[0]() is module:
+        _CACHE_STATS["hits"] += 1
+        return entry[1]
+    _CACHE_STATS["misses"] += 1
+    program = _ModuleCompiler(module).compile()
+    try:
+        ref = weakref.ref(module, lambda _r, _k=key: _CACHE.pop(_k, None))
+    except TypeError:  # pragma: no cover - modules always support weakrefs
+        ref = lambda: module  # noqa: E731
+    _CACHE[key] = (ref, program)
+    return program
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached programs (mainly for tests and benchmarks)."""
+    _CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+
+
+def compile_cache_stats() -> dict[str, int]:
+    """Current cache hit/miss counters plus live entry count."""
+    return {**_CACHE_STATS, "entries": len(_CACHE)}
+
+
+# ----------------------------------------------------------------------
+# Execution engine
+# ----------------------------------------------------------------------
+
+
+class CompiledEvaluator:
+    """Executes compiled instruction streams with a tight dispatch loop.
+
+    One evaluator owns one preallocated virtual-register file and is
+    reused across cycles, settle passes, and whole testbench suites.
+    """
+
+    def __init__(self, program: CompiledProgram):
+        self.program = program
+        self.regs: list[int] = [0] * program.n_regs
+
+    def execute(
+        self,
+        code: tuple[tuple, ...],
+        env: list[int],
+        cycle: int,
+        records: list[StatementExecution] | None,
+        pending: list[tuple[int, int]],
+    ) -> None:
+        """Run one instruction stream against the slot table ``env``.
+
+        Non-blocking updates are appended to ``pending`` (committed by
+        :meth:`commit`); executions are appended to ``records`` when the
+        stream is instrumented.
+        """
+        regs = self.regs
+        metas = self.program.metas
+        ip = 0
+        n = len(code)
+        while ip < n:
+            ins = code[ip]
+            op = ins[0]
+            if op == LOAD:
+                regs[ins[1]] = env[ins[2]] & ins[3]
+            elif op == STORE:
+                env[ins[1]] = regs[ins[2]]
+            elif op == CONST:
+                regs[ins[1]] = ins[2]
+            elif op == AND:
+                regs[ins[1]] = regs[ins[2]] & regs[ins[3]]
+            elif op == OR:
+                regs[ins[1]] = regs[ins[2]] | regs[ins[3]]
+            elif op == XOR:
+                regs[ins[1]] = regs[ins[2]] ^ regs[ins[3]]
+            elif op == NOT:
+                regs[ins[1]] = ~regs[ins[2]] & ins[3]
+            elif op == JZ:
+                if not regs[ins[1]]:
+                    ip = ins[2]
+                    continue
+            elif op == JMP:
+                ip = ins[1]
+                continue
+            elif op == EQ:
+                regs[ins[1]] = 1 if regs[ins[2]] == regs[ins[3]] else 0
+            elif op == SELECT:
+                regs[ins[1]] = regs[ins[3]] if regs[ins[2]] else regs[ins[4]]
+            elif op == RECORD:
+                meta = metas[ins[1]]
+                records.append(
+                    StatementExecution(
+                        meta.stmt_id,
+                        cycle,
+                        meta.target,
+                        meta.operands,
+                        tuple(
+                            env[s] & m if s >= 0 else m for s, m in meta.fetch
+                        ),
+                        regs[ins[2]],
+                        meta.width,
+                    )
+                )
+            elif op == NBA:
+                pending.append((ins[1], regs[ins[2]]))
+            elif op == ADD:
+                regs[ins[1]] = (regs[ins[2]] + regs[ins[3]]) & ins[4]
+            elif op == SUB:
+                regs[ins[1]] = (regs[ins[2]] - regs[ins[3]]) & ins[4]
+            elif op == LNOT:
+                regs[ins[1]] = 0 if regs[ins[2]] else 1
+            elif op == LAND:
+                regs[ins[1]] = 1 if (regs[ins[2]] and regs[ins[3]]) else 0
+            elif op == LOR:
+                regs[ins[1]] = 1 if (regs[ins[2]] or regs[ins[3]]) else 0
+            elif op == NE:
+                regs[ins[1]] = 1 if regs[ins[2]] != regs[ins[3]] else 0
+            elif op == LT:
+                regs[ins[1]] = 1 if regs[ins[2]] < regs[ins[3]] else 0
+            elif op == LE:
+                regs[ins[1]] = 1 if regs[ins[2]] <= regs[ins[3]] else 0
+            elif op == GT:
+                regs[ins[1]] = 1 if regs[ins[2]] > regs[ins[3]] else 0
+            elif op == GE:
+                regs[ins[1]] = 1 if regs[ins[2]] >= regs[ins[3]] else 0
+            elif op == XNOR:
+                regs[ins[1]] = ~(regs[ins[2]] ^ regs[ins[3]]) & ins[4]
+            elif op == NEG:
+                regs[ins[1]] = -regs[ins[2]] & ins[3]
+            elif op == MUL:
+                regs[ins[1]] = (regs[ins[2]] * regs[ins[3]]) & ins[4]
+            elif op == DIV:
+                b = regs[ins[3]]
+                regs[ins[1]] = (regs[ins[2]] // b if b else 0) & ins[4]
+            elif op == MOD:
+                b = regs[ins[3]]
+                regs[ins[1]] = (regs[ins[2]] % b if b else 0) & ins[4]
+            elif op == SHL:
+                b = regs[ins[3]]
+                regs[ins[1]] = (regs[ins[2]] << (b if b < 64 else 64)) & ins[4]
+            elif op == SHR:
+                b = regs[ins[3]]
+                regs[ins[1]] = regs[ins[2]] >> (b if b < 64 else 64)
+            elif op == RAND:
+                regs[ins[1]] = 1 if regs[ins[2]] == ins[3] else 0
+            elif op == ROR:
+                regs[ins[1]] = 1 if regs[ins[2]] else 0
+            elif op == RXOR:
+                regs[ins[1]] = regs[ins[2]].bit_count() & 1
+            elif op == RNAND:
+                regs[ins[1]] = 0 if regs[ins[2]] == ins[3] else 1
+            elif op == RNOR:
+                regs[ins[1]] = 0 if regs[ins[2]] else 1
+            elif op == RNXOR:
+                regs[ins[1]] = 1 - (regs[ins[2]].bit_count() & 1)
+            elif op == BITSEL:
+                regs[ins[1]] = (regs[ins[2]] >> regs[ins[3]]) & 1
+            elif op == PARTSEL:
+                regs[ins[1]] = (regs[ins[2]] >> ins[3]) & ins[4]
+            elif op == SHLOR:
+                regs[ins[1]] = (regs[ins[2]] << ins[3]) | regs[ins[4]]
+            elif op == REPL:
+                regs[ins[1]] = regs[ins[2]] * ins[3]
+            elif op == MASK:
+                regs[ins[1]] = regs[ins[2]] & ins[3]
+            elif op == JNZ:
+                if regs[ins[1]]:
+                    ip = ins[2]
+                    continue
+            elif op == STOREBIT:
+                cur = env[ins[1]] & ins[4]
+                index = regs[ins[3]]
+                cur = (cur & ~(1 << index)) | ((regs[ins[2]] & 1) << index)
+                env[ins[1]] = cur & ins[4]
+            elif op == STOREPART:
+                cur = env[ins[1]] & ins[5]
+                field = ins[4]
+                cur = (cur & ~(field << ins[3])) | ((regs[ins[2]] & field) << ins[3])
+                env[ins[1]] = cur & ins[5]
+            else:  # pragma: no cover - all opcodes are handled above
+                raise RuntimeError(f"unknown opcode {op}")
+            ip += 1
+
+    def commit(self, pending: list[tuple[int, int]], env: list[int]) -> None:
+        """Apply pending non-blocking updates in execution order."""
+        writers = self.program.nba_writers
+        for widx, value in pending:
+            w = writers[widx]
+            kind = w[0]
+            if kind == _W_NAME:
+                env[w[1]] = value
+            elif kind == _W_PART:
+                _, slot, fullmask, lsb, field = w
+                cur = env[slot] & fullmask
+                cur = (cur & ~(field << lsb)) | ((value & field) << lsb)
+                env[slot] = cur & fullmask
+            else:
+                _, slot, fullmask, index_code, index_reg = w
+                # Dynamic bit index: evaluated against the commit-time
+                # environment, matching the interpreter's write_lvalue.
+                self.execute(index_code, env, 0, None, [])
+                index = self.regs[index_reg]
+                cur = env[slot] & fullmask
+                cur = (cur & ~(1 << index)) | ((value & 1) << index)
+                env[slot] = cur & fullmask
+        pending.clear()

@@ -19,6 +19,16 @@ reset at cycle granularity.
 Every executed assignment is recorded as a
 :class:`repro.sim.trace.StatementExecution`; combinational statements keep
 only the record of the final (settled) evaluation pass of the cycle.
+
+Two execution engines implement this schedule:
+
+* ``"compiled"`` (default) — the module is lowered once by
+  :mod:`repro.sim.compiler` into a flat instruction stream executed by a
+  tight dispatch loop over an integer slot table, with a module-identity
+  compile cache shared across simulator instances.
+* ``"interpreted"`` — the original recursive tree walk over the AST,
+  kept as the reference oracle; the compiled engine is trace-identical
+  to it (enforced by differential tests).
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from ..verilog.ast_nodes import (
     Statement,
     collect_identifiers,
 )
+from .compiler import CompiledEvaluator, CompiledProgram, compile_module
 from .evaluator import Evaluator
 from .trace import StatementExecution, Trace
 from .values import truncate
@@ -43,8 +54,19 @@ class SimulationError(Exception):
     """Raised when the design cannot be simulated (e.g. comb oscillation)."""
 
 
+#: Engines accepted by :class:`Simulator`.
+ENGINES = ("compiled", "interpreted")
+
+
 class Simulator:
     """Instrumented simulator for one parsed module.
+
+    Args:
+        module: The design to simulate.  With the compiled engine the
+            module must not be mutated in place afterwards (the compile
+            cache is keyed by object identity); derive modified designs
+            via ``clone()``.
+        engine: ``"compiled"`` (default) or ``"interpreted"``.
 
     Example:
         >>> from repro.verilog import parse_module
@@ -57,8 +79,19 @@ class Simulator:
     #: Maximum settling passes before declaring combinational oscillation.
     MAX_SETTLE_ITERS = 64
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, engine: str = "compiled"):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.module = module
+        self.engine = engine
+        self.program: CompiledProgram | None = None
+        self.compiled: CompiledEvaluator | None = None
+        if engine == "compiled":
+            # The compiled program carries widths, operands, and lvalue
+            # metadata itself; none of the interpreter state is needed.
+            self.program = compile_module(module)
+            self.compiled = CompiledEvaluator(self.program)
+            return
         self.evaluator = Evaluator(module)
         self.comb_blocks: list[AlwaysBlock] = [
             blk for blk in module.always_blocks if not blk.is_clocked
@@ -93,6 +126,113 @@ class Simulator:
         Returns:
             The completed :class:`Trace`.
         """
+        if self.engine == "compiled":
+            return self._run_compiled(stimulus, record, env)
+        return self._run_interpreted(stimulus, record, env)
+
+    def run_suite(
+        self,
+        stimuli: list[list[dict[str, int]]],
+        record: bool = True,
+    ) -> list[Trace]:
+        """Simulate a batch of independent stimuli on one design.
+
+        The compiled program, its register file, and per-run buffers are
+        shared across the whole suite, so batched execution amortizes all
+        per-simulator setup.  Traces are returned in stimulus order.
+        """
+        return [self.run(stimulus, record=record) for stimulus in stimuli]
+
+    # ------------------------------------------------------------------
+    # Compiled engine
+    # ------------------------------------------------------------------
+    def _run_compiled(
+        self,
+        stimulus: list[dict[str, int]],
+        record: bool,
+        env: dict[str, int] | None,
+    ) -> Trace:
+        program = self.program
+        engine = self.compiled
+        slot_of = program.slot_of
+        masks = program.masks
+        slots = program.initial_slots()
+        if env is not None:
+            for name, value in env.items():
+                slot = slot_of.get(name)
+                if slot is not None:
+                    slots[slot] = value
+
+        trace = Trace(design=self.module.name, stimulus=[dict(s) for s in stimulus])
+        outputs = program.output_slots
+        pending: list[tuple[int, int]] = []
+
+        for cycle, frame in enumerate(stimulus):
+            for name, value in frame.items():
+                slot = slot_of.get(name)
+                if slot is None:
+                    raise SimulationError(f"stimulus drives unknown input {name!r}")
+                slots[slot] = value & masks[slot]
+
+            comb_records = self._settle_compiled(engine, slots, cycle, record, pending)
+            trace.outputs.append({name: slots[slot] for name, slot in outputs})
+            if record:
+                trace.executions.extend(comb_records)
+
+            if record:
+                seq_records: list[StatementExecution] = []
+                engine.execute(program.seq_rec, slots, cycle, seq_records, pending)
+                engine.commit(pending, slots)
+                trace.executions.extend(seq_records)
+            else:
+                engine.execute(program.seq_fast, slots, cycle, None, pending)
+                engine.commit(pending, slots)
+
+        if env is not None:
+            for name, slot in slot_of.items():
+                env[name] = slots[slot]
+        return trace
+
+    def _settle_compiled(
+        self,
+        engine: CompiledEvaluator,
+        slots: list[int],
+        cycle: int,
+        record: bool,
+        pending: list[tuple[int, int]],
+    ) -> list[StatementExecution]:
+        program = self.program
+        comb_fast = program.comb_fast
+        for _iteration in range(self.MAX_SETTLE_ITERS):
+            before = slots[:]
+            engine.execute(comb_fast, slots, cycle, None, pending)
+            engine.commit(pending, slots)
+            if slots == before:
+                break
+        else:
+            raise SimulationError(
+                f"combinational logic did not settle in design {self.module.name!r}"
+            )
+        if not record:
+            return []
+        records: list[StatementExecution] = []
+        engine.execute(program.comb_rec, slots, cycle, records, pending)
+        engine.commit(pending, slots)
+        # Deduplicate: keep the last record per statement within the pass.
+        latest: dict[int, StatementExecution] = {}
+        for rec in records:
+            latest[rec.stmt_id] = rec
+        return [latest[sid] for sid in sorted(latest)]
+
+    # ------------------------------------------------------------------
+    # Interpreted engine (reference oracle)
+    # ------------------------------------------------------------------
+    def _run_interpreted(
+        self,
+        stimulus: list[dict[str, int]],
+        record: bool,
+        env: dict[str, int] | None,
+    ) -> Trace:
         env = env if env is not None else self.initial_env()
         trace = Trace(design=self.module.name, stimulus=[dict(s) for s in stimulus])
         widths = {n: d.width for n, d in self.module.decls.items()}

@@ -45,7 +45,12 @@ class TestbenchConfig:
         forced: Input name -> constant value overrides.
         biases: Input name -> per-bit one-probability override (used to
             make rare events such as address matches reachable).
+        engine: Simulation engine used by consumers that build simulators
+            from this config: "compiled" (default) or "interpreted".
     """
+
+    # Not a test class despite the Test* name (silences pytest collection).
+    __test__ = False
 
     n_cycles: int = 30
     reset_cycles: int = 2
@@ -53,6 +58,7 @@ class TestbenchConfig:
     one_probability: float = 0.5
     forced: dict[str, int] = field(default_factory=dict)
     biases: dict[str, float] = field(default_factory=dict)
+    engine: str = "compiled"
 
 
 def identify_clock(module: Module) -> str | None:

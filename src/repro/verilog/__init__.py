@@ -35,6 +35,7 @@ from .errors import LexerError, ParseError, SemanticError, VerilogError
 from .lexer import Lexer
 from .parser import parse_module
 from .printer import format_expr, format_module, format_statement, statement_source
+from .visitors import ExprVisitor, StatementVisitor
 
 __all__ = [
     "AlwaysBlock",
@@ -47,6 +48,7 @@ __all__ = [
     "Concat",
     "ContinuousAssign",
     "Expr",
+    "ExprVisitor",
     "Identifier",
     "If",
     "Lexer",
@@ -63,6 +65,7 @@ __all__ = [
     "SemanticError",
     "SensItem",
     "Statement",
+    "StatementVisitor",
     "Ternary",
     "UnaryOp",
     "VerilogError",

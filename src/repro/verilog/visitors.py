@@ -1,0 +1,56 @@
+"""Stable visitor bases for AST traversal and lowering.
+
+The simulator's compiler (and any future backend) dispatches over node
+classes through these bases instead of hand-rolled ``isinstance`` chains.
+Subclasses implement ``visit_<ClassName>`` methods; dispatch is resolved
+once per node class and cached, so visitors stay cheap even on large
+modules.
+
+Two bases are provided because expressions and statements live in
+different lowering phases: expressions are pure and lower to straight-line
+code, statements carry control flow and side effects.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .ast_nodes import Expr, Node, Statement
+
+
+class _VisitorBase:
+    """Class-name dispatch with a per-instance method cache."""
+
+    def __init__(self) -> None:
+        self._dispatch_cache: dict[type, Any] = {}
+
+    def _resolve(self, node: Node):
+        cls = type(node)
+        method = self._dispatch_cache.get(cls)
+        if method is None:
+            method = getattr(self, f"visit_{cls.__name__}", self.generic_visit)
+            self._dispatch_cache[cls] = method
+        return method
+
+    def generic_visit(self, node: Node, *args: Any) -> Any:
+        raise NotImplementedError(
+            f"{type(self).__name__} has no handler for {type(node).__name__}"
+        )
+
+
+class ExprVisitor(_VisitorBase):
+    """Visitor over expression nodes.
+
+    ``visit`` forwards extra positional arguments to the handler, which
+    lets lowering passes thread an output buffer through the walk.
+    """
+
+    def visit(self, expr: Expr, *args: Any) -> Any:
+        return self._resolve(expr)(expr, *args)
+
+
+class StatementVisitor(_VisitorBase):
+    """Visitor over statement nodes (including continuous assigns)."""
+
+    def visit(self, stmt: Statement, *args: Any) -> Any:
+        return self._resolve(stmt)(stmt, *args)

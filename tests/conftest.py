@@ -35,6 +35,12 @@ endmodule
 
 
 @pytest.fixture
+def arbiter_source():
+    """Source text of the running-example arbiter (for printer round-trips)."""
+    return ARBITER_SOURCE
+
+
+@pytest.fixture
 def arbiter():
     """The paper's running example: a tiny two-request arbiter."""
     return parse_module(ARBITER_SOURCE)
@@ -65,9 +71,10 @@ def tiny_samples(tiny_config):
 def trained_pipeline(tmp_path_factory):
     """A paper-scale trained pipeline shared by explainer/localizer tests.
 
-    Trained once per machine (~70 s) and cached on disk: later sessions
-    reload the weights in under a second.  The cache key includes the
-    config so changing hyper-parameters invalidates it.
+    Trained once (~70 s) and cached on disk; the cache file for the
+    default config is committed to the repo, so fresh checkouts reload
+    the weights in under a second instead of retraining.  The cache key
+    includes the config so changing hyper-parameters invalidates it.
     """
     import pathlib
 

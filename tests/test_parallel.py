@@ -1,0 +1,71 @@
+"""Parallel corpus generation and campaign fan-out.
+
+Worker-pool execution must be bit-identical to the sequential path:
+every parallel knob only changes *where* simulation happens, never what
+is simulated (seeds derive from design/mutant identity, not schedule).
+"""
+
+from repro.datagen import BugInjectionCampaign, sample_mutations
+from repro.pipeline import CorpusSpec, generate_corpus_samples
+from repro.sim import TestbenchConfig
+
+
+def _sample_key(sample):
+    return (
+        sample.design,
+        sample.context.stmt_id,
+        tuple(sample.operand_values),
+        sample.label,
+    )
+
+
+class TestParallelCorpus:
+    SPEC = dict(n_designs=4, n_traces_per_design=2, n_cycles=10)
+
+    def test_parallel_matches_sequential(self):
+        sequential = generate_corpus_samples(CorpusSpec(**self.SPEC), seed=5)
+        parallel = generate_corpus_samples(
+            CorpusSpec(**self.SPEC, n_workers=2), seed=5
+        )
+        assert len(parallel) == len(sequential)
+        for got, want in zip(parallel, sequential):
+            assert _sample_key(got) == _sample_key(want)
+
+    def test_engines_produce_identical_samples(self):
+        compiled = generate_corpus_samples(
+            CorpusSpec(**self.SPEC, engine="compiled"), seed=5
+        )
+        interpreted = generate_corpus_samples(
+            CorpusSpec(**self.SPEC, engine="interpreted"), seed=5
+        )
+        assert len(compiled) == len(interpreted)
+        for got, want in zip(compiled, interpreted):
+            assert _sample_key(got) == _sample_key(want)
+
+
+class TestParallelCampaign:
+    def _run(self, trained_pipeline, arbiter, n_workers):
+        mutations = sample_mutations(
+            arbiter, {"negation": 2, "operation": 2}, seed=1
+        )
+        campaign = BugInjectionCampaign(
+            trained_pipeline.localizer,
+            n_traces=6,
+            testbench_config=TestbenchConfig(n_cycles=8),
+            seed=3,
+            n_workers=n_workers,
+        )
+        return campaign.run(arbiter, "gnt1", mutations)
+
+    def test_parallel_matches_sequential(self, trained_pipeline, arbiter):
+        sequential = self._run(trained_pipeline, arbiter, n_workers=0)
+        parallel = self._run(trained_pipeline, arbiter, n_workers=2)
+        assert len(parallel.outcomes) == len(sequential.outcomes)
+        for got, want in zip(parallel.outcomes, sequential.outcomes):
+            assert got.mutation == want.mutation
+            assert got.observable == want.observable
+            assert got.localized == want.localized
+            assert got.rank == want.rank
+            assert got.n_failing == want.n_failing
+            assert got.n_correct == want.n_correct
+            assert got.error == want.error

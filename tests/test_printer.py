@@ -10,8 +10,6 @@ from repro.verilog.printer import (
     statement_source,
 )
 
-from .conftest import ARBITER_SOURCE
-
 
 def roundtrip(source: str) -> None:
     first = format_module(parse_module(source))
@@ -20,8 +18,8 @@ def roundtrip(source: str) -> None:
 
 
 class TestRoundtrip:
-    def test_arbiter(self):
-        roundtrip(ARBITER_SOURCE)
+    def test_arbiter(self, arbiter_source):
+        roundtrip(arbiter_source)
 
     def test_case_statement(self):
         roundtrip(
