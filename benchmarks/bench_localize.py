@@ -1,0 +1,271 @@
+"""Localization inference throughput: fast path vs per-execution reference.
+
+Measures the Table-III campaign's *localization* phase — model inference
+over every observable mutant's failing/correct trace sets — under two
+configurations:
+
+* **reference** — the pre-fast-path behavior: one model row per
+  execution, full autograd graph, one model call stream per mutant;
+* **fast** — deduplicated samples, ``inference_mode`` forward passes,
+  and cross-mutant shared batches (``BugLocalizer.localize_many``).
+
+Mutant simulation is run once and shared by both arms, so the reported
+speedup isolates inference.  The end-to-end campaign latency (simulate +
+localize, as ``BugInjectionCampaign.run`` executes it) is also timed for
+both arms.  Heatmap rankings and suspiciousness scores are verified
+identical (within 1e-9) between the arms before results are written to
+``BENCH_localize.json`` at the repo root.
+
+Run with::
+
+    python benchmarks/bench_localize.py [--smoke] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import compute_static_slice  # noqa: E402
+from repro.core import (  # noqa: E402
+    BatchEncoder,
+    BugLocalizer,
+    LocalizationRequest,
+    VeriBugConfig,
+    VeriBugModel,
+    Vocabulary,
+)
+from repro.datagen import BugInjectionCampaign, sample_mutations  # noqa: E402
+from repro.datagen.campaign import _simulate_mutant  # noqa: E402
+from repro.datagen.mutation import apply_mutation  # noqa: E402
+from repro.designs import REGISTRY, design_info, design_testbench, load_design  # noqa: E402
+from repro.nn import load_state  # noqa: E402
+from repro.sim import Simulator, generate_testbench_suite  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+MODEL_CACHE = REPO_ROOT / "tests" / ".cache" / "model_e30_d16_s1.npz"
+
+#: Injection plan per (design, target) — Table III shape, scaled to keep
+#: total runtime in minutes.
+PLAN = {"negation": 2, "operation": 2, "misuse": 3}
+SMOKE_PLAN = {"negation": 1, "operation": 1, "misuse": 1}
+
+TOL = 1e-9
+
+
+def build_localizers() -> tuple[BugLocalizer, BugLocalizer]:
+    """The shared trained model wrapped in fast and reference localizers."""
+    config = VeriBugConfig(epochs=30)
+    vocab = Vocabulary()
+    model = VeriBugModel(config, vocab)
+    if MODEL_CACHE.exists():
+        load_state(model, MODEL_CACHE)
+    else:  # fresh checkout without the committed fixture: train (slow)
+        from repro.pipeline import CorpusSpec, train_pipeline
+
+        pipeline = train_pipeline(
+            config,
+            CorpusSpec(n_designs=16, n_traces_per_design=4, n_cycles=25),
+            seed=1,
+            evaluate=False,
+        )
+        model, vocab = pipeline.model, pipeline.model.vocab
+    encoder = BatchEncoder(vocab)
+    fast = BugLocalizer(model, encoder, config, fast_inference=True)
+    reference = BugLocalizer(model, encoder, config, fast_inference=False)
+    return fast, reference
+
+
+def campaign_workload(smoke: bool):
+    """(design, target, mutations, testbench_config) tuples of the campaign."""
+    plan = SMOKE_PLAN if smoke else PLAN
+    names = ["wb_mux_2"] if smoke else list(REGISTRY)
+    workload = []
+    for name in names:
+        module = load_design(name)
+        targets = design_info(name).targets[:1] if smoke else design_info(name).targets
+        for target in targets:
+            cone = compute_static_slice(module, target).stmt_ids
+            mutations = sample_mutations(
+                module, dict(plan), seed=13, restrict_to=cone, min_operands=2
+            )
+            workload.append((name, module, target, mutations))
+    return workload
+
+
+def simulate_workload(workload, n_traces: int, n_cycles: int, seed: int):
+    """Simulate every mutant once; return observable localization cases."""
+    cases = []
+    for name, module, target, mutations in workload:
+        testbench_config = design_testbench(name, n_cycles=n_cycles)
+        stimuli = generate_testbench_suite(
+            module, n_traces, testbench_config, seed=seed
+        )
+        golden = Simulator(module, engine=testbench_config.engine)
+        golden_traces = golden.run_suite(stimuli, record=False)
+        for mutation in mutations:
+            outcome, failing, correct = _simulate_mutant(
+                module,
+                target,
+                mutation,
+                stimuli,
+                golden_traces,
+                testbench_config,
+                n_traces,
+                seed,
+                min_correct_traces=8,
+                max_extra_batches=4,
+            )
+            if outcome.error or not outcome.observable:
+                continue
+            cases.append(
+                {
+                    "design": name,
+                    "target": target,
+                    "mutant": apply_mutation(module, mutation),
+                    "failing": failing,
+                    "correct": correct,
+                    "executions": sum(
+                        len(t.executions) for t in failing + correct
+                    ),
+                }
+            )
+    return cases
+
+
+def run_reference(reference: BugLocalizer, cases) -> tuple[float, list]:
+    t0 = time.perf_counter()
+    results = [
+        reference.localize(c["mutant"], c["target"], c["failing"], c["correct"])
+        for c in cases
+    ]
+    return time.perf_counter() - t0, results
+
+
+def run_fast(fast: BugLocalizer, cases, localize_batch: int) -> tuple[float, list]:
+    t0 = time.perf_counter()
+    results = []
+    for start in range(0, len(cases), localize_batch):
+        chunk = cases[start : start + localize_batch]
+        requests = [
+            LocalizationRequest(c["mutant"], c["target"], c["failing"], c["correct"])
+            for c in chunk
+        ]
+        results.extend(fast.localize_many(requests))
+    return time.perf_counter() - t0, results
+
+
+def verify_identical(reference_results, fast_results) -> None:
+    for ref, got in zip(reference_results, fast_results):
+        if ref.ranking != got.ranking:
+            raise AssertionError(
+                f"ranking mismatch for {ref.target}: {ref.ranking} vs {got.ranking}"
+            )
+        for stmt_id, score in ref.heatmap.suspiciousness.items():
+            if abs(got.heatmap.suspiciousness[stmt_id] - score) > TOL:
+                raise AssertionError(
+                    f"suspiciousness drift for {ref.target} stmt {stmt_id}"
+                )
+
+
+def run_end_to_end(localizer, workload, n_traces, n_cycles, seed, localize_batch):
+    t0 = time.perf_counter()
+    for name, module, target, mutations in workload:
+        campaign = BugInjectionCampaign(
+            localizer,
+            n_traces=n_traces,
+            testbench_config=design_testbench(name, n_cycles=n_cycles),
+            seed=seed,
+            min_correct_traces=8,
+            localize_batch=localize_batch,
+        )
+        campaign.run(module, target, mutations)
+    return time.perf_counter() - t0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI workload: one design, one target, three mutants",
+    )
+    parser.add_argument("--traces", type=int, default=None, help="testbenches per mutant")
+    parser.add_argument("--cycles", type=int, default=None, help="cycles per testbench")
+    parser.add_argument("--batch", type=int, default=8, help="mutants per shared localization batch")
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_localize.json"), help="result path"
+    )
+    args = parser.parse_args()
+    n_traces = args.traces if args.traces is not None else (8 if args.smoke else 20)
+    n_cycles = args.cycles if args.cycles is not None else (8 if args.smoke else 12)
+    seed = 29
+
+    fast, reference = build_localizers()
+    workload = campaign_workload(args.smoke)
+    cases = simulate_workload(workload, n_traces, n_cycles, seed)
+    if not cases:
+        raise SystemExit("no observable mutants in the workload; nothing to measure")
+    total_executions = sum(c["executions"] for c in cases)
+
+    ref_wall, ref_results = run_reference(reference, cases)
+    fast_wall, fast_results = run_fast(fast, cases, args.batch)
+    verify_identical(ref_results, fast_results)
+
+    e2e_ref = run_end_to_end(reference, workload, n_traces, n_cycles, seed, 1)
+    e2e_fast = run_end_to_end(fast, workload, n_traces, n_cycles, seed, args.batch)
+
+    results = {
+        "workload": {
+            "smoke": args.smoke,
+            "designs": sorted({name for name, *_ in workload}),
+            "targets": len(workload),
+            "observable_mutants": len(cases),
+            "traces_per_mutant": n_traces,
+            "cycles_per_trace": n_cycles,
+            "localize_batch": args.batch,
+            "executions_localized": total_executions,
+        },
+        "localization": {
+            "reference": {
+                "wall_s": round(ref_wall, 4),
+                "executions_per_s": round(total_executions / ref_wall),
+            },
+            "fast": {
+                "wall_s": round(fast_wall, 4),
+                "executions_per_s": round(total_executions / fast_wall),
+            },
+            "speedup": round(ref_wall / fast_wall, 2),
+            "rankings_identical": True,
+        },
+        "end_to_end_campaign": {
+            "reference_wall_s": round(e2e_ref, 4),
+            "fast_wall_s": round(e2e_fast, 4),
+            "speedup": round(e2e_ref / e2e_fast, 2),
+        },
+    }
+
+    print(
+        f"localization: {ref_wall:.2f}s -> {fast_wall:.2f}s "
+        f"({results['localization']['speedup']}x, "
+        f"{results['localization']['fast']['executions_per_s']} exec/s, "
+        f"rankings identical over {len(cases)} mutants)"
+    )
+    print(
+        f"end-to-end campaign: {e2e_ref:.2f}s -> {e2e_fast:.2f}s "
+        f"({results['end_to_end_campaign']['speedup']}x)"
+    )
+
+    out = pathlib.Path(args.output)
+    existing = json.loads(out.read_text()) if out.exists() else {}
+    existing.update(results)
+    out.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..analysis.contexts import StatementContext
+from ..nn import inference_mode
 from ..sim.trace import Trace
 from .config import VeriBugConfig
 from .features import BatchEncoder, Sample, sample_from_execution
@@ -45,17 +46,23 @@ class AttentionMap:
     weights: dict[int, np.ndarray] = field(default_factory=dict)
     counts: dict[int, int] = field(default_factory=dict)
 
-    def add(self, stmt_id: int, attention: np.ndarray) -> None:
-        """Accumulate one execution's attention weights (running mean)."""
+    def add(self, stmt_id: int, attention: np.ndarray, count: int = 1) -> None:
+        """Accumulate ``count`` executions sharing one attention vector.
+
+        The incremental update is the exact weighted mean, so adding a
+        deduplicated group with its multiplicity yields the same result
+        (up to float rounding order) as adding each execution separately.
+        """
         if stmt_id in self.weights:
-            count = self.counts[stmt_id]
-            self.weights[stmt_id] = (self.weights[stmt_id] * count + attention) / (
-                count + 1
-            )
-            self.counts[stmt_id] = count + 1
+            seen = self.counts[stmt_id]
+            total = seen + count
+            self.weights[stmt_id] = (
+                self.weights[stmt_id] * seen + attention * count
+            ) / total
+            self.counts[stmt_id] = total
         else:
             self.weights[stmt_id] = attention.astype(np.float64).copy()
-            self.counts[stmt_id] = 1
+            self.counts[stmt_id] = count
 
     def statements(self) -> set[int]:
         """Ids of statements present in the map."""
@@ -111,21 +118,77 @@ def normalized_l1_distance(a: np.ndarray, b: np.ndarray) -> float:
     """
     if a.shape != b.shape:
         raise ValueError(f"weight shape mismatch: {a.shape} vs {b.shape}")
-    return float(np.abs(a - b).sum()) / 2.0
+    # Clamp: float rounding can push the L1 distance of two softmax
+    # vectors an ulp past the theoretical bound of 2.
+    return min(float(np.abs(a - b).sum()) / 2.0, 1.0)
 
 
 class Explainer:
-    """Builds attention maps and heatmaps from a trained model."""
+    """Builds attention maps and heatmaps from a trained model.
+
+    Args:
+        model: The trained VeriBug model.
+        encoder: Batch encoder bound to the model's vocabulary.
+        config: Hyper-parameter source (defaults to the model's).
+        fast_inference: Deduplicate byte-identical executions and run
+            forward passes under :func:`repro.nn.inference_mode`.  The
+            aggregated maps are identical to the per-execution path (the
+            attention of one sample does not depend on its batch, and the
+            weighted mean is exact); disable only to benchmark against or
+            differentially test the pre-dedup reference path.
+    """
 
     def __init__(
         self,
         model: VeriBugModel,
         encoder: BatchEncoder,
         config: VeriBugConfig | None = None,
+        fast_inference: bool = True,
     ):
         self.model = model
         self.encoder = encoder
         self.config = config or model.config
+        self.fast_inference = fast_inference
+
+    def distinct_samples(
+        self,
+        contexts: dict[int, StatementContext],
+        traces: list[Trace],
+        restrict_to: set[int] | None = None,
+    ) -> tuple[list[Sample], list[int], list[int]]:
+        """Group a trace set's executions by ``(stmt_id, operand_values)``.
+
+        Returns ``(samples, stmt_ids, counts)`` in first-seen order: one
+        representative sample per distinct group plus the group's
+        execution multiplicity.  Inference cost then scales with the
+        number of *distinct* samples, not executions — across cycles and
+        traces the same statement overwhelmingly re-executes with values
+        it has already been seen with.
+        """
+        groups: dict[tuple[int, tuple[int, ...]], int] = {}
+        samples: list[Sample] = []
+        stmt_ids: list[int] = []
+        counts: list[int] = []
+        for trace in traces:
+            for execution in trace.executions:
+                if restrict_to is not None and execution.stmt_id not in restrict_to:
+                    continue
+                context = contexts.get(execution.stmt_id)
+                if context is None:
+                    continue
+                sample = sample_from_execution(context, execution)
+                if sample is None:
+                    continue
+                key = (execution.stmt_id, sample.operand_values)
+                slot = groups.get(key)
+                if slot is None:
+                    groups[key] = len(samples)
+                    samples.append(sample)
+                    stmt_ids.append(execution.stmt_id)
+                    counts.append(1)
+                else:
+                    counts[slot] += 1
+        return samples, stmt_ids, counts
 
     def attention_map(
         self,
@@ -142,6 +205,31 @@ class Explainer:
             restrict_to: Optional stmt_id filter (the dynamic slice).
             batch_size: Inference batch size.
         """
+        if not self.fast_inference:
+            return self._attention_map_per_execution(
+                contexts, traces, restrict_to, batch_size
+            )
+        amap = AttentionMap()
+        samples, stmt_ids, counts = self.distinct_samples(
+            contexts, traces, restrict_to
+        )
+        with inference_mode():
+            for start in range(0, len(samples), batch_size):
+                batch = self.encoder.encode(samples[start : start + batch_size])
+                output = self.model(batch)
+                for offset, weights in enumerate(output.attention_per_statement()):
+                    row = start + offset
+                    amap.add(stmt_ids[row], weights, counts[row])
+        return amap
+
+    def _attention_map_per_execution(
+        self,
+        contexts: dict[int, StatementContext],
+        traces: list[Trace],
+        restrict_to: set[int] | None = None,
+        batch_size: int = 512,
+    ) -> AttentionMap:
+        """Reference path: one model row per execution, full autograd graph."""
         amap = AttentionMap()
         pending: list[Sample] = []
         pending_ids: list[int] = []

@@ -9,6 +9,7 @@ beyond what the simulator already produces.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -90,25 +91,38 @@ class EncodedBatch:
 class BatchEncoder:
     """Encodes :class:`Sample` lists into :class:`EncodedBatch` arrays.
 
-    Path token encodings are cached per (id of context, operand index), so
-    repeated executions of the same statement — the common case — cost
-    only the dynamic value encoding.
+    Path token encodings are cached per context object, so repeated
+    executions of the same statement — the common case — cost only the
+    dynamic value encoding.  The cache is keyed by ``id(context)`` with a
+    weak-reference guard (the same scheme as the simulator's compile
+    cache): a later context that happens to reuse a garbage-collected
+    context's ``id`` can never receive the previous statement's
+    encodings, and entries are evicted when their context dies, so the
+    cache stays bounded across long campaigns.
     """
 
     def __init__(self, vocab: Vocabulary, value_encoder: ValueEncoder | None = None):
         self.vocab = vocab
         self.value_encoder = value_encoder or ValueEncoder()
-        self._path_cache: dict[tuple[int, int], list[list[int]]] = {}
+        self._path_cache: dict[
+            int, tuple[weakref.ref, list[list[list[int]]]]
+        ] = {}
+
+    def _context_paths(self, context: StatementContext) -> list[list[list[int]]]:
+        key = id(context)
+        entry = self._path_cache.get(key)
+        if entry is not None and entry[0]() is context:
+            return entry[1]
+        encoded = [
+            [self.vocab.encode_path(path) for path in operand_paths]
+            for operand_paths in context.contexts
+        ]
+        ref = weakref.ref(context, lambda _r, _k=key: self._path_cache.pop(_k, None))
+        self._path_cache[key] = (ref, encoded)
+        return encoded
 
     def _operand_paths(self, context: StatementContext, op_index: int) -> list[list[int]]:
-        key = (id(context), op_index)
-        cached = self._path_cache.get(key)
-        if cached is None:
-            cached = [
-                self.vocab.encode_path(path) for path in context.contexts[op_index]
-            ]
-            self._path_cache[key] = cached
-        return cached
+        return self._context_paths(context)[op_index]
 
     def encode(self, samples: list[Sample]) -> EncodedBatch:
         """Encode a list of samples into one batch.
@@ -210,11 +224,48 @@ def build_samples(
 
 
 def train_test_split(
-    samples: list[Sample], test_fraction: float, seed: int = 0
+    samples: list[Sample],
+    test_fraction: float,
+    seed: int = 0,
+    split_by_design: bool = False,
 ) -> tuple[list[Sample], list[Sample]]:
-    """Shuffle and split samples into train/test lists."""
+    """Shuffle and split samples into train/test lists.
+
+    Args:
+        samples: The sample pool.
+        test_fraction: Approximate fraction of samples held out.
+        seed: Shuffle seed.
+        split_by_design: Split at the *design* level: whole designs are
+            assigned to the test set until at least ``test_fraction`` of
+            the samples are held out.  A sample-level split leaks
+            near-duplicate executions of the same statement into both
+            sides (repeated executions with identical operand values are
+            the common case), which inflates held-out metrics; the
+            grouped split measures generalization to unseen designs, the
+            paper's actual transferability claim.  Falls back to the
+            sample-level split when fewer than two distinct design tags
+            are present.
+    """
     if not 0.0 <= test_fraction <= 1.0:
         raise ValueError("test_fraction must be in [0, 1]")
+    if split_by_design:
+        per_design: dict[str, int] = {}
+        for s in samples:
+            per_design[s.design] = per_design.get(s.design, 0) + 1
+        designs = sorted(per_design)
+        if len(designs) >= 2:
+            rng = np.random.default_rng(seed)
+            target = int(round(len(samples) * test_fraction))
+            test_designs: set[str] = set()
+            held_out = 0
+            for d in (designs[i] for i in rng.permutation(len(designs))):
+                if held_out >= target:
+                    break
+                test_designs.add(d)
+                held_out += per_design[d]
+            train = [s for s in samples if s.design not in test_designs]
+            test = [s for s in samples if s.design in test_designs]
+            return train, test
     rng = np.random.default_rng(seed)
     order = rng.permutation(len(samples))
     n_test = int(round(len(samples) * test_fraction))

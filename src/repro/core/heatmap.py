@@ -40,17 +40,40 @@ def _ansi(score: float, red: bool) -> str:
     return f"\x1b[48;5;{color}m  \x1b[0m"
 
 
+def _aligned_names(
+    names: tuple[str, ...], n_weights: int
+) -> tuple[tuple[str, ...], bool]:
+    """Pad (or trim) operand names to match the weight count.
+
+    Returns the aligned names plus a flag marking a length mismatch.
+    Missing names become ``op{i}`` placeholders so no weight is ever
+    silently dropped from the rendering.
+    """
+    if len(names) == n_weights:
+        return names, False
+    padded = tuple(names[:n_weights]) + tuple(
+        f"op{i}" for i in range(len(names), n_weights)
+    )
+    return padded, True
+
+
 def format_operand_scores(
     names: tuple[str, ...], weights: np.ndarray, use_color: bool = False, red: bool = True
 ) -> str:
     """Render operand names with their importance scores.
 
-    Example output: ``req1[0.82█] req2[0.18░]``.
+    Example output: ``req1[0.82█] req2[0.18░]``.  When the name and
+    weight counts disagree, every weight is still rendered — missing
+    names are padded with ``op{i}`` placeholders and the mismatch is
+    flagged at the end of the line.
     """
+    aligned, mismatch = _aligned_names(names, len(weights))
     parts = []
-    for name, weight in zip(names, weights):
+    for name, weight in zip(aligned, weights):
         marker = _ansi(float(weight), red) if use_color else score_glyph(float(weight))
         parts.append(f"{name}[{weight:.2f}{marker}]")
+    if mismatch:
+        parts.append(f"(!name/weight mismatch: {len(names)} names, {len(weights)} weights)")
     return " ".join(parts)
 
 

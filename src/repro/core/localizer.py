@@ -16,11 +16,12 @@ from dataclasses import dataclass, field
 
 from ..analysis.contexts import StatementContext, extract_module_contexts
 from ..analysis.slicing import StaticSlice, compute_static_slice, slice_statements
+from ..nn import inference_mode
 from ..sim.trace import Trace
 from ..verilog.ast_nodes import Module
 from .config import VeriBugConfig
-from .explainer import Explainer, Heatmap
-from .features import BatchEncoder
+from .explainer import AttentionMap, Explainer, Heatmap
+from .features import BatchEncoder, Sample
 from .model import VeriBugModel
 
 
@@ -54,19 +55,48 @@ class LocalizationResult:
             return None
 
 
+@dataclass
+class LocalizationRequest:
+    """One pending localization, for the batched cross-mutant path.
+
+    Attributes:
+        module: The (buggy) design under debug.
+        target: Output where the failure symptomatizes.
+        failing_traces / correct_traces: The two trace sets.
+        threshold: Optional suspiciousness threshold override.
+    """
+
+    module: Module
+    target: str
+    failing_traces: list[Trace]
+    correct_traces: list[Trace]
+    threshold: float | None = None
+
+
 class BugLocalizer:
-    """Ties the slicer, model, and explainer into one callable pipeline."""
+    """Ties the slicer, model, and explainer into one callable pipeline.
+
+    Args:
+        model / encoder / config: The trained model and its codec.
+        fast_inference: Use the deduplicated no-grad inference path (see
+            :class:`Explainer`); results are identical to the reference
+            per-execution path.
+    """
 
     def __init__(
         self,
         model: VeriBugModel,
         encoder: BatchEncoder,
         config: VeriBugConfig | None = None,
+        fast_inference: bool = True,
     ):
         self.model = model
         self.encoder = encoder
         self.config = config or model.config
-        self.explainer = Explainer(model, encoder, self.config)
+        self.fast_inference = fast_inference
+        self.explainer = Explainer(
+            model, encoder, self.config, fast_inference=fast_inference
+        )
 
     def localize(
         self,
@@ -106,3 +136,87 @@ class BugLocalizer:
             contexts=contexts,
             ranking=ranking,
         )
+
+    def localize_many(
+        self,
+        requests: list[LocalizationRequest],
+        batch_size: int = 512,
+    ) -> list[LocalizationResult]:
+        """Localize several failures with shared forward passes.
+
+        All requests' distinct samples are concatenated into one stream
+        and encoded into ``batch_size``-row model calls, so the per-call
+        overhead (LSTM step loop, op dispatch) is amortized across
+        mutants instead of being paid per small trace set.  Results are
+        identical to calling :meth:`localize` per request: attention
+        weights are segment-local, so a sample's weights do not depend on
+        which batch it lands in.
+
+        Args:
+            requests: The pending localizations, in result order.
+            batch_size: Shared inference batch size.
+
+        Returns:
+            One :class:`LocalizationResult` per request, same order.
+        """
+        if not self.fast_inference:
+            # Reference path: per-request, per-execution inference.
+            return [
+                self.localize(
+                    request.module,
+                    request.target,
+                    request.failing_traces,
+                    request.correct_traces,
+                    request.threshold,
+                )
+                for request in requests
+            ]
+
+        prepared: list[tuple[StaticSlice, dict[int, StatementContext]]] = []
+        maps: list[tuple[AttentionMap, AttentionMap]] = []
+        flat_samples: list[Sample] = []
+        flat_adds: list[tuple[AttentionMap, int, int]] = []
+        for request in requests:
+            static_slice = compute_static_slice(request.module, request.target)
+            contexts = extract_module_contexts(
+                slice_statements(request.module, static_slice)
+            )
+            ft, ct = AttentionMap(), AttentionMap()
+            for amap, traces in ((ft, request.failing_traces), (ct, request.correct_traces)):
+                samples, stmt_ids, counts = self.explainer.distinct_samples(
+                    contexts, traces, static_slice.stmt_ids
+                )
+                flat_samples.extend(samples)
+                flat_adds.extend(
+                    (amap, stmt_id, count)
+                    for stmt_id, count in zip(stmt_ids, counts)
+                )
+            prepared.append((static_slice, contexts))
+            maps.append((ft, ct))
+
+        with inference_mode():
+            for start in range(0, len(flat_samples), batch_size):
+                batch = self.encoder.encode(flat_samples[start : start + batch_size])
+                output = self.model(batch)
+                for offset, weights in enumerate(output.attention_per_statement()):
+                    amap, stmt_id, count = flat_adds[start + offset]
+                    amap.add(stmt_id, weights, count)
+
+        results: list[LocalizationResult] = []
+        for request, (static_slice, contexts), (ft, ct) in zip(
+            requests, prepared, maps
+        ):
+            heatmap = self.explainer.build_heatmap(
+                request.target, ft, ct, request.threshold
+            )
+            ranking = [entry.stmt_id for entry in heatmap.ranked()]
+            results.append(
+                LocalizationResult(
+                    target=request.target,
+                    heatmap=heatmap,
+                    static_slice=static_slice,
+                    contexts=contexts,
+                    ranking=ranking,
+                )
+            )
+        return results

@@ -32,6 +32,7 @@ from ..nn import (
     Tensor,
     concat,
     gather_rows,
+    inference_mode,
     segment_softmax,
     segment_sum,
 )
@@ -147,4 +148,5 @@ class VeriBugModel(Module):
     # ------------------------------------------------------------------
     def predict(self, batch: EncodedBatch) -> np.ndarray:
         """Class predictions without keeping the autograd graph."""
-        return self.forward(batch).predictions()
+        with inference_mode():
+            return self.forward(batch).predictions()

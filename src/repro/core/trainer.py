@@ -131,6 +131,8 @@ class Trainer:
             raise ValueError("cannot evaluate on an empty sample list")
         predictions: list[int] = []
         labels: list[int] = []
+        # predict() runs each forward pass under inference_mode; encoding
+        # is pure numpy, so no outer no-grad scope is needed.
         for start in range(0, len(samples), batch_size):
             chunk = samples[start : start + batch_size]
             batch = self.encoder.encode(chunk)

@@ -19,6 +19,12 @@ design, stimuli, and golden traces).  Localization stays in the parent
 process so the trained model is never pickled.  Parallel campaigns are
 bit-identical to sequential ones because every mutant derives its extra
 testbench seeds from its own ``node_index``.
+
+Localization itself runs on the inference fast path: up to
+``localize_batch`` observable mutants are handed to
+:meth:`BugLocalizer.localize_many`, which deduplicates their executions
+and encodes them into shared no-grad forward passes.  Rankings are
+identical to per-mutant localization.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from ..core.localizer import BugLocalizer, LocalizationResult
+from ..core.localizer import BugLocalizer, LocalizationRequest, LocalizationResult
 from ..sim.simulator import SimulationError, Simulator
 from ..sim.testbench import TestbenchConfig, generate_testbench_suite
 from ..sim.trace import Trace
@@ -236,6 +242,11 @@ class BugInjectionCampaign:
         min_correct_traces / max_extra_batches: Correct-trace top-up policy.
         n_workers: When > 0, simulate mutants on a process pool of this
             size; localization still runs in the parent process.
+        localize_batch: Number of observable mutants whose localizations
+            are encoded into shared model forward passes (the inference
+            fast path).  1 localizes each mutant with its own model call
+            stream; larger values amortize per-call overhead at the cost
+            of keeping up to that many mutants' trace sets alive at once.
     """
 
     def __init__(
@@ -247,7 +258,10 @@ class BugInjectionCampaign:
         min_correct_traces: int = 4,
         max_extra_batches: int = 4,
         n_workers: int = 0,
+        localize_batch: int = 8,
     ):
+        if localize_batch < 1:
+            raise ValueError("localize_batch must be >= 1")
         self.localizer = localizer
         self.n_traces = n_traces
         self.testbench_config = testbench_config or TestbenchConfig()
@@ -255,6 +269,7 @@ class BugInjectionCampaign:
         self.min_correct_traces = min_correct_traces
         self.max_extra_batches = max_extra_batches
         self.n_workers = n_workers
+        self.localize_batch = localize_batch
 
     def run(
         self,
@@ -289,12 +304,20 @@ class BugInjectionCampaign:
                 for mutation in mutations
             )
 
-        # Localize each mutant as its simulation arrives so at most one
-        # mutant's trace sets are alive at a time.
+        # Localize mutants as their simulations arrive, batching up to
+        # ``localize_batch`` observable mutants into shared model forward
+        # passes; at most that many mutants' trace sets are alive at once.
+        pending: list[tuple[Mutation, MutantOutcome, list[Trace], list[Trace]]] = []
         for mutation, (outcome, failing, correct) in zip(mutations, simulated):
-            result.outcomes.append(
-                self._localize(module, target, mutation, outcome, failing, correct)
-            )
+            result.outcomes.append(outcome)
+            if outcome.error or not outcome.observable:
+                continue
+            pending.append((mutation, outcome, failing, correct))
+            if len(pending) >= self.localize_batch:
+                self._localize_pending(module, target, pending)
+                pending.clear()
+        if pending:
+            self._localize_pending(module, target, pending)
         return result
 
     def _simulate(self, module, target, mutation, stimuli, golden_traces):
@@ -332,24 +355,30 @@ class BugInjectionCampaign:
             # the caller while the pool stays alive.
             yield from pool.map(_campaign_worker, mutations)
 
-    def _localize(
+    def _localize_pending(
         self,
         module: Module,
         target: str,
-        mutation: Mutation,
-        outcome: MutantOutcome,
-        failing: list[Trace],
-        correct: list[Trace],
-    ) -> MutantOutcome:
-        if outcome.error or not outcome.observable:
-            return outcome
-        mutant = apply_mutation(module, mutation)
-        localization: LocalizationResult = self.localizer.localize(
-            mutant, target, failing_traces=failing, correct_traces=correct
+        pending: list[tuple[Mutation, MutantOutcome, list[Trace], list[Trace]]],
+    ) -> None:
+        """Localize a batch of observable mutants and score their outcomes."""
+        requests = [
+            LocalizationRequest(
+                module=apply_mutation(module, mutation),
+                target=target,
+                failing_traces=failing,
+                correct_traces=correct,
+            )
+            for mutation, _outcome, failing, correct in pending
+        ]
+        localizations: list[LocalizationResult] = self.localizer.localize_many(
+            requests
         )
-        outcome.rank = localization.rank_of(mutation.stmt_id)
-        outcome.suspiciousness = localization.heatmap.suspiciousness.get(
-            mutation.stmt_id
-        )
-        outcome.localized = localization.is_top1(mutation.stmt_id)
-        return outcome
+        for (mutation, outcome, _failing, _correct), localization in zip(
+            pending, localizations
+        ):
+            outcome.rank = localization.rank_of(mutation.stmt_id)
+            outcome.suspiciousness = localization.heatmap.suspiciousness.get(
+                mutation.stmt_id
+            )
+            outcome.localized = localization.is_top1(mutation.stmt_id)

@@ -27,7 +27,7 @@ from .loss import (
 from .optim import SGD, Adam, Optimizer
 from .rnn import LSTM, LSTMCell
 from .serialization import load_state, save_state
-from .tensor import Tensor
+from .tensor import Tensor, enable_grad, inference_mode, is_grad_enabled
 
 __all__ = [
     "Adam",
@@ -45,8 +45,11 @@ __all__ = [
     "class_weights_from_labels",
     "concat",
     "embedding",
+    "enable_grad",
     "frobenius_norm",
     "gather_rows",
+    "inference_mode",
+    "is_grad_enabled",
     "load_state",
     "log_softmax",
     "one_hot",

@@ -24,6 +24,51 @@ def _as_array(value) -> np.ndarray:
     return np.asarray(value, dtype=np.float64)
 
 
+#: Global autograd switch.  When False (inside :func:`inference_mode`)
+#: newly created tensors never require grad, retain no parents, and drop
+#: their backward closures, so forward passes allocate nothing beyond the
+#: result arrays.
+_grad_enabled: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether new operations record the autograd graph."""
+    return _grad_enabled
+
+
+class _GradMode:
+    """Re-entrant context manager pinning the global autograd switch."""
+
+    def __init__(self, enabled: bool):
+        self._enabled = enabled
+        self._stack: list[bool] = []
+
+    def __enter__(self) -> "_GradMode":
+        global _grad_enabled
+        self._stack.append(_grad_enabled)
+        _grad_enabled = self._enabled
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        global _grad_enabled
+        _grad_enabled = self._stack.pop()
+        return False
+
+    def __call__(self) -> "_GradMode":
+        # Allow both ``with inference_mode:`` and ``with inference_mode():``.
+        return self
+
+
+#: Disable graph construction for the enclosed forward passes (the
+#: analogue of ``torch.inference_mode``).  Inference on a trained model
+#: — prediction, evaluation, attention-map extraction — runs here.
+inference_mode = _GradMode(False)
+
+#: Re-enable graph construction inside an :data:`inference_mode` block
+#: (the analogue of ``torch.enable_grad``).
+enable_grad = _GradMode(True)
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
     if grad.shape == shape:
@@ -45,15 +90,27 @@ class Tensor:
         requires_grad: Whether this tensor participates in autograd.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward_fn", "_parents", "name")
 
     def __init__(self, data, requires_grad: bool = False, name: str = ""):
         self.data = _as_array(data)
         self.grad: np.ndarray | None = None
         self.requires_grad = requires_grad
-        self._backward: Callable[[np.ndarray], None] | None = None
+        self._backward_fn: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+
+    @property
+    def _backward(self) -> Callable[[np.ndarray], None] | None:
+        return self._backward_fn
+
+    @_backward.setter
+    def _backward(self, fn: Callable[[np.ndarray], None] | None) -> None:
+        # Backward closures capture the op's parents; dropping them on
+        # non-grad results (always the case under inference_mode) is what
+        # actually frees the graph.
+        if self.requires_grad or fn is None:
+            self._backward_fn = fn
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -100,6 +157,8 @@ class Tensor:
     # Autograd engine
     # ------------------------------------------------------------------
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...]) -> "Tensor":
+        if not _grad_enabled:
+            return Tensor(data)
         out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
         if out.requires_grad:
             out._parents = parents
@@ -303,11 +362,16 @@ class Tensor:
         out._backward = backward
         return out
 
-    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+    def mean(
+        self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False
+    ) -> "Tensor":
         if axis is None:
             count = self.data.size
         else:
-            count = self.data.shape[axis]
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = 1
+            for ax in axes:
+                count *= self.data.shape[ax]
         return self.sum(axis=axis, keepdims=keepdims) / float(count)
 
     def exp(self) -> "Tensor":

@@ -158,8 +158,11 @@ def train_pipeline(
     trainer = Trainer(model, encoder, config)
 
     samples = generate_corpus_samples(corpus, seed=seed)
+    # Design-level split: statements re-execute with identical operand
+    # values thousands of times, so a sample-level split would leak
+    # near-duplicates of every test sample into training.
     train_samples, test_samples = train_test_split(
-        samples, corpus.test_fraction, seed=seed
+        samples, corpus.test_fraction, seed=seed, split_by_design=True
     )
     trainer.train(train_samples, log=log)
 

@@ -168,3 +168,109 @@ class TestBatchEncoder:
         cache_size = len(encoder._path_cache)
         encoder.encode(samples)
         assert len(encoder._path_cache) == cache_size
+
+    def test_path_cache_evicted_on_gc(self, arbiter, vocab):
+        """Cache entries die with their contexts, so the cache is bounded."""
+        import gc
+
+        encoder = BatchEncoder(vocab)
+        samples = arbiter_samples(arbiter)
+        encoder.encode(samples)
+        assert len(encoder._path_cache) > 0
+        del samples
+        gc.collect()
+        assert len(encoder._path_cache) == 0
+
+    def test_path_cache_survives_gc_driven_id_reuse(self, vocab):
+        """A recycled context id must never resurrect stale path encodings.
+
+        Mimics a long campaign: one mutant's contexts are encoded and
+        garbage-collected, then a later mutant's (different) context is
+        allocated — on CPython typically at the very same memory address,
+        i.e. the same ``id()``.  The encoder must produce the new
+        context's encodings, not the previous statement's.
+        """
+        import gc
+
+        encoder = BatchEncoder(vocab)
+
+        def make_context(source: str):
+            module = parse_module(source)
+            return extract_statement_context(module.statements()[0])
+
+        old = make_context(
+            "module a(x, y, z); input x, y; output z; assign z = x & y; endmodule"
+        )
+        stale_encoding = [
+            [list(p) for p in op] for op in encoder._context_paths(old)
+        ]
+        old_id = id(old)
+        del old
+        gc.collect()
+
+        # Allocate new contexts until one lands on the recycled id (on
+        # CPython the very next same-shaped allocation usually does).
+        source = (
+            "module b(p, q, r); input p, q; output r;"
+            " assign r = p | ~q; endmodule"
+        )
+        new = make_context(source)
+        for _ in range(64):
+            if id(new) == old_id:
+                break
+            new = make_context(source)
+
+        fresh = BatchEncoder(vocab)
+        expected = fresh._context_paths(new)
+        got = encoder._context_paths(new)
+        assert got == expected
+        if id(new) == old_id:  # the regression scenario actually triggered
+            assert got != stale_encoding
+
+
+class TestGroupedSplit:
+    def tagged_samples(self, counts: dict[str, int]) -> list:
+        m = parse_module(
+            "module t(a, b, y); input a, b; output reg y;"
+            " always @(*) y = a & b; endmodule"
+        )
+        ctx = extract_statement_context(m.statements()[0])
+        samples = []
+        for design, n in counts.items():
+            samples.extend(
+                Sample(context=ctx, operand_values=(1, 0), label=1, design=design)
+                for _ in range(n)
+            )
+        return samples
+
+    def test_whole_designs_held_out(self):
+        samples = self.tagged_samples({"d0": 10, "d1": 10, "d2": 10, "d3": 10})
+        train, test = train_test_split(
+            samples, 0.25, seed=0, split_by_design=True
+        )
+        train_designs = {s.design for s in train}
+        test_designs = {s.design for s in test}
+        assert train_designs & test_designs == set()
+        assert len(train) + len(test) == len(samples)
+        assert test  # at least one design held out
+
+    def test_holds_out_at_least_fraction(self):
+        samples = self.tagged_samples({"d0": 30, "d1": 10, "d2": 10})
+        train, test = train_test_split(samples, 0.2, seed=3, split_by_design=True)
+        assert len(test) >= round(len(samples) * 0.2)
+
+    def test_deterministic(self):
+        samples = self.tagged_samples({"d0": 5, "d1": 7, "d2": 9})
+        a = train_test_split(samples, 0.3, seed=4, split_by_design=True)
+        b = train_test_split(samples, 0.3, seed=4, split_by_design=True)
+        assert [s.design for s in a[1]] == [s.design for s in b[1]]
+
+    def test_zero_fraction_keeps_all_training(self):
+        samples = self.tagged_samples({"d0": 5, "d1": 5})
+        train, test = train_test_split(samples, 0.0, seed=0, split_by_design=True)
+        assert test == [] and len(train) == 10
+
+    def test_single_design_falls_back_to_sample_split(self):
+        samples = self.tagged_samples({"only": 20})
+        train, test = train_test_split(samples, 0.25, seed=0, split_by_design=True)
+        assert len(test) == 5  # sample-level fallback, not all-or-nothing

@@ -31,6 +31,22 @@ class TestAttentionMap:
         amap.add(3, np.array([1.0]))
         assert amap.statements() == {3}
 
+    def test_weighted_add_equals_repeated_add(self):
+        """add(w, count=k) must equal k per-execution adds (exact mean)."""
+        a = np.array([0.7, 0.3])
+        b = np.array([0.2, 0.8])
+        per_exec = AttentionMap()
+        for _ in range(3):
+            per_exec.add(1, a)
+        for _ in range(5):
+            per_exec.add(1, b)
+        weighted = AttentionMap()
+        weighted.add(1, a, count=3)
+        weighted.add(1, b, count=5)
+        assert weighted.counts[1] == per_exec.counts[1] == 8
+        assert np.allclose(weighted.weights[1], per_exec.weights[1], atol=1e-12)
+        assert np.allclose(weighted.weights[1], (3 * a + 5 * b) / 8)
+
 
 class TestNormalizedDistance:
     def test_identical_is_zero(self):
@@ -203,6 +219,36 @@ class TestHeatmapRendering:
     def test_format_operand_scores(self):
         text = format_operand_scores(("a", "b"), np.array([0.9, 0.1]))
         assert "a[0.90" in text and "b[0.10" in text
+
+    def test_format_operand_scores_pads_missing_names(self):
+        """Weights beyond the name list are rendered, not silently dropped."""
+        text = format_operand_scores(("a",), np.array([0.6, 0.3, 0.1]))
+        assert "a[0.60" in text
+        assert "op1[0.30" in text and "op2[0.10" in text
+        assert "mismatch" in text
+
+    def test_format_operand_scores_extra_names_flagged(self):
+        text = format_operand_scores(("a", "b", "c"), np.array([0.9, 0.1]))
+        assert "a[0.90" in text and "b[0.10" in text
+        assert "c[" not in text
+        assert "mismatch" in text
+
+    def test_render_heatmap_with_mismatched_weights(self, arbiter):
+        """A context/weights length disagreement must not lose weights."""
+        from repro.core import Heatmap, HeatmapEntry
+
+        contexts = extract_module_contexts(arbiter.statements())
+        heatmap = Heatmap(target="gnt1")
+        # stmt 2 has two operands (req1, req2) but pretend the model saw 3.
+        heatmap.entries[2] = HeatmapEntry(
+            stmt_id=2,
+            weights=np.array([0.5, 0.3, 0.2]),
+            suspiciousness=0.4,
+            case="both",
+        )
+        text = render_heatmap(arbiter, heatmap, contexts)
+        assert "op2[0.20" in text
+        assert "mismatch" in text
 
     def test_render_contains_sources_and_bug_tag(self, trained_pipeline, arbiter):
         from repro.core import Heatmap, HeatmapEntry

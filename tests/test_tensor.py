@@ -119,6 +119,30 @@ class TestReductionsAndActivations:
     def test_mean(self):
         gradcheck(lambda x: x.mean(axis=1), RNG.normal(size=(3, 4)))
 
+    def test_mean_tuple_axis_value(self):
+        x0 = RNG.normal(size=(2, 3, 4))
+        out = Tensor(x0).mean(axis=(0, 1))
+        assert np.allclose(out.data, x0.mean(axis=(0, 1)))
+
+    def test_mean_tuple_axis_keepdims_value(self):
+        x0 = RNG.normal(size=(2, 3, 4))
+        out = Tensor(x0).mean(axis=(0, 2), keepdims=True)
+        assert out.shape == (1, 3, 1)
+        assert np.allclose(out.data, x0.mean(axis=(0, 2), keepdims=True))
+
+    def test_mean_tuple_axis_gradient(self):
+        gradcheck(lambda x: x.mean(axis=(0, 1)), RNG.normal(size=(2, 3, 4)))
+        gradcheck(
+            lambda x: x.mean(axis=(1, 2), keepdims=True) * 2.0,
+            RNG.normal(size=(2, 3, 4)),
+        )
+
+    def test_mean_negative_tuple_axis(self):
+        x0 = RNG.normal(size=(2, 3, 4))
+        out = Tensor(x0).mean(axis=(-1, 0))
+        assert np.allclose(out.data, x0.mean(axis=(-1, 0)))
+        gradcheck(lambda x: x.mean(axis=(-1, 0)), x0)
+
     @pytest.mark.parametrize(
         "name", ["exp", "tanh", "sigmoid", "relu", "leaky_relu", "sqrt"]
     )
@@ -189,3 +213,63 @@ class TestEngineBehavior:
         assert Tensor.ones(2).data.tolist() == [1.0, 1.0]
         assert Tensor.zeros(1).ndim == 1
         assert Tensor.ones(2, 2).size == 4
+
+
+class TestInferenceMode:
+    def test_results_identical(self):
+        from repro.nn import inference_mode
+
+        x0 = RNG.normal(size=(3, 4))
+        w = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        normal = (Tensor(x0) @ w).tanh().data
+        with inference_mode():
+            fast = (Tensor(x0) @ w).tanh().data
+        assert np.array_equal(normal, fast)
+
+    def test_no_graph_retained(self):
+        from repro.nn import inference_mode
+
+        w = Tensor(np.ones((2, 2)), requires_grad=True)
+        with inference_mode():
+            out = (Tensor(np.ones((3, 2))) @ w).relu()
+        assert not out.requires_grad
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_flag_restored_after_exit(self):
+        from repro.nn import inference_mode, is_grad_enabled
+
+        assert is_grad_enabled()
+        with inference_mode():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_flag_restored_on_exception(self):
+        from repro.nn import inference_mode, is_grad_enabled
+
+        with pytest.raises(RuntimeError):
+            with inference_mode():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_enable_grad(self):
+        from repro.nn import enable_grad, inference_mode, is_grad_enabled
+
+        with inference_mode():
+            with enable_grad():
+                assert is_grad_enabled()
+                x = Tensor(np.ones(2), requires_grad=True)
+                (x * 3.0).sum().backward()
+                assert x.grad.tolist() == [3.0, 3.0]
+            assert not is_grad_enabled()
+
+    def test_backward_after_inference_output_is_noop(self):
+        from repro.nn import inference_mode
+
+        w = Tensor(np.ones(2), requires_grad=True)
+        with inference_mode():
+            out = (w * 2.0).sum()
+        # The output is detached from the graph: backward cannot reach
+        # (and must not touch) the parameter.
+        out.backward()
+        assert w.grad is None
