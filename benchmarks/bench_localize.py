@@ -1,20 +1,28 @@
-"""Localization inference throughput: fast path vs per-execution reference.
+"""Localization inference throughput: fused/cached arms vs reference.
 
 Measures the Table-III campaign's *localization* phase — model inference
-over every observable mutant's failing/correct trace sets — under two
+over every observable mutant's failing/correct trace sets — under four
 configurations:
 
 * **reference** — the pre-fast-path behavior: one model row per
   execution, full autograd graph, one model call stream per mutant;
-* **fast** — deduplicated samples, ``inference_mode`` forward passes,
-  and cross-mutant shared batches (``BugLocalizer.localize_many``).
+* **fast_dedup_batch** — the previous fast path: deduplicated samples,
+  ``inference_mode`` forward passes, cross-mutant shared batches
+  (``BugLocalizer.localize_many``) — fused kernel and context cache
+  switched off;
+* **fused** — plus the fused PathRNN inference kernel
+  (``LSTM.forward_fused``), context cache still off;
+* **fused_cache** — plus the context-embedding cache (cold at the
+  start of the timed run; its hit rate is reported).
 
-Mutant simulation is run once and shared by both arms, so the reported
-speedup isolates inference.  The end-to-end campaign latency (simulate +
+Mutant simulation is run once and shared by all arms, so the reported
+speedups isolate inference.  The end-to-end campaign latency (simulate +
 localize, as ``BugInjectionCampaign.run`` executes it) is also timed for
-both arms.  Heatmap rankings and suspiciousness scores are verified
-identical (within 1e-9) between the arms before results are written to
-``BENCH_localize.json`` at the repo root.
+the reference and full fast arms.  Heatmap rankings and suspiciousness
+scores are verified identical (within 1e-9) across every arm before
+results are written to ``BENCH_localize.json`` at the repo root — a
+mismatch raises, so the ``--smoke`` CI run doubles as a differential
+assertion for the fused/cached arms.
 
 Run with::
 
@@ -48,7 +56,7 @@ from repro.nn import load_state  # noqa: E402
 from repro.sim import Simulator, generate_testbench_suite  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-MODEL_CACHE = REPO_ROOT / "tests" / ".cache" / "model_e30_d16_s1.npz"
+MODEL_CACHE = REPO_ROOT / "tests" / ".cache" / "model_e30_d20_s1.npz"
 
 #: Injection plan per (design, target) — Table III shape, scaled to keep
 #: total runtime in minutes.
@@ -70,7 +78,7 @@ def build_localizers() -> tuple[BugLocalizer, BugLocalizer]:
 
         pipeline = train_pipeline(
             config,
-            CorpusSpec(n_designs=16, n_traces_per_design=4, n_cycles=25),
+            CorpusSpec(n_designs=20, n_traces_per_design=4, n_cycles=25),
             seed=1,
             evaluate=False,
         )
@@ -147,29 +155,71 @@ def run_reference(reference: BugLocalizer, cases) -> tuple[float, list]:
     return time.perf_counter() - t0, results
 
 
-def run_fast(fast: BugLocalizer, cases, localize_batch: int) -> tuple[float, list]:
-    t0 = time.perf_counter()
-    results = []
-    for start in range(0, len(cases), localize_batch):
-        chunk = cases[start : start + localize_batch]
-        requests = [
-            LocalizationRequest(c["mutant"], c["target"], c["failing"], c["correct"])
-            for c in chunk
-        ]
-        results.extend(fast.localize_many(requests))
-    return time.perf_counter() - t0, results
+def run_fast(
+    fast: BugLocalizer,
+    cases,
+    localize_batch: int,
+    fused: bool,
+    cache: bool,
+) -> tuple[float, list, dict]:
+    """Time one fast-path arm with the fused/cache switches pinned.
+
+    The context cache starts cold and its hit/miss stats are returned, so
+    the reported hit rate covers exactly the timed work.
+    """
+    model = fast.model
+    lstm = model.path_rnn
+    saved = (lstm.fused_inference, model.context_cache.enabled)
+    lstm.fused_inference = fused
+    model.context_cache.enabled = cache
+    model.context_cache.clear()
+    model.context_cache.reset_stats()
+    try:
+        t0 = time.perf_counter()
+        results = []
+        for start in range(0, len(cases), localize_batch):
+            chunk = cases[start : start + localize_batch]
+            requests = [
+                LocalizationRequest(
+                    c["mutant"], c["target"], c["failing"], c["correct"]
+                )
+                for c in chunk
+            ]
+            results.extend(fast.localize_many(requests))
+        wall = time.perf_counter() - t0
+    finally:
+        lstm.fused_inference, model.context_cache.enabled = saved
+    stats = model.context_cache.stats()
+    model.context_cache.clear()
+    return wall, results, stats
 
 
 def verify_identical(reference_results, fast_results) -> None:
+    """Assert two arms agree: scores within TOL, rankings equal up to ties.
+
+    Statements whose suspiciousness is mathematically tied can land a few
+    ulp apart depending on float summation order, so the arms may order a
+    tie group differently; any reordering of statements whose scores
+    differ by more than TOL is a real mismatch and raises.
+    """
     for ref, got in zip(reference_results, fast_results):
-        if ref.ranking != got.ranking:
-            raise AssertionError(
-                f"ranking mismatch for {ref.target}: {ref.ranking} vs {got.ranking}"
-            )
         for stmt_id, score in ref.heatmap.suspiciousness.items():
             if abs(got.heatmap.suspiciousness[stmt_id] - score) > TOL:
                 raise AssertionError(
                     f"suspiciousness drift for {ref.target} stmt {stmt_id}"
+                )
+        if ref.ranking == got.ranking:
+            continue
+        if sorted(ref.ranking) != sorted(got.ranking):
+            raise AssertionError(
+                f"ranking mismatch for {ref.target}: {ref.ranking} vs {got.ranking}"
+            )
+        scores = ref.heatmap.suspiciousness
+        for ref_stmt, got_stmt in zip(ref.ranking, got.ranking):
+            if ref_stmt != got_stmt and abs(scores[ref_stmt] - scores[got_stmt]) > TOL:
+                raise AssertionError(
+                    f"ranking mismatch for {ref.target} beyond float-noise "
+                    f"ties: {ref.ranking} vs {got.ranking}"
                 )
 
 
@@ -213,11 +263,28 @@ def main() -> None:
     total_executions = sum(c["executions"] for c in cases)
 
     ref_wall, ref_results = run_reference(reference, cases)
-    fast_wall, fast_results = run_fast(fast, cases, args.batch)
-    verify_identical(ref_results, fast_results)
+    dedup_wall, dedup_results, _ = run_fast(
+        fast, cases, args.batch, fused=False, cache=False
+    )
+    fused_wall, fused_results, _ = run_fast(
+        fast, cases, args.batch, fused=True, cache=False
+    )
+    full_wall, full_results, cache_stats = run_fast(
+        fast, cases, args.batch, fused=True, cache=True
+    )
+    # Every arm must be observably identical to the autograd reference.
+    verify_identical(ref_results, dedup_results)
+    verify_identical(ref_results, fused_results)
+    verify_identical(ref_results, full_results)
 
     e2e_ref = run_end_to_end(reference, workload, n_traces, n_cycles, seed, 1)
     e2e_fast = run_end_to_end(fast, workload, n_traces, n_cycles, seed, args.batch)
+
+    def arm(wall: float) -> dict:
+        return {
+            "wall_s": round(wall, 4),
+            "executions_per_s": round(total_executions / wall),
+        }
 
     results = {
         "workload": {
@@ -231,15 +298,16 @@ def main() -> None:
             "executions_localized": total_executions,
         },
         "localization": {
-            "reference": {
-                "wall_s": round(ref_wall, 4),
-                "executions_per_s": round(total_executions / ref_wall),
+            "reference": arm(ref_wall),
+            "fast_dedup_batch": arm(dedup_wall),
+            "fused": arm(fused_wall),
+            "fused_cache": {
+                **arm(full_wall),
+                "cache_hit_rate": round(cache_stats["hit_rate"], 4),
+                "cache_entries": cache_stats["entries"],
             },
-            "fast": {
-                "wall_s": round(fast_wall, 4),
-                "executions_per_s": round(total_executions / fast_wall),
-            },
-            "speedup": round(ref_wall / fast_wall, 2),
+            "speedup": round(ref_wall / full_wall, 2),
+            "speedup_vs_dedup_batch": round(dedup_wall / full_wall, 2),
             "rankings_identical": True,
         },
         "end_to_end_campaign": {
@@ -249,11 +317,18 @@ def main() -> None:
         },
     }
 
+    loc = results["localization"]
     print(
-        f"localization: {ref_wall:.2f}s -> {fast_wall:.2f}s "
-        f"({results['localization']['speedup']}x, "
-        f"{results['localization']['fast']['executions_per_s']} exec/s, "
-        f"rankings identical over {len(cases)} mutants)"
+        f"localization: reference {ref_wall:.2f}s -> dedup+batch "
+        f"{dedup_wall:.2f}s -> fused {fused_wall:.2f}s -> fused+cache "
+        f"{full_wall:.2f}s"
+    )
+    print(
+        f"  {loc['speedup']}x vs reference, "
+        f"{loc['speedup_vs_dedup_batch']}x vs the dedup+batch fast path, "
+        f"{loc['fused_cache']['executions_per_s']} exec/s, cache hit rate "
+        f"{loc['fused_cache']['cache_hit_rate']:.1%}, rankings identical "
+        f"over {len(cases)} mutants"
     )
     print(
         f"end-to-end campaign: {e2e_ref:.2f}s -> {e2e_fast:.2f}s "

@@ -9,6 +9,14 @@ Paper values for reference (accuracy %): α=0.01 → 96.5, 0.05 → 93.8,
 The sweep here uses a reduced corpus/epoch budget per α so the whole
 table regenerates in a few minutes; the expected *shape* is that all α
 perform similarly (within a few points) with 0.10 among the best.
+
+The held-out split is grouped at the *design* level
+(``split_by_design=True``, matching ``train_pipeline``): a sample-level
+split leaks near-duplicate executions of every test statement into
+training and inflates the table.  Expect accuracies a few points below
+the historical sample-level numbers — the committed paper-scale fixture
+measures 95.0% train / 89.8% held-out under the grouped split (see
+docs/architecture.md "Train/test split").
 """
 
 from repro.core import BatchEncoder, Trainer, VeriBugConfig, VeriBugModel, Vocabulary
@@ -20,7 +28,9 @@ PAPER_ACCURACY = {0.01: 96.5, 0.05: 93.8, 0.10: 98.0, 0.15: 95.6, 0.20: 96.7, 0.
 
 #: Reduced budget per α point (6 trainings in one table).
 SWEEP_EPOCHS = 20
-SWEEP_CORPUS = CorpusSpec(n_designs=10, n_traces_per_design=3, n_cycles=20)
+# Enough designs that ~10 remain on the training side after the grouped
+# design-level holdout.
+SWEEP_CORPUS = CorpusSpec(n_designs=13, n_traces_per_design=3, n_cycles=20)
 
 
 def run_alpha_point(alpha: float, samples_split):
@@ -35,7 +45,7 @@ def run_alpha_point(alpha: float, samples_split):
 
 def test_table2_alpha_sweep(benchmark):
     samples = generate_corpus_samples(SWEEP_CORPUS, seed=7)
-    split = train_test_split(samples, 0.25, seed=7)
+    split = train_test_split(samples, 0.25, seed=7, split_by_design=True)
 
     results = {}
 

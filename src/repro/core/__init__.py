@@ -23,7 +23,7 @@ from .features import (
 )
 from .heatmap import format_operand_scores, render_heatmap, score_bin, score_glyph
 from .localizer import BugLocalizer, LocalizationRequest, LocalizationResult
-from .model import ModelOutput, VeriBugModel
+from .model import ContextEmbeddingCache, ModelOutput, VeriBugModel
 from .trainer import EvalMetrics, TrainHistory, Trainer, compute_metrics
 from .vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
 
@@ -31,6 +31,7 @@ __all__ = [
     "AttentionMap",
     "BatchEncoder",
     "BugLocalizer",
+    "ContextEmbeddingCache",
     "EncodedBatch",
     "EvalMetrics",
     "Explainer",

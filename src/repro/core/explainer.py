@@ -136,6 +136,14 @@ class Explainer:
             attention of one sample does not depend on its batch, and the
             weighted mean is exact); disable only to benchmark against or
             differentially test the pre-dedup reference path.
+
+    Under ``inference_mode`` the model additionally runs the fused PathRNN
+    kernel (``LSTM.forward_fused``) and serves repeated contexts from its
+    :class:`~repro.core.model.ContextEmbeddingCache`; both are gated on
+    autograd being off, so ``fast_inference=False`` still exercises the
+    unmodified per-execution autograd reference arm.  Toggle
+    ``model.path_rnn.fused_inference`` / ``model.context_cache.enabled``
+    to isolate either layer when benchmarking.
     """
 
     def __init__(

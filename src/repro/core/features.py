@@ -75,6 +75,11 @@ class EncodedBatch:
     Layout: all paths of all operands of all samples are stacked into one
     ``[P, T]`` token matrix; ``path_operand`` maps each path row to its
     operand row; ``operand_stmt`` maps each operand row to its sample.
+
+    ``operand_contexts`` carries, per operand row, the originating
+    ``(StatementContext, operand_index)`` pair.  The PathRNN output of an
+    operand depends only on that pair — never on the dynamic values — so
+    it is the identity the model's context-embedding cache memoizes on.
     """
 
     path_tokens: np.ndarray
@@ -86,6 +91,7 @@ class EncodedBatch:
     n_operands: int
     n_statements: int
     operand_counts: list[int] = field(default_factory=list)
+    operand_contexts: list[tuple[StatementContext, int]] | None = None
 
 
 class BatchEncoder:
@@ -136,6 +142,7 @@ class BatchEncoder:
         values: list[int] = []
         labels: list[int] = []
         operand_counts: list[int] = []
+        operand_contexts: list[tuple[StatementContext, int]] = []
 
         operand_row = 0
         for stmt_row, sample in enumerate(samples):
@@ -157,6 +164,7 @@ class BatchEncoder:
                     path_operand.append(operand_row)
                 operand_stmt.append(stmt_row)
                 values.append(sample.operand_values[op_index])
+                operand_contexts.append((context, op_index))
                 operand_row += 1
             labels.append(sample.label)
 
@@ -171,6 +179,7 @@ class BatchEncoder:
             n_operands=operand_row,
             n_statements=len(samples),
             operand_counts=operand_counts,
+            operand_contexts=operand_contexts,
         )
 
 

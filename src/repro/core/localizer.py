@@ -147,10 +147,15 @@ class BugLocalizer:
         All requests' distinct samples are concatenated into one stream
         and encoded into ``batch_size``-row model calls, so the per-call
         overhead (LSTM step loop, op dispatch) is amortized across
-        mutants instead of being paid per small trace set.  Results are
-        identical to calling :meth:`localize` per request: attention
-        weights are segment-local, so a sample's weights do not depend on
-        which batch it lands in.
+        mutants instead of being paid per small trace set.  Inside the
+        ``inference_mode`` scope the model also selects the fused PathRNN
+        kernel and memoizes context embeddings per distinct
+        ``(context, operand)`` pair, so a statement whose paths were
+        embedded for one distinct sample never re-runs the PathRNN for
+        any other operand values — inference reduces to the value-MLP
+        stages.  Results are identical to calling :meth:`localize` per
+        request: attention weights are segment-local, so a sample's
+        weights do not depend on which batch it lands in.
 
         Args:
             requests: The pending localizations, in result order.

@@ -15,14 +15,25 @@ Three stages, all fully batched over ragged statements via segment ops:
 
 3. **Final prediction** — ``MLP_θ2`` maps the statement embedding to
    2-class logits for the LHS value.
+
+Stage 1 is where inference time goes (the PathRNN runs over every path of
+every operand), and its output is *value-independent*: ``c_i`` is a pure
+function of the static ``(StatementContext, operand_index)`` pair and the
+current weights.  :class:`ContextEmbeddingCache` memoizes it per context
+identity, so repeated executions of the same statement — with whatever
+operand values — skip the PathRNN entirely and inference reduces to the
+value-MLP stages.  The cache is consulted only while autograd is off;
+training and the per-execution reference arm are byte-for-byte untouched.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..analysis.contexts import StatementContext
 from ..nn import (
     LSTM,
     MLP,
@@ -33,12 +44,80 @@ from ..nn import (
     concat,
     gather_rows,
     inference_mode,
+    is_grad_enabled,
     segment_softmax,
     segment_sum,
 )
 from .config import VeriBugConfig
 from .features import EncodedBatch
 from .vocab import Vocabulary
+
+
+class ContextEmbeddingCache:
+    """Memoizes PathRNN context embeddings per (context identity, operand).
+
+    Keys are ``(id(context), operand_index)`` with a weak-reference guard,
+    the same scheme as :attr:`BatchEncoder._path_cache` and the simulator's
+    compile cache: a context that happens to reuse a garbage-collected
+    context's ``id`` can never be served the dead context's embedding, and
+    entries are evicted when their context dies, so the cache stays bounded
+    across long campaigns.
+
+    Entries are valid only for the weights they were computed with; owners
+    of the weights invalidate via :meth:`clear` (``Trainer.train`` and
+    ``VeriBugModel.load_state_dict`` both do).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._entries: dict[
+            tuple[int, int], tuple[weakref.ref, np.ndarray]
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, context: StatementContext, op_index: int) -> np.ndarray | None:
+        """The cached ``c_i`` row for a live (context, operand), or None."""
+        entry = self._entries.get((id(context), op_index))
+        if entry is not None and entry[0]() is context:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
+
+    def put(
+        self, context: StatementContext, op_index: int, embedding: np.ndarray
+    ) -> None:
+        """Store an embedding; evicted automatically when ``context`` dies."""
+        key = (id(context), op_index)
+        ref = weakref.ref(context, lambda _r, _k=key: self._entries.pop(_k, None))
+        self._entries[key] = (ref, embedding)
+
+    def clear(self) -> None:
+        """Drop every entry (weights changed or owner reset)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss counters plus the derived hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+        }
 
 
 @dataclass
@@ -103,6 +182,14 @@ class VeriBugModel(Module):
             rng,
             activation="leaky_relu",
         )
+        #: Inference-only memo of stage-1 context embeddings; consulted
+        #: exclusively while autograd is off, so training and the autograd
+        #: reference arm never see it.
+        self.context_cache = ContextEmbeddingCache()
+
+    def _on_state_loaded(self) -> None:
+        # New weights invalidate every memoized context embedding.
+        self.context_cache.clear()
 
     # ------------------------------------------------------------------
     # Forward
@@ -126,11 +213,65 @@ class VeriBugModel(Module):
 
     def _operand_embeddings(self, batch: EncodedBatch) -> Tensor:
         """Stage 1: ``x_i = (c_i || v_i)`` for every operand row."""
-        tokens = self.node_embedding(batch.path_tokens)  # [P, T, E]
-        path_embed = self.path_rnn(tokens, batch.path_mask)  # [P, dc]
-        context = segment_sum(path_embed, batch.path_operand, batch.n_operands)
+        context = self._context_embeddings(batch)  # [M, dc]
         value = Tensor(batch.value_onehot)
         return concat([context, value], axis=1)  # [M, dc+dv]
+
+    def _context_embeddings(self, batch: EncodedBatch) -> Tensor:
+        """PathRNN context embeddings ``c_i``, memoized under inference.
+
+        With autograd on (training, reference arm) or when the cache is
+        disabled, every path row runs through the PathRNN.  Under
+        :func:`inference_mode`, distinct ``(context, operand)`` pairs are
+        computed once — duplicates within the batch share one forward row,
+        repeats across batches are served from the cache.
+        """
+        if (
+            is_grad_enabled()
+            or not self.context_cache.enabled
+            or batch.operand_contexts is None
+        ):
+            tokens = self.node_embedding(batch.path_tokens)  # [P, T, E]
+            path_embed = self.path_rnn(tokens, batch.path_mask)  # [P, dc]
+            return segment_sum(path_embed, batch.path_operand, batch.n_operands)
+        return Tensor(self._cached_context_embeddings(batch))
+
+    def _cached_context_embeddings(self, batch: EncodedBatch) -> np.ndarray:
+        cache = self.context_cache
+        out = np.zeros((batch.n_operands, self.config.dc))
+        # Group operand rows by context identity: one lookup (and at most
+        # one PathRNN row group) per distinct (context, operand) pair.
+        groups: dict[tuple[int, int], list[int]] = {}
+        for row, (context, op_index) in enumerate(batch.operand_contexts):
+            groups.setdefault((id(context), op_index), []).append(row)
+
+        missing: list[tuple[int, ...]] = []  # (representative row, ...rows)
+        for key, rows in groups.items():
+            context, op_index = batch.operand_contexts[rows[0]]
+            embedding = cache.get(context, op_index)
+            if embedding is None:
+                missing.append(tuple(rows))
+            else:
+                out[rows] = embedding
+        if not missing:
+            return out
+
+        # One fused pass over the paths of the representative rows only.
+        representative = np.array([rows[0] for rows in missing], dtype=np.int64)
+        segment_of = np.full(batch.n_operands, -1, dtype=np.int64)
+        segment_of[representative] = np.arange(len(representative))
+        selected = segment_of[batch.path_operand] >= 0
+        tokens = self.node_embedding(batch.path_tokens[selected])
+        path_embed = self.path_rnn(tokens, batch.path_mask[selected])
+        computed = segment_sum(
+            path_embed, segment_of[batch.path_operand[selected]], len(representative)
+        ).data
+        for slot, rows in enumerate(missing):
+            context, op_index = batch.operand_contexts[rows[0]]
+            embedding = computed[slot]
+            cache.put(context, op_index, embedding.copy())
+            out[list(rows)] = embedding
+        return out
 
     def _aggregation(self, x: Tensor, batch: EncodedBatch) -> Tensor:
         """Stage 2a: ``x*_i = MLP_θ1(Σ_j x_j + ε · x_i)``."""

@@ -83,6 +83,9 @@ class Trainer:
         """
         if not samples:
             raise ValueError("cannot train on an empty sample list")
+        # Stage-1 embeddings memoized by earlier inference (e.g. a
+        # mid-training evaluate) are stale the moment a step runs.
+        self.model.context_cache.clear()
         epochs = epochs if epochs is not None else self.config.epochs
         rng = np.random.default_rng(self.config.seed)
         labels = np.array([s.label for s in samples])

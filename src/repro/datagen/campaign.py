@@ -23,8 +23,13 @@ testbench seeds from its own ``node_index``.
 Localization itself runs on the inference fast path: up to
 ``localize_batch`` observable mutants are handed to
 :meth:`BugLocalizer.localize_many`, which deduplicates their executions
-and encodes them into shared no-grad forward passes.  Rankings are
-identical to per-mutant localization.
+and encodes them into shared no-grad forward passes; under that no-grad
+scope the model runs the fused PathRNN kernel and serves repeated
+statement contexts from its context-embedding cache (each mutant's
+contexts are re-extracted per localization, so within a batch the cache
+collapses the PathRNN cost of every distinct operand-value combination
+of one statement down to a single embedding).  Rankings are identical
+to per-mutant localization.
 """
 
 from __future__ import annotations

@@ -25,7 +25,7 @@ from .loss import (
     weighted_cross_entropy,
 )
 from .optim import SGD, Adam, Optimizer
-from .rnn import LSTM, LSTMCell
+from .rnn import LSTM, LSTMCell, lstm_forward_fused
 from .serialization import load_state, save_state
 from .tensor import Tensor, enable_grad, inference_mode, is_grad_enabled
 
@@ -52,6 +52,7 @@ __all__ = [
     "is_grad_enabled",
     "load_state",
     "log_softmax",
+    "lstm_forward_fused",
     "one_hot",
     "segment_mean",
     "segment_softmax",

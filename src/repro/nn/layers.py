@@ -81,6 +81,14 @@ class Module:
                     f"expected {param.data.shape}, got {value.shape}"
                 )
             param.data = value.copy()
+        self._on_state_loaded()
+
+    def _on_state_loaded(self) -> None:
+        """Hook run after :meth:`load_state_dict` replaces parameters.
+
+        Modules that memoize forward results keyed on their weights (e.g.
+        the VeriBug context-embedding cache) override this to invalidate.
+        """
 
     def zero_grad(self) -> None:
         """Clear gradients of every parameter."""

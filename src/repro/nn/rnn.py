@@ -13,6 +13,18 @@ The cell follows the standard formulation with a fused gate projection:
 mask, so ragged path batches can be processed fully vectorized.  The
 forget-gate bias is initialized to 1, the usual trick for gradient flow
 through time.
+
+Two forward paths share the same weights:
+
+* the **autograd path** (:class:`LSTMCell` applied per step) builds the
+  full Tensor graph and is the training/reference arm;
+* the **fused inference kernel** (:func:`lstm_forward_fused`) runs the
+  whole ``[B, T, I]`` batch over raw ndarrays — one time-major
+  input-projection GEMM for all timesteps, rows packed by length so each
+  step fuses all four gates of exactly the still-live rows, states
+  updated in place — and is selected automatically when autograd is off
+  (inside :func:`repro.nn.inference_mode`).  It refuses to run with grad
+  enabled, so it can never silently truncate a training graph.
 """
 
 from __future__ import annotations
@@ -20,7 +32,116 @@ from __future__ import annotations
 import numpy as np
 
 from .layers import Module, Parameter, _glorot
-from .tensor import Tensor
+from .tensor import Tensor, is_grad_enabled
+
+
+def _sigmoid_inplace(a: np.ndarray) -> np.ndarray:
+    """In-place logistic sigmoid, with the same clipping as Tensor.sigmoid."""
+    np.clip(a, -60.0, 60.0, out=a)
+    np.negative(a, out=a)
+    np.exp(a, out=a)
+    a += 1.0
+    np.reciprocal(a, out=a)
+    return a
+
+
+def lstm_forward_fused(
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+    x: np.ndarray,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """No-grad fused LSTM forward over raw arrays.
+
+    Computes exactly what the masked :class:`LSTM` autograd loop computes
+    — the hidden state after each sequence's last valid step — without
+    building any Tensor graph: rows are packed by descending sequence
+    length, the input projection of every live timestep is one time-major
+    GEMM, and each step fuses all four gates of the still-live row block
+    into a single ``[B_t, 4H]`` projection, updating the state buffers in
+    place (finished rows are never touched, which is the 0/1 mask update
+    minus the multiplies).
+
+    Args:
+        w_ih / w_hh / bias: The cell parameters (``[I, 4H]``, ``[H, 4H]``,
+            ``[4H]``).
+        x: ``[B, T, I]`` padded input sequences.
+        mask: ``[B, T]`` float/bool array, 1 for valid steps (sequences
+            left-aligned: valid steps first, padding after).
+
+    Returns:
+        ``[B, H]`` final hidden states (a fresh float64 array).
+
+    Raises:
+        RuntimeError: If autograd is enabled.  The kernel produces plain
+            arrays, so running it inside a recorded forward pass would
+            silently detach the graph; wrap calls in
+            :func:`repro.nn.inference_mode`.
+        ValueError: If the mask has an interior gap (not left-aligned);
+            the packed representation cannot express resuming a frozen
+            sequence, so the misuse fails loudly instead of drifting from
+            the autograd arm.
+    """
+    if is_grad_enabled():
+        raise RuntimeError(
+            "lstm_forward_fused requires autograd to be disabled; wrap the "
+            "call in repro.nn.inference_mode() (training must use the "
+            "LSTMCell autograd path)"
+        )
+    x = np.asarray(x, dtype=np.float64)
+    mask = np.asarray(mask, dtype=np.float64)
+    batch, _, input_size = x.shape
+    hidden = w_hh.shape[0]
+
+    valid = mask != 0.0
+    if np.any(valid[:, 1:] & ~valid[:, :-1]):
+        raise ValueError(
+            "mask must be left-aligned (valid steps first, padding after); "
+            "the packed kernel cannot represent interior gaps"
+        )
+    h = np.zeros((batch, hidden))
+    lengths = valid.sum(axis=1)
+    max_len = int(lengths.max()) if batch else 0
+    if max_len == 0:
+        return h
+
+    # Pack: rows sorted by descending length, so at step t exactly the
+    # first `active[t]` rows are live and the mask vanishes from the loop
+    # (a live row takes the new state outright; a finished row is simply
+    # never touched again — the same arithmetic as the autograd arm's
+    # exact 0/1 mask update, minus the multiplies).
+    order = np.argsort(-lengths, kind="stable")
+    active = np.searchsorted(-lengths[order], -np.arange(1, max_len + 1), "right")
+
+    # Input projections of the live rows only — packing makes them a
+    # prefix of every time-major block — in one GEMM; bias folded in once.
+    x_packed = x[order, :max_len].transpose(1, 0, 2)  # [T, B, I]
+    live = np.arange(batch)[None, :] < active[:, None]
+    projected = x_packed[live] @ w_ih  # [sum(active), 4H]
+    projected += bias
+    offsets = np.concatenate(([0], np.cumsum(active)))
+
+    c = np.zeros((batch, hidden))
+    for t in range(max_len):
+        n = int(active[t])
+        gates = projected[offsets[t] : offsets[t + 1]]
+        gates += h[:n] @ w_hh
+        i_gate = _sigmoid_inplace(gates[:, 0 * hidden : 1 * hidden])
+        f_gate = _sigmoid_inplace(gates[:, 1 * hidden : 2 * hidden])
+        g_gate = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+        o_gate = _sigmoid_inplace(gates[:, 3 * hidden : 4 * hidden])
+        c_live = c[:n]
+        c_live *= f_gate
+        i_gate *= g_gate
+        c_live += i_gate
+        np.tanh(c_live, out=h[:n])
+        h[:n] *= o_gate
+
+    # Unpack to the caller's row order.
+    out = np.empty_like(h)
+    out[order] = h
+    return out
 
 
 class LSTMCell(Module):
@@ -54,11 +175,25 @@ class LSTM(Module):
     Sequences must be left-aligned: valid steps first, padding after.  The
     mask freezes the state on padded steps, so the returned hidden state is
     the one after each sequence's last valid step.
+
+    When autograd is off (inside :func:`repro.nn.inference_mode`) and
+    ``fused_inference`` is set (the default), :meth:`forward` dispatches to
+    the fused no-graph kernel; with grad enabled it always runs the
+    :class:`LSTMCell` autograd loop, so training is never affected.
     """
 
-    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        fused_inference: bool = True,
+    ):
         self.cell = LSTMCell(input_size, hidden_size, rng)
         self.hidden_size = hidden_size
+        #: Allow the fused kernel under inference_mode (benchmarks flip
+        #: this off to time the graph-free-but-unfused baseline).
+        self.fused_inference = fused_inference
 
     def forward(self, x: Tensor, mask: np.ndarray) -> Tensor:
         """Run the LSTM.
@@ -70,6 +205,8 @@ class LSTM(Module):
         Returns:
             ``[B, H]`` final hidden states.
         """
+        if self.fused_inference and not is_grad_enabled():
+            return Tensor(self.forward_fused(x, mask))
         batch, steps, _ = x.shape
         mask = np.asarray(mask, dtype=np.float64)
         h = Tensor(np.zeros((batch, self.hidden_size)))
@@ -81,3 +218,15 @@ class LSTM(Module):
             h = step_mask * h_new + (1.0 - step_mask) * h
             c = step_mask * c_new + (1.0 - step_mask) * c
         return h
+
+    def forward_fused(self, x: Tensor | np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """The fused no-grad kernel over this LSTM's weights.
+
+        See :func:`lstm_forward_fused`; raises ``RuntimeError`` when
+        autograd is enabled.
+        """
+        data = x.data if isinstance(x, Tensor) else x
+        cell = self.cell
+        return lstm_forward_fused(
+            cell.w_ih.data, cell.w_hh.data, cell.bias.data, data, mask
+        )

@@ -1,0 +1,403 @@
+"""Differential and property tests pinning the fused inference path.
+
+Three contracts keep the fused PathRNN kernel and the context-embedding
+cache honest:
+
+* **Differential** — the fused kernel agrees with the autograd ``LSTM``
+  within 1e-9 on random ragged batches, and the full model produces
+  identical rankings/suspiciousness with the cache (and kernel) on vs
+  off (mirroring ``tests/test_inference_fastpath.py``).
+* **Property (hypothesis)** — appending masked steps never changes the
+  final hidden state, and the cache can never serve a dead context's
+  embedding even when CPython reuses its ``id``.
+* **Autograd regression** — the ``LSTMCell`` training path still passes
+  a finite-difference gradient check, and ``forward_fused`` refuses to
+  run while autograd is enabled.
+"""
+
+import gc
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import extract_module_contexts
+from repro.analysis.contexts import OperandInstance, StatementContext
+from repro.core import BugLocalizer, ContextEmbeddingCache, Explainer
+from repro.designs import REGISTRY, load_design
+from repro.nn import LSTM, Tensor, enable_grad, inference_mode, lstm_forward_fused
+from repro.sim import Simulator, TestbenchConfig, generate_testbench_suite
+from repro.verilog import parse_module
+
+TOL = 1e-9
+
+
+def ragged_batch(rng, batch, steps, input_size):
+    """Random inputs plus a left-aligned mask with random lengths (0..T)."""
+    x = rng.normal(size=(batch, steps, input_size))
+    lengths = rng.integers(0, steps + 1, size=batch)
+    mask = (np.arange(steps)[None, :] < lengths[:, None]).astype(np.float64)
+    return x, mask
+
+
+@contextmanager
+def model_switches(model, fused: bool, cache: bool):
+    """Pin the fused-kernel and cache switches, starting from a cold cache."""
+    lstm = model.path_rnn
+    saved = (lstm.fused_inference, model.context_cache.enabled)
+    lstm.fused_inference = fused
+    model.context_cache.enabled = cache
+    model.context_cache.clear()
+    model.context_cache.reset_stats()
+    try:
+        yield
+    finally:
+        lstm.fused_inference, model.context_cache.enabled = saved
+        model.context_cache.clear()
+
+
+# ----------------------------------------------------------------------
+# Fused kernel vs autograd LSTM
+# ----------------------------------------------------------------------
+
+
+class TestFusedKernelDifferential:
+    @pytest.mark.parametrize(
+        "batch,steps,input_size,hidden,seed",
+        [
+            (1, 1, 1, 1, 0),
+            (1, 9, 4, 6, 1),
+            (17, 1, 3, 5, 2),
+            (13, 7, 6, 9, 3),
+            (32, 12, 8, 16, 4),
+        ],
+    )
+    def test_matches_autograd_on_ragged_batches(
+        self, batch, steps, input_size, hidden, seed
+    ):
+        rng = np.random.default_rng(seed)
+        lstm = LSTM(input_size, hidden, rng)
+        x, mask = ragged_batch(rng, batch, steps, input_size)
+        with inference_mode():
+            fused = lstm.forward_fused(x, mask)
+            lstm.fused_inference = False
+            reference = lstm(Tensor(x), mask).data
+        assert fused.shape == (batch, hidden)
+        assert np.allclose(fused, reference, atol=TOL)
+
+    def test_rejects_non_left_aligned_mask(self):
+        rng = np.random.default_rng(7)
+        lstm = LSTM(3, 5, rng)
+        x = rng.normal(size=(2, 4, 3))
+        mask = np.array([[1.0, 0.0, 1.0, 1.0], [1.0, 1.0, 0.0, 0.0]])
+        with inference_mode():
+            with pytest.raises(ValueError, match="left-aligned"):
+                lstm.forward_fused(x, mask)
+
+    def test_all_masked_row_yields_initial_state(self):
+        rng = np.random.default_rng(8)
+        lstm = LSTM(3, 5, rng)
+        x = rng.normal(size=(4, 6, 3))
+        mask = np.zeros((4, 6))
+        mask[0, :3] = 1.0  # one live row, three fully padded rows
+        with inference_mode():
+            out = lstm.forward_fused(x, mask)
+        assert np.array_equal(out[1:], np.zeros((3, 5)))
+        assert np.any(out[0] != 0.0)
+
+    def test_selected_automatically_under_inference_mode(self):
+        rng = np.random.default_rng(9)
+        lstm = LSTM(4, 7, rng)
+        x, mask = ragged_batch(rng, 6, 5, 4)
+        with inference_mode():
+            auto = lstm(Tensor(x), mask)
+            fused = lstm.forward_fused(x, mask)
+        assert np.array_equal(auto.data, fused)
+        assert not auto.requires_grad
+        # With grad enabled the same call takes the autograd path.
+        graph = lstm(Tensor(x), mask)
+        assert graph.requires_grad
+        assert np.allclose(graph.data, fused, atol=TOL)
+
+    def test_functional_form_matches_method(self):
+        rng = np.random.default_rng(10)
+        lstm = LSTM(3, 4, rng)
+        x, mask = ragged_batch(rng, 5, 6, 3)
+        cell = lstm.cell
+        with inference_mode():
+            assert np.array_equal(
+                lstm_forward_fused(
+                    cell.w_ih.data, cell.w_hh.data, cell.bias.data, x, mask
+                ),
+                lstm.forward_fused(x, mask),
+            )
+
+
+# ----------------------------------------------------------------------
+# Model-level differential: cache / kernel on vs off
+# ----------------------------------------------------------------------
+
+
+def design_traces(module, n_traces=4, n_cycles=8, seed=5):
+    stimuli = generate_testbench_suite(
+        module, n_traces, TestbenchConfig(n_cycles=n_cycles), seed=seed
+    )
+    return Simulator(module).run_suite(stimuli)
+
+
+def assert_maps_equal(a, b):
+    assert a.statements() == b.statements()
+    for stmt_id in a.statements():
+        assert a.counts[stmt_id] == b.counts[stmt_id]
+        assert np.allclose(a.weights[stmt_id], b.weights[stmt_id], atol=TOL)
+
+
+def planted_bug_case():
+    golden = parse_module(
+        "module t(clk, rst_n, sel, a, b, y); input clk, rst_n, sel, a, b;"
+        " output reg y;"
+        " always @(*) if (sel) y = a & b; else y = a | b; endmodule"
+    )
+    buggy = parse_module(
+        "module t(clk, rst_n, sel, a, b, y); input clk, rst_n, sel, a, b;"
+        " output reg y;"
+        " always @(*) if (sel) y = a & ~b; else y = a | b; endmodule"
+    )
+    stimuli = generate_testbench_suite(golden, 20, TestbenchConfig(n_cycles=6), seed=3)
+    gsim, bsim = Simulator(golden), Simulator(buggy)
+    failing, correct = [], []
+    for stim in stimuli:
+        golden_trace = gsim.run(stim, record=False)
+        trace = bsim.run(stim)
+        if trace.diverges_from(golden_trace, signals=["y"]):
+            failing.append(trace)
+        else:
+            correct.append(trace)
+    assert failing and correct
+    return buggy, failing, correct
+
+
+class TestModelCacheDifferential:
+    def test_attention_maps_paper_designs(self, trained_pipeline):
+        """Cache+kernel on vs both off: identical maps on the paper designs."""
+        model = trained_pipeline.model
+        explainer = Explainer(
+            model, trained_pipeline.encoder, trained_pipeline.config
+        )
+        for name in REGISTRY:
+            module = load_design(name)
+            contexts = extract_module_contexts(module.statements())
+            traces = design_traces(module)
+            with model_switches(model, fused=True, cache=True):
+                cached = explainer.attention_map(contexts, traces)
+                assert model.context_cache.misses > 0
+            with model_switches(model, fused=False, cache=False):
+                plain = explainer.attention_map(contexts, traces)
+            assert_maps_equal(cached, plain)
+
+    def test_localize_rankings_cache_on_vs_off(self, trained_pipeline):
+        buggy, failing, correct = planted_bug_case()
+        localizer = trained_pipeline.localizer
+        model = trained_pipeline.model
+        with model_switches(model, fused=True, cache=True):
+            cached = localizer.localize(buggy, "y", failing, correct)
+        with model_switches(model, fused=False, cache=False):
+            plain = localizer.localize(buggy, "y", failing, correct)
+        assert cached.ranking == plain.ranking
+        assert set(cached.heatmap.suspiciousness) == set(plain.heatmap.suspiciousness)
+        for stmt_id, score in plain.heatmap.suspiciousness.items():
+            assert abs(cached.heatmap.suspiciousness[stmt_id] - score) < TOL
+
+    def test_matches_legacy_per_execution_reference(self, trained_pipeline):
+        """Fused+cached fast path == the pre-dedup autograd reference arm."""
+        buggy, failing, correct = planted_bug_case()
+        model = trained_pipeline.model
+        legacy = BugLocalizer(
+            model,
+            trained_pipeline.encoder,
+            trained_pipeline.config,
+            fast_inference=False,
+        )
+        with model_switches(model, fused=True, cache=True):
+            fast = trained_pipeline.localizer.localize(buggy, "y", failing, correct)
+        reference = legacy.localize(buggy, "y", failing, correct)
+        assert fast.ranking == reference.ranking
+        for stmt_id, score in reference.heatmap.suspiciousness.items():
+            assert abs(fast.heatmap.suspiciousness[stmt_id] - score) < TOL
+
+    def test_cache_hits_accumulate_and_entries_die_with_contexts(
+        self, trained_pipeline, arbiter
+    ):
+        model = trained_pipeline.model
+        explainer = Explainer(model, trained_pipeline.encoder)
+        contexts = extract_module_contexts(arbiter.statements())
+        traces = design_traces(arbiter, n_traces=3)
+        with model_switches(model, fused=True, cache=True):
+            explainer.attention_map(contexts, traces)
+            cold = model.context_cache.stats()
+            explainer.attention_map(contexts, traces)
+            warm = model.context_cache.stats()
+            assert len(model.context_cache) > 0
+            # Second pass over the same contexts is all hits.
+            assert warm["hits"] > cold["hits"]
+            assert warm["misses"] == cold["misses"]
+            del contexts, traces
+            gc.collect()
+            assert len(model.context_cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties
+# ----------------------------------------------------------------------
+
+
+class TestPaddingInvariance:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        batch=st.integers(min_value=1, max_value=6),
+        steps=st.integers(min_value=1, max_value=6),
+        extra=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_appending_masked_steps_is_identity(self, seed, batch, steps, extra):
+        rng = np.random.default_rng(seed)
+        lstm = LSTM(3, 5, rng)
+        x, mask = ragged_batch(rng, batch, steps, 3)
+        # Padding carries adversarial garbage values; only the mask
+        # declares it dead.
+        x_padded = np.concatenate(
+            [x, 1e6 * rng.normal(size=(batch, extra, 3))], axis=1
+        )
+        mask_padded = np.concatenate([mask, np.zeros((batch, extra))], axis=1)
+        with inference_mode():
+            base = lstm.forward_fused(x, mask)
+            padded = lstm.forward_fused(x_padded, mask_padded)
+            lstm.fused_inference = False
+            base_auto = lstm(Tensor(x), mask).data
+            padded_auto = lstm(Tensor(x_padded), mask_padded).data
+        assert np.allclose(base, padded, atol=1e-12)
+        assert np.allclose(base_auto, padded_auto, atol=1e-12)
+        assert np.allclose(base, base_auto, atol=TOL)
+
+
+def make_context(stmt_id: int, n_operands: int) -> StatementContext:
+    return StatementContext(
+        stmt_id=stmt_id,
+        target="y",
+        assign_type="BlockingAssignment",
+        operands=[OperandInstance(f"s{i}", 0, i) for i in range(n_operands)],
+        contexts=[[("And", "Rvalue", "BlockingAssignment", "Lvalue")]] * n_operands,
+    )
+
+
+class TestCacheGCReuse:
+    @given(
+        n_operands=st.integers(min_value=1, max_value=4),
+        op_index=st.integers(min_value=0, max_value=3),
+        rounds=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recycled_ids_never_resurrect_dead_embeddings(
+        self, n_operands, op_index, rounds
+    ):
+        op_index = op_index % n_operands
+        cache = ContextEmbeddingCache()
+        context = make_context(0, n_operands)
+        dead_id = id(context)
+        marker = np.full(4, 7.0)
+        cache.put(context, op_index, marker)
+        assert cache.get(context, op_index) is marker
+        del context
+        gc.collect()
+        # Eviction: the weakref callback dropped the entry with its owner.
+        assert len(cache) == 0
+        # CPython routinely hands a new object the dead one's id; the
+        # weakref guard must treat that as a brand-new context.
+        for attempt in range(rounds):
+            reborn = make_context(attempt, n_operands)
+            assert cache.get(reborn, op_index) is None
+            fresh = np.full(4, float(attempt))
+            cache.put(reborn, op_index, fresh)
+            assert cache.get(reborn, op_index) is fresh
+            if id(reborn) == dead_id:
+                break  # id actually recycled and still served fresh data
+
+    def test_disabled_cache_is_bypassed(self, trained_pipeline, arbiter):
+        model = trained_pipeline.model
+        explainer = Explainer(model, trained_pipeline.encoder)
+        contexts = extract_module_contexts(arbiter.statements())
+        traces = design_traces(arbiter, n_traces=2)
+        with model_switches(model, fused=True, cache=False):
+            explainer.attention_map(contexts, traces)
+            assert len(model.context_cache) == 0
+            assert model.context_cache.hits == 0
+
+
+# ----------------------------------------------------------------------
+# Autograd regression: the training path must be untouched
+# ----------------------------------------------------------------------
+
+
+class TestAutogradRegression:
+    def finite_difference(self, lstm, param, x, mask, projection, eps=1e-6):
+        numeric = np.zeros_like(param.data)
+        flat = param.data.reshape(-1)
+        num_flat = numeric.reshape(-1)
+        for idx in range(flat.size):
+            original = flat[idx]
+            flat[idx] = original + eps
+            plus = float((lstm(Tensor(x), mask).data * projection).sum())
+            flat[idx] = original - eps
+            minus = float((lstm(Tensor(x), mask).data * projection).sum())
+            flat[idx] = original
+            num_flat[idx] = (plus - minus) / (2.0 * eps)
+        return numeric
+
+    def test_lstm_cell_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(21)
+        lstm = LSTM(3, 4, rng)
+        x, mask = ragged_batch(rng, 5, 6, 3)
+        projection = rng.normal(size=(5, 4))
+
+        out = lstm(Tensor(x), mask)
+        assert out.requires_grad  # grad enabled -> autograd arm selected
+        loss = (out * Tensor(projection)).sum()
+        loss.backward()
+
+        cell = lstm.cell
+        for param in (cell.w_ih, cell.w_hh, cell.bias):
+            assert param.grad is not None
+            numeric = self.finite_difference(lstm, param, x, mask, projection)
+            assert np.allclose(param.grad, numeric, rtol=1e-5, atol=1e-7), param.name
+        lstm.cell.w_ih.zero_grad()
+
+    def test_forward_fused_refuses_grad(self):
+        rng = np.random.default_rng(22)
+        lstm = LSTM(2, 3, rng)
+        x, mask = ragged_batch(rng, 2, 3, 2)
+        with pytest.raises(RuntimeError, match="inference_mode"):
+            lstm.forward_fused(x, mask)
+        # enable_grad nested inside inference_mode re-arms the refusal.
+        with inference_mode():
+            lstm.forward_fused(x, mask)
+            with enable_grad():
+                with pytest.raises(RuntimeError, match="inference_mode"):
+                    lstm.forward_fused(x, mask)
+
+    def test_training_forward_ignores_cache_and_kernel(self, fresh_model, encoder):
+        """With grad enabled the model never consults cache or kernel."""
+        module = parse_module(
+            "module m(a, b, y); input a, b; output y; assign y = a ^ b; endmodule"
+        )
+        contexts = extract_module_contexts(module.statements())
+        traces = design_traces(module, n_traces=2, n_cycles=4)
+        from repro.core.features import build_samples
+
+        samples = build_samples(contexts, traces)
+        batch = encoder.encode(samples)
+        output = fresh_model(batch)
+        assert output.logits.requires_grad
+        assert len(fresh_model.context_cache) == 0
+        assert fresh_model.context_cache.misses == 0
