@@ -22,9 +22,10 @@ from repro.core import (
     build_samples,
 )
 from repro.core.features import Sample, train_test_split
-from repro.datagen import BugInjectionCampaign, sample_mutations
+from repro.datagen import CampaignEngine, sample_mutations
 from repro.designs import design_testbench, load_design
-from repro.pipeline import CorpusSpec, generate_corpus_samples
+from repro.api import generate_corpus
+from repro.pipeline import CorpusSpec
 from repro.sim import Simulator, generate_stimulus
 
 ABLATION_CORPUS = CorpusSpec(n_designs=8, n_traces_per_design=3, n_cycles=15)
@@ -44,7 +45,7 @@ def test_ablation_threshold_sweep(benchmark, paper_pipeline):
     def sweep():
         rows = []
         for threshold in thresholds:
-            campaign = BugInjectionCampaign(
+            campaign = CampaignEngine(
                 paper_pipeline.localizer,
                 n_traces=10,
                 testbench_config=design_testbench("wb_mux_2", n_cycles=10),
@@ -78,7 +79,7 @@ def _attention_sharpness(model, encoder, samples):
 
 
 def test_ablation_regularizer(benchmark):
-    samples = generate_corpus_samples(ABLATION_CORPUS, seed=21)
+    samples = generate_corpus(ABLATION_CORPUS, seed=21)
     train_samples, test_samples = train_test_split(samples, 0.25, seed=21)
 
     def run():

@@ -20,7 +20,8 @@ docs/architecture.md "Train/test split").
 """
 
 from repro.core import BatchEncoder, Trainer, VeriBugConfig, VeriBugModel, Vocabulary
-from repro.pipeline import CorpusSpec, generate_corpus_samples
+from repro.api import generate_corpus
+from repro.pipeline import CorpusSpec
 from repro.core.features import train_test_split
 
 ALPHAS = (0.01, 0.05, 0.10, 0.15, 0.20, 0.25)
@@ -44,7 +45,7 @@ def run_alpha_point(alpha: float, samples_split):
 
 
 def test_table2_alpha_sweep(benchmark):
-    samples = generate_corpus_samples(SWEEP_CORPUS, seed=7)
+    samples = generate_corpus(SWEEP_CORPUS, seed=7)
     split = train_test_split(samples, 0.25, seed=7, split_by_design=True)
 
     results = {}

@@ -12,7 +12,7 @@ limited), with a substantial overall coverage.
 """
 
 from repro.analysis import compute_static_slice
-from repro.datagen import BugInjectionCampaign, sample_mutations
+from repro.datagen import CampaignEngine, sample_mutations
 from repro.designs import REGISTRY, design_info, design_testbench, load_design
 
 #: Injection plan per (design, target): paper Table III column counts,
@@ -39,7 +39,7 @@ def run_campaigns(pipeline):
             mutations = sample_mutations(
                 module, dict(PLAN), seed=13, restrict_to=cone, min_operands=2
             )
-            campaign = BugInjectionCampaign(
+            campaign = CampaignEngine(
                 pipeline.localizer,
                 n_traces=24,
                 testbench_config=design_testbench(name, n_cycles=12),

@@ -10,15 +10,9 @@ import pathlib
 
 import pytest
 
-from repro.core import (
-    BatchEncoder,
-    BugLocalizer,
-    VeriBugConfig,
-    VeriBugModel,
-    Vocabulary,
-)
-from repro.nn import load_state, save_state
-from repro.pipeline import CorpusSpec, TrainedPipeline, train_pipeline
+from repro.api import SessionConfig, VeriBugSession
+from repro.core import VeriBugConfig
+from repro.pipeline import CorpusSpec, TrainedPipeline
 
 CACHE_DIR = pathlib.Path(__file__).parent / ".cache"
 
@@ -29,24 +23,26 @@ PAPER_CONFIG = VeriBugConfig(epochs=30)
 PAPER_CORPUS = CorpusSpec(n_designs=20, n_traces_per_design=4, n_cycles=25)
 
 
-def load_or_train_pipeline() -> TrainedPipeline:
+def load_or_train_session() -> VeriBugSession:
     """The shared evaluation model (cached across benchmark runs)."""
     CACHE_DIR.mkdir(exist_ok=True)
     cache = CACHE_DIR / "paper_model.npz"
     if cache.exists():
-        vocab = Vocabulary()
-        model = VeriBugModel(PAPER_CONFIG, vocab)
-        load_state(model, cache)
-        encoder = BatchEncoder(vocab)
-        return TrainedPipeline(
-            model=model,
-            encoder=encoder,
-            localizer=BugLocalizer(model, encoder, PAPER_CONFIG),
-            config=PAPER_CONFIG,
+        return VeriBugSession.from_checkpoint(
+            cache, SessionConfig(model=PAPER_CONFIG)
         )
-    pipeline = train_pipeline(PAPER_CONFIG, PAPER_CORPUS, seed=1, evaluate=False)
-    save_state(pipeline.model, cache)
-    return pipeline
+    session = VeriBugSession.train(
+        SessionConfig(model=PAPER_CONFIG).with_seed(1),
+        PAPER_CORPUS,
+        evaluate=False,
+    )
+    session.save(cache)
+    return session
+
+
+def load_or_train_pipeline() -> TrainedPipeline:
+    """Legacy TrainedPipeline view of the shared evaluation model."""
+    return load_or_train_session().as_pipeline()
 
 
 @pytest.fixture(scope="session")

@@ -1,72 +1,76 @@
 #!/usr/bin/env python3
 """Bug-injection campaign on a realistic design (paper Table III workflow).
 
-Runs the full mutation campaign against the Wishbone multiplexer: sample
-negation / operation-substitution / variable-misuse mutants inside the
-target's dependency cone, simulate golden vs mutant under shared random
-testbenches, classify observability, and score top-1 localization.
+Runs the full mutation campaign against the Wishbone multiplexer through
+the session API: `session.campaign(...)` prepares the campaign and its
+`stream()` yields each mutant's scored outcome *plus an incremental
+campaign heatmap* the moment its localization completes — the long-form
+equivalent of `python -m repro campaign --design wb_mux_2`.
 
 Run:  python examples/bug_injection_campaign.py
 """
 
-from repro.analysis import compute_static_slice
-from repro.core import VeriBugConfig
-from repro.datagen import BugInjectionCampaign, sample_mutations
-from repro.designs import design_info, design_testbench, load_design
-from repro.pipeline import CorpusSpec, train_pipeline
+from repro.api import SessionConfig, VeriBugSession, design_info
+from repro.pipeline import CorpusSpec
 
 DESIGN = "wb_mux_2"
 
 
 def main() -> None:
-    print(f"== training the localization model (once, reused per target) ==")
-    pipeline = train_pipeline(
-        VeriBugConfig(epochs=30),
+    print("== training the localization model (once, reused per target) ==")
+    config = (
+        SessionConfig()
+        .with_seed(1)
+        .with_campaign_defaults(n_traces=12, min_correct_traces=6)
+    )
+    session = VeriBugSession.train(
+        config,
         # 20 RVDG designs: the design-level test split holds out whole
         # designs, so ~16 remain for training (the paper-scale corpus).
         CorpusSpec(n_designs=20, n_traces_per_design=4, n_cycles=25),
-        seed=1,
         evaluate=False,
     )
 
-    module = load_design(DESIGN)
-    info = design_info(DESIGN)
-    print(f"design: {DESIGN} ({info.description}, {info.loc} lines)")
+    meta = design_info(DESIGN)
+    print(f"design: {DESIGN} ({meta.description}, {meta.loc} lines)")
+    # The session owns every knob the campaign will use.
+    print(f"engine={session.config.engine}"
+          f" localize_batch={session.config.localize_batch}")
 
-    for target in info.targets:
-        cone = compute_static_slice(module, target).stmt_ids
-        mutations = sample_mutations(
-            module,
-            {"negation": 3, "operation": 3, "misuse": 4},
-            seed=13,
-            restrict_to=cone,
-            min_operands=2,
-        )
-        campaign = BugInjectionCampaign(
-            pipeline.localizer,
-            n_traces=12,
-            testbench_config=design_testbench(DESIGN, n_cycles=10),
+    for target in meta.targets:
+        handle = session.campaign(
+            DESIGN,
+            target,
+            plan={"negation": 3, "operation": 3, "misuse": 4},
+            n_cycles=10,
             seed=29,
-            min_correct_traces=6,
         )
-        result = campaign.run(module, target, mutations)
-        print(f"\ntarget {target}: injected={result.injected}"
-              f" observable={result.observable} localized={result.localized}"
-              f" top-1 coverage={result.coverage * 100:.1f}%")
-        for outcome in result.outcomes:
+        print(f"\ntarget {target}: streaming {len(handle)} mutants")
+        final = None
+        for update in handle.stream():
+            outcome, snapshot = update.outcome, update.snapshot
+            final = snapshot
             if outcome.error:
                 status = f"error: {outcome.error[:40]}"
             elif not outcome.observable:
                 status = "not observable at target"
+            elif outcome.suspiciousness is not None:
+                status = f"rank={outcome.rank} d={outcome.suspiciousness:.3f}"
             else:
-                status = (
-                    f"rank={outcome.rank} "
-                    f"d={outcome.suspiciousness:.3f}"
-                    if outcome.suspiciousness is not None
-                    else f"rank={outcome.rank}"
-                )
-            print(f"  {outcome.mutation.kind:<10} stmt {outcome.mutation.stmt_id:<3}"
-                  f" {status}")
+                status = f"rank={outcome.rank}"
+            top = ",".join(str(s) for s in snapshot.ranking[:3]) or "-"
+            print(f"  {outcome.mutation.kind:<10} stmt"
+                  f" {outcome.mutation.stmt_id:<3} {status:<28}"
+                  f" heatmap-so-far: {top}")
+        if final is not None:
+            print(f"  injected={final.completed - final.errors}"
+                  f" observable={final.observable} localized={final.localized}"
+                  f" top-1 coverage={final.coverage * 100:.1f}%")
+
+    stats = session.cache_stats()
+    print(f"\ncontext-embedding cache: {stats['hit_rate']:.1%} hit rate"
+          f" ({stats['cross_epoch_hit_rate']:.1%} cross-mutant,"
+          f" {int(stats['entries'])} entries)")
 
 
 if __name__ == "__main__":

@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
 """Quickstart: train VeriBug on synthetic designs and localize a planted bug.
 
-This walks the full paper pipeline on a design small enough to read:
+This walks the full paper pipeline through the unified session API
+(`repro.api.VeriBugSession`) on a design small enough to read:
 
-1. train a model on an RVDG synthetic corpus (free supervision from
+1. train a session on an RVDG synthetic corpus (free supervision from
    simulation traces — no labels),
 2. plant a negation bug in a tiny priority-mux design,
 3. collect failing/passing traces against the golden design,
-4. localize, and render the heatmap.
+4. localize via the session, and render the heatmap.
 
 Run:  python examples/quickstart.py
+The same flow is available as a command line: `python -m repro localize`.
 """
 
-from repro.core import VeriBugConfig, render_heatmap
-from repro.pipeline import CorpusSpec, train_pipeline
+from repro.api import SessionConfig, VeriBugSession
+from repro.core import render_heatmap
+from repro.pipeline import CorpusSpec
 from repro.sim import Simulator, TestbenchConfig, generate_testbench_suite
 from repro.verilog import parse_module
 from repro.verilog.printer import statement_source
@@ -37,16 +40,15 @@ BUGGY = GOLDEN.replace("y = a & b;", "y = a & ~b;")
 
 def main() -> None:
     print("== 1. training on a synthetic RVDG corpus (paper Section V) ==")
-    pipeline = train_pipeline(
-        VeriBugConfig(epochs=30),
+    session = VeriBugSession.train(
+        SessionConfig().with_seed(1),
         # 20 RVDG designs: the design-level test split holds out whole
         # designs, so ~16 remain for training (the paper-scale corpus).
         CorpusSpec(n_designs=20, n_traces_per_design=4, n_cycles=25),
-        seed=1,
         log=True,
     )
-    print(f"predictor accuracy: train={pipeline.train_metrics.accuracy:.3f}"
-          f" test={pipeline.test_metrics.accuracy:.3f}")
+    print(f"predictor accuracy: train={session.train_metrics.accuracy:.3f}"
+          f" test={session.test_metrics.accuracy:.3f}")
 
     print("\n== 2. planting a negation bug ==")
     golden = parse_module(GOLDEN)
@@ -70,7 +72,7 @@ def main() -> None:
     print(f"{len(failing)} failing traces, {len(passing)} passing traces")
 
     print("\n== 4. localizing the failure at output y ==")
-    result = pipeline.localizer.localize(buggy, "y", failing, passing)
+    result = session.localize(buggy, "y", failing, passing)
     print(f"suspiciousness ranking (stmt ids): {result.ranking}")
     rank = result.rank_of(bug_stmt.stmt_id)
     print(f"rank of the true bug statement: {rank}")

@@ -4,7 +4,11 @@
 Parses the Ibex controller re-implementation and shows every artifact
 the VeriBug pipeline consumes: the VDG with its dependency cone, the
 CDFG, the cone of influence over a 3-cycle unrolling, design slices, and
-the AST operand contexts of a sliced statement.
+the AST operand contexts — plus the structural fingerprint that keys the
+session's cross-mutant context-embedding cache.
+
+This is the layer *below* `repro.api.VeriBugSession` (see "API layering"
+in docs/architecture.md); designs are loaded through the API facade.
 
 Run:  python examples/static_analysis_tour.py
 """
@@ -18,7 +22,7 @@ from repro.analysis import (
     extract_statement_context,
     slice_statements,
 )
-from repro.designs import load_design
+from repro.api import load_design
 from repro.verilog.printer import statement_source
 
 TARGET = "stall"
@@ -65,6 +69,13 @@ def main() -> None:
         print(f"  {operand.name}:")
         for path in paths:
             print(f"    {' -> '.join(path)}")
+
+    print("\n== Structural fingerprints (context-embedding cache keys) ==")
+    # Operand names never appear in paths, so structurally identical
+    # operands — across statements, mutants, even designs — share one
+    # fingerprint and therefore one cached PathRNN embedding.
+    for op_index, operand in enumerate(context.operands):
+        print(f"  {operand.name}: {context.structural_key(op_index)}")
 
 
 if __name__ == "__main__":

@@ -3,46 +3,44 @@
 
 VeriBug is trained once on synthetic RVDG designs and then applied to
 unseen realistic designs *without retraining*.  This example quantifies
-that transfer: it evaluates the same trained predictor on executions
-from each realistic design and reports accuracy per design — high
-numbers mean the learned execution semantics generalize.
+that transfer through the session API: one `VeriBugSession.train(...)`,
+then `session.evaluate(...)` on executions from each realistic design —
+high numbers mean the learned execution semantics generalize.
 
 Run:  python examples/transferability.py
 """
 
 from repro.analysis import extract_module_contexts
-from repro.core import Trainer, VeriBugConfig, build_samples
-from repro.designs import REGISTRY, design_testbench, load_design
-from repro.pipeline import CorpusSpec, train_pipeline
+from repro.api import SessionConfig, VeriBugSession, design_testbench, load_design
+from repro.core import build_samples
+from repro.designs import REGISTRY
+from repro.pipeline import CorpusSpec
 from repro.sim import Simulator, generate_testbench_suite
 
 
 def main() -> None:
     print("== training once on synthetic designs ==")
-    pipeline = train_pipeline(
-        VeriBugConfig(epochs=30),
+    session = VeriBugSession.train(
+        SessionConfig().with_seed(1),
         # 20 RVDG designs: the design-level test split holds out whole
         # designs, so ~16 remain for training (the paper-scale corpus).
         CorpusSpec(n_designs=20, n_traces_per_design=4, n_cycles=25),
-        seed=1,
     )
-    print(f"synthetic held-out accuracy: {pipeline.test_metrics.accuracy:.3f}")
-
-    trainer = Trainer(pipeline.model, pipeline.encoder, pipeline.config)
+    print(f"synthetic held-out accuracy: {session.test_metrics.accuracy:.3f}")
 
     print("\n== zero-shot evaluation on unseen realistic designs ==")
     print(f"{'design':<18} {'samples':>8} {'accuracy':>9} {'Pr/Re(0)':>10}"
           f" {'Pr/Re(1)':>10}")
     for name in REGISTRY:
         module = load_design(name)
-        simulator = Simulator(module)
+        simulator = Simulator(module, engine=session.config.engine)
         stimuli = generate_testbench_suite(
             module, 4, design_testbench(name, n_cycles=25), seed=9
         )
         traces = simulator.run_suite(stimuli)
         contexts = extract_module_contexts(module.statements())
         samples = build_samples(contexts, traces, design=name)
-        metrics = trainer.evaluate(samples)
+        metrics = session.evaluate(samples)
         print(f"{name:<18} {metrics.n_samples:>8} {metrics.accuracy:>9.3f}"
               f" {metrics.precision[0]:>5.2f}/{metrics.recall[0]:.2f}"
               f" {metrics.precision[1]:>5.2f}/{metrics.recall[1]:.2f}")

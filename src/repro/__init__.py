@@ -7,15 +7,19 @@ simulator, a numpy autograd deep-learning substrate, the VeriBug model
 and explainer, synthetic design generation, and the bug-injection
 evaluation campaign.
 
-See ``examples/quickstart.py`` for a full walkthrough.
+The recommended entry surface is :mod:`repro.api`
+(:class:`~repro.api.VeriBugSession`), also exposed as a command line via
+``python -m repro``.  See ``examples/quickstart.py`` for a full
+walkthrough.
 """
 
-from . import analysis, core, datagen, designs, nn, sim, verilog
+from . import analysis, api, core, datagen, designs, nn, sim, verilog
 
 __version__ = "0.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "core",
     "datagen",
     "designs",

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro`` (see :mod:`repro.api.cli`)."""
+
+import sys
+
+from .api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ from .coi import build_coi_graph, cone_of_influence
 from .contexts import (
     LVALUE,
     RVALUE,
+    OperandFingerprint,
     OperandInstance,
     StatementContext,
     extract_module_contexts,
@@ -25,6 +26,7 @@ from .vdg import build_vdg, dependency_cone
 __all__ = [
     "DynamicSlice",
     "LVALUE",
+    "OperandFingerprint",
     "OperandInstance",
     "RVALUE",
     "StatementContext",

@@ -57,6 +57,40 @@ class OperandInstance:
     position: int
 
 
+class OperandFingerprint:
+    """Structural identity of one operand's context: its ordered paths.
+
+    The PathRNN context embedding ``c_i`` is a pure function of the
+    operand's leaf-to-leaf paths (node types only — no signal names) and
+    the model weights, so two operands with equal path tuples — in the
+    same order, which also pins the float summation order — are
+    interchangeable for embedding purposes, *even across different
+    statements, mutants, or designs*.  The hash is precomputed once so
+    repeated cache lookups don't re-hash the nested path tuples.
+    """
+
+    __slots__ = ("paths", "_hash")
+
+    def __init__(self, paths: tuple[tuple[str, ...], ...]):
+        self.paths = paths
+        self._hash = hash(paths)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return (
+            isinstance(other, OperandFingerprint)
+            and self._hash == other._hash
+            and self.paths == other.paths
+        )
+
+    def __repr__(self) -> str:
+        return f"OperandFingerprint({len(self.paths)} paths, {self._hash:#x})"
+
+
 @dataclass
 class StatementContext:
     """All operand contexts of one assignment statement.
@@ -77,6 +111,9 @@ class StatementContext:
     assign_type: str
     operands: list[OperandInstance] = field(default_factory=list)
     contexts: list[list[tuple[str, ...]]] = field(default_factory=list)
+    _fingerprints: list[OperandFingerprint | None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_operands(self) -> int:
@@ -85,6 +122,22 @@ class StatementContext:
     def operand_names(self) -> tuple[str, ...]:
         """Operand names in position order (duplicates preserved)."""
         return tuple(op.name for op in self.operands)
+
+    def structural_key(self, op_index: int) -> OperandFingerprint:
+        """The operand's structural fingerprint (memoized per context).
+
+        Keys the context-embedding cache: statements that share path
+        structure — the golden/mutant overlap of a campaign is the
+        prime case — share one cache entry regardless of the context
+        *object* holding them.
+        """
+        if self._fingerprints is None:
+            self._fingerprints = [None] * len(self.contexts)
+        fingerprint = self._fingerprints[op_index]
+        if fingerprint is None:
+            fingerprint = OperandFingerprint(tuple(self.contexts[op_index]))
+            self._fingerprints[op_index] = fingerprint
+        return fingerprint
 
 
 def _leaf_parents(root: Expr) -> list[tuple[Node, list[Node]]]:

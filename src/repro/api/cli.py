@@ -1,0 +1,426 @@
+"""``python -m repro`` — the session facade as a command line.
+
+Three subcommands drive :class:`repro.api.VeriBugSession`:
+
+* ``train`` — train on an RVDG synthetic corpus and save a checkpoint::
+
+      python -m repro train --designs 20 --epochs 30 --output model.npz
+
+* ``campaign`` — run a bug-injection campaign, streaming per-mutant
+  outcomes and incremental heatmap rankings as they complete::
+
+      python -m repro campaign --design wb_mux_2 --target wbs0_we_o
+      python -m repro campaign --smoke          # tiny CI workload
+
+* ``localize`` — inject one sampled bug (or bring your own buggy
+  source), collect failing/passing traces, and render the heatmap::
+
+      python -m repro localize --design wb_mux_2 --target wbs0_we_o
+      python -m repro localize --golden g.v --source buggy.v --target y
+
+Without ``--model`` the commands look for the committed paper-scale
+checkpoint (``tests/.cache/model_e30_d20_s1.npz``) and fall back to
+training a fresh model (slow) when it is absent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from .campaign import DEFAULT_PLAN, CampaignHandle
+from .config import SessionConfig
+from .session import VeriBugSession
+
+#: Checkpoint used when --model is omitted (the committed test fixture).
+DEFAULT_CHECKPOINT = pathlib.Path("tests/.cache/model_e30_d20_s1.npz")
+
+
+def _repo_default_checkpoint() -> pathlib.Path | None:
+    """The committed fixture, from the CWD or the source checkout."""
+    candidates = [
+        DEFAULT_CHECKPOINT,
+        pathlib.Path(__file__).resolve().parents[3] / DEFAULT_CHECKPOINT,
+    ]
+    for path in candidates:
+        if path.exists():
+            return path
+    return None
+
+
+def _build_config(args: argparse.Namespace) -> SessionConfig:
+    config = SessionConfig().with_seed(args.seed)
+    try:
+        if getattr(args, "engine", None) is not None:
+            config = config.with_engine(args.engine)
+        if getattr(args, "workers", None) is not None:
+            config = config.with_workers(args.workers)
+        if getattr(args, "localize_batch", None) is not None:
+            config = config.with_localize_batch(args.localize_batch)
+        if getattr(args, "no_cache", False):
+            config = config.with_cache("off")
+        if getattr(args, "epochs", None) is not None:
+            config = config.with_model(epochs=args.epochs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    return config
+
+
+def _load_session(args: argparse.Namespace, config: SessionConfig) -> VeriBugSession:
+    """Checkpoint-or-train model resolution shared by campaign/localize."""
+    path = pathlib.Path(args.model) if args.model else _repo_default_checkpoint()
+    if path is not None and path.exists():
+        print(f"loading model from {path}")
+        return VeriBugSession.from_checkpoint(path, config)
+    if args.model:
+        raise SystemExit(f"checkpoint not found: {args.model}")
+    print("no checkpoint found; training a fresh model (slow — consider"
+          " `python -m repro train --output model.npz` once)")
+    return VeriBugSession.train(config, evaluate=False)
+
+
+#: Mutation classes the campaign engine can inject.
+MUTATION_KINDS = ("negation", "operation", "misuse")
+
+
+def _parse_plan(text: str) -> dict[str, int]:
+    """Parse ``negation=2,operation=2,misuse=3`` into a plan dict."""
+    plan: dict[str, int] = {}
+    for part in text.split(","):
+        kind, _, count = part.partition("=")
+        kind = kind.strip()
+        if kind not in MUTATION_KINDS:
+            raise SystemExit(
+                f"unknown mutation kind {kind!r} in --plan;"
+                f" available: {', '.join(MUTATION_KINDS)}"
+            )
+        try:
+            plan[kind] = int(count)
+        except ValueError:
+            raise SystemExit(
+                f"bad --plan entry {part!r}; expected kind=count"
+            ) from None
+        if plan[kind] < 0:
+            raise SystemExit(
+                f"bad --plan entry {part!r}; count must be >= 0"
+            )
+    return plan
+
+
+# ----------------------------------------------------------------------
+# train
+# ----------------------------------------------------------------------
+def cmd_train(args: argparse.Namespace) -> int:
+    from ..pipeline import CorpusSpec
+
+    config = _build_config(args)
+    corpus = CorpusSpec(
+        n_designs=args.designs,
+        n_traces_per_design=args.traces,
+        n_cycles=args.cycles,
+        engine=config.engine,
+        n_workers=config.n_workers,
+    )
+    t0 = time.perf_counter()
+    session = VeriBugSession.train(config, corpus, log=not args.quiet)
+    wall = time.perf_counter() - t0
+    if session.train_metrics:
+        print(f"train accuracy: {session.train_metrics.accuracy:.3f}")
+    if session.test_metrics:
+        print(f"held-out accuracy: {session.test_metrics.accuracy:.3f}")
+    session.save(args.output)
+    print(f"trained in {wall:.1f}s; checkpoint written to {args.output}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# campaign
+# ----------------------------------------------------------------------
+def _stream_campaign(handle: CampaignHandle) -> dict:
+    """Drive one campaign handle, printing the stream as it arrives."""
+    last_snapshot = None
+    for update in handle.stream():
+        outcome, snapshot = update.outcome, update.snapshot
+        last_snapshot = snapshot
+        mutation = outcome.mutation
+        if outcome.error:
+            status = f"error: {outcome.error[:40]}"
+        elif not outcome.observable:
+            status = "not observable"
+        else:
+            rank = outcome.rank if outcome.rank is not None else "unranked"
+            status = f"rank={rank}"
+            if outcome.suspiciousness is not None:
+                status += f" d={outcome.suspiciousness:.3f}"
+        top = ",".join(str(s) for s in snapshot.ranking[:3]) or "-"
+        print(
+            f"  [{snapshot.completed}/{snapshot.total}]"
+            f" {mutation.kind:<10} stmt {mutation.stmt_id:<3} {status:<24}"
+            f" | coverage {snapshot.localized}/{snapshot.observable}"
+            f" | top: {top}"
+        )
+    if last_snapshot is None:
+        return {
+            "completed": 0,
+            "observable": 0,
+            "localized": 0,
+            "coverage": 0.0,
+            "errors": 0,
+            "ranking": [],
+            "suspiciousness": {},
+        }
+    return {
+        "completed": last_snapshot.completed,
+        "observable": last_snapshot.observable,
+        "localized": last_snapshot.localized,
+        "coverage": round(last_snapshot.coverage, 4),
+        "errors": last_snapshot.errors,
+        "ranking": list(last_snapshot.ranking),
+        "suspiciousness": {
+            str(k): round(v, 6) for k, v in last_snapshot.suspiciousness.items()
+        },
+    }
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from ..designs import REGISTRY, design_info, load_design
+
+    config = _build_config(args)
+    if args.smoke:
+        config = config.with_campaign_defaults(n_traces=8)
+
+    # Validate the workload *before* the potentially slow model load.
+    if args.design:
+        if args.design not in REGISTRY:
+            raise SystemExit(
+                f"unknown design {args.design!r};"
+                f" available: {', '.join(REGISTRY)}"
+            )
+        designs = [args.design]
+        if args.target and args.target not in load_design(args.design).outputs:
+            raise SystemExit(
+                f"design {args.design!r} has no output {args.target!r};"
+                f" paper targets: {', '.join(design_info(args.design).targets)}"
+            )
+    else:
+        designs = list(REGISTRY)
+        if args.target:
+            # A bare --target only applies to designs that define it.
+            designs = [
+                name for name in designs
+                if args.target in design_info(name).targets
+            ]
+            if not designs:
+                raise SystemExit(
+                    f"no registered design has target {args.target!r}"
+                )
+    if args.smoke:
+        designs = designs[:1]
+    plan = _parse_plan(args.plan) if args.plan else (
+        {"negation": 1, "operation": 1, "misuse": 1} if args.smoke else DEFAULT_PLAN
+    )
+    session = _load_session(args, config)
+
+    results = {}
+    for name in designs:
+        info = design_info(name)
+        targets = [args.target] if args.target else list(info.targets)
+        if args.smoke:
+            targets = targets[:1]
+        for target in targets:
+            print(f"== campaign: {name} / {target} ==")
+            handle = session.campaign(
+                name,
+                target,
+                plan=plan,
+                n_cycles=args.cycles,
+                seed=args.seed,
+            )
+            summary = _stream_campaign(handle)
+            results[f"{name}/{target}"] = summary
+            print(
+                f"  done: observable={summary['observable']}"
+                f" localized={summary['localized']}"
+                f" coverage={summary['coverage'] * 100:.1f}%"
+            )
+    stats = session.cache_stats()
+    print(
+        f"context cache: hit rate {stats['hit_rate']:.1%}"
+        f" (cross-mutant {stats['cross_epoch_hit_rate']:.1%},"
+        f" {int(stats['entries'])} entries)"
+    )
+    if args.json:
+        payload = {"campaigns": results, "cache": stats}
+        pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# localize
+# ----------------------------------------------------------------------
+def cmd_localize(args: argparse.Namespace) -> int:
+    from ..core import render_heatmap
+    from ..sim import Simulator, TestbenchConfig, generate_testbench_suite
+    from ..verilog import parse_module
+    from ..verilog.printer import statement_source
+
+    config = _build_config(args)
+
+    # Validate inputs before the potentially slow model load.
+    if args.source and not args.golden:
+        raise SystemExit("--source requires --golden")
+    if not args.source and not args.design:
+        raise SystemExit("need --design NAME or --golden/--source files")
+    if args.design:
+        from ..designs import REGISTRY, design_info, load_design
+
+        if args.design not in REGISTRY:
+            raise SystemExit(
+                f"unknown design {args.design!r};"
+                f" available: {', '.join(REGISTRY)}"
+            )
+        if args.target not in load_design(args.design).outputs:
+            raise SystemExit(
+                f"design {args.design!r} has no output {args.target!r};"
+                f" paper targets: {', '.join(design_info(args.design).targets)}"
+            )
+    session = _load_session(args, config)
+
+    if args.source:
+        # Bring-your-own-bug mode: golden + buggy sources, shared stimuli.
+        golden = parse_module(pathlib.Path(args.golden).read_text())
+        buggy = parse_module(pathlib.Path(args.source).read_text())
+        testbench = TestbenchConfig(n_cycles=args.cycles, engine=config.engine)
+        stimuli = generate_testbench_suite(
+            golden, args.traces, testbench, seed=args.seed
+        )
+        golden_traces = Simulator(golden, engine=config.engine).run_suite(
+            stimuli, record=False
+        )
+        buggy_sim = Simulator(buggy, engine=config.engine)
+        failing, correct = [], []
+        for stim, golden_trace in zip(stimuli, golden_traces):
+            trace = buggy_sim.run(stim)
+            if trace.diverges_from(golden_trace, signals=[args.target]):
+                failing.append(trace)
+            elif not trace.diverges_from(golden_trace, signals=golden.outputs):
+                correct.append(trace)
+        if not failing:
+            print(f"no failing traces at {args.target}; nothing to localize")
+            return 1
+        result = session.localize(buggy, args.target, failing, correct)
+        print(f"{len(failing)} failing / {len(correct)} correct traces")
+        print(f"ranking (stmt ids): {result.ranking}")
+        print(render_heatmap(buggy, result.heatmap, result.contexts))
+        return 0
+
+    # Demo mode: inject one sampled bug and localize it via the campaign
+    # stream (first observable mutant wins).
+    handle = session.campaign(
+        args.design,
+        args.target,
+        plan=_parse_plan(args.plan) if args.plan else DEFAULT_PLAN,
+        n_cycles=args.cycles,
+        seed=args.seed,
+    )
+    module = handle.module
+    for update in handle.stream():
+        if update.localization is None:
+            continue
+        outcome, localization = update.outcome, update.localization
+        stmt = module.statement_by_id(outcome.mutation.stmt_id)
+        print(f"injected {outcome.mutation.kind} bug into stmt"
+              f" {outcome.mutation.stmt_id}: {statement_source(stmt)}")
+        print(f"observable with {outcome.n_failing} failing /"
+              f" {outcome.n_correct} correct traces")
+        print(f"ranking (stmt ids): {localization.ranking}"
+              f" — true bug ranked {outcome.rank}")
+        print(render_heatmap(
+            module,
+            localization.heatmap,
+            localization.contexts,
+            bug_stmt_id=outcome.mutation.stmt_id,
+        ))
+        return 0
+    print("no sampled mutant was observable at the target; try another"
+          " --seed or --plan")
+    return 1
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="VeriBug reproduction: train, campaign, localize.",
+    )
+    from .. import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, cycles: int) -> None:
+        p.add_argument("--model", help="checkpoint path (.npz)")
+        p.add_argument("--seed", type=int, default=13, help="data seed")
+        p.add_argument("--engine", choices=("compiled", "interpreted"))
+        p.add_argument("--workers", type=int, help="simulation process pool size")
+        p.add_argument("--localize-batch", type=int, dest="localize_batch",
+                       help="mutants per shared localization batch")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the structural context-embedding cache")
+        p.add_argument("--cycles", type=int, default=cycles,
+                       help="cycles per testbench")
+
+    train = sub.add_parser("train", help="train a model, save a checkpoint")
+    train.add_argument("--designs", type=int, default=20, help="RVDG corpus size")
+    train.add_argument("--traces", type=int, default=4, help="testbenches per design")
+    train.add_argument("--cycles", type=int, default=25)
+    train.add_argument("--epochs", type=int, default=30)
+    train.add_argument("--seed", type=int, default=1)
+    train.add_argument("--engine", choices=("compiled", "interpreted"))
+    train.add_argument("--workers", type=int)
+    train.add_argument("--output", default="model.npz", help="checkpoint path")
+    train.add_argument("--quiet", action="store_true", help="no per-epoch losses")
+    train.set_defaults(func=cmd_train)
+
+    campaign = sub.add_parser(
+        "campaign", help="run bug-injection campaigns with streaming heatmaps"
+    )
+    campaign.add_argument("--design", help="registered design (default: all)")
+    campaign.add_argument("--target", help="target output (default: all)")
+    campaign.add_argument("--plan", help="e.g. negation=2,operation=2,misuse=3")
+    campaign.add_argument("--smoke", action="store_true",
+                          help="tiny CI workload: one design/target, 3 mutants")
+    campaign.add_argument("--json", help="write a JSON summary here")
+    common(campaign, cycles=10)
+    campaign.set_defaults(func=cmd_campaign)
+
+    localize = sub.add_parser(
+        "localize", help="localize one injected (or provided) bug, render Ht"
+    )
+    localize.add_argument("--design", help="registered design name")
+    localize.add_argument("--target", required=True, help="failing output")
+    localize.add_argument("--golden", help="golden Verilog source file")
+    localize.add_argument("--source", help="buggy Verilog source file")
+    localize.add_argument("--plan", help="mutation sampling plan (demo mode)")
+    localize.add_argument("--traces", type=int, default=20,
+                          help="testbenches (file mode)")
+    common(localize, cycles=10)
+    localize.set_defaults(func=cmd_localize)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Session configuration: every scale knob of the system in one place.
+
+Before the session facade, execution knobs were scattered across four
+surfaces: ``TestbenchConfig.engine``, ``VeriBugConfig.sim_engine``,
+``CorpusSpec(engine=, n_workers=)``, and constructor kwargs of the
+campaign/localizer classes.  :class:`SessionConfig` consolidates them
+behind a frozen dataclass with builder-style ``with_*`` methods, and
+:class:`repro.api.VeriBugSession` is the single consumer that fans the
+values back out to the engines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..core.config import VeriBugConfig
+from ..sim.simulator import ENGINES
+
+#: Valid context-embedding cache policies.
+CACHE_POLICIES = ("structural", "off")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Every tunable of a :class:`~repro.api.VeriBugSession`.
+
+    Frozen: derive variants with the ``with_*`` builders (each returns a
+    new config) or :func:`dataclasses.replace`.
+
+    Attributes:
+        model: Model/training hyper-parameters (:class:`VeriBugConfig`).
+        sim_engine: Simulation engine for every simulator the session
+            builds ("compiled" or "interpreted"); None defers to
+            ``model.sim_engine``.
+        n_workers: Process-pool size for mutant simulation and corpus
+            generation; 0 runs sequentially (results are bit-identical
+            either way).
+        localize_batch: Observable mutants per shared localization batch
+            (the cross-mutant inference fast path).
+        cache_policy: Context-embedding cache policy — "structural"
+            (fingerprint-keyed, shared across mutants/designs) or "off".
+        cache_max_entries: LRU bound of the structural cache.
+        fast_inference: Use the deduplicated no-grad inference path;
+            False pins the per-execution autograd reference arm.
+        seed: Data seed — corpus generation, testbench suites, and
+            mutation sampling (model-init seeding lives in
+            ``model.seed``).
+        n_traces: Testbenches per campaign batch.
+        min_correct_traces / max_extra_batches: Correct-trace top-up
+            policy for campaigns.
+    """
+
+    model: VeriBugConfig = field(default_factory=VeriBugConfig)
+    sim_engine: str | None = None
+    n_workers: int = 0
+    localize_batch: int = 8
+    cache_policy: str = "structural"
+    cache_max_entries: int = 100_000
+    fast_inference: bool = True
+    seed: int = 0
+    n_traces: int = 12
+    min_correct_traces: int = 4
+    max_extra_batches: int = 4
+
+    def __post_init__(self):
+        if self.sim_engine is not None and self.sim_engine not in ENGINES:
+            raise ValueError(
+                f"unknown sim_engine {self.sim_engine!r};"
+                f" available: {', '.join(ENGINES)}"
+            )
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"unknown cache_policy {self.cache_policy!r};"
+                f" available: {', '.join(CACHE_POLICIES)}"
+            )
+        if self.localize_batch < 1:
+            raise ValueError("localize_batch must be >= 1")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        if self.cache_max_entries < 1:
+            raise ValueError("cache_max_entries must be >= 1")
+        if self.n_traces < 1:
+            raise ValueError("n_traces must be >= 1")
+        if self.min_correct_traces < 0:
+            raise ValueError("min_correct_traces must be >= 0")
+        if self.max_extra_batches < 0:
+            raise ValueError("max_extra_batches must be >= 0")
+
+    @property
+    def engine(self) -> str:
+        """The resolved simulation engine (session-level wins)."""
+        return self.sim_engine if self.sim_engine is not None else self.model.sim_engine
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def with_model(self, model: VeriBugConfig | None = None, **overrides) -> SessionConfig:
+        """Replace the model config, or tweak fields of the current one."""
+        if model is not None and overrides:
+            raise ValueError("pass either a VeriBugConfig or field overrides")
+        if model is None:
+            model = dataclasses.replace(self.model, **overrides)
+        return dataclasses.replace(self, model=model)
+
+    def with_engine(self, sim_engine: str) -> SessionConfig:
+        """Select the simulation engine ("compiled" or "interpreted")."""
+        return dataclasses.replace(self, sim_engine=sim_engine)
+
+    def with_workers(self, n_workers: int) -> SessionConfig:
+        """Size the simulation process pools (0 = sequential)."""
+        return dataclasses.replace(self, n_workers=n_workers)
+
+    def with_localize_batch(self, localize_batch: int) -> SessionConfig:
+        """Set the cross-mutant shared-localization batch size."""
+        return dataclasses.replace(self, localize_batch=localize_batch)
+
+    def with_cache(
+        self, cache_policy: str, max_entries: int | None = None
+    ) -> SessionConfig:
+        """Select the context-embedding cache policy (and LRU bound)."""
+        updates: dict = {"cache_policy": cache_policy}
+        if max_entries is not None:
+            updates["cache_max_entries"] = max_entries
+        return dataclasses.replace(self, **updates)
+
+    def with_seed(self, seed: int) -> SessionConfig:
+        """Set the data seed (corpus, testbenches, mutation sampling)."""
+        return dataclasses.replace(self, seed=seed)
+
+    def with_campaign_defaults(
+        self,
+        n_traces: int | None = None,
+        min_correct_traces: int | None = None,
+        max_extra_batches: int | None = None,
+    ) -> SessionConfig:
+        """Set the campaign trace-collection policy."""
+        updates: dict = {}
+        if n_traces is not None:
+            updates["n_traces"] = n_traces
+        if min_correct_traces is not None:
+            updates["min_correct_traces"] = min_correct_traces
+        if max_extra_batches is not None:
+            updates["max_extra_batches"] = max_extra_batches
+        return dataclasses.replace(self, **updates)

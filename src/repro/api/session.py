@@ -1,0 +1,386 @@
+"""The VeriBug session facade: one stateful owner of the whole stack.
+
+A :class:`VeriBugSession` owns the trained model and its codec, the
+structural context-embedding cache, and the configuration every engine
+below it consumes (simulation engine selection, worker-pool sizing,
+localization batching).  Everything the paper's evaluation does is one
+method away:
+
+    >>> from repro.api import SessionConfig, VeriBugSession
+    >>> session = VeriBugSession.train(SessionConfig().with_seed(1))
+    >>> result = session.localize(buggy_module, "y", failing, correct)
+    >>> for update in session.campaign("wb_mux_2", "wbs0_we_o").stream():
+    ...     print(update.snapshot.ranking)
+
+Layering (see ``docs/architecture.md``, "API layering"): the session
+*facade* resolves configuration and owns state; campaign *handles*
+translate streaming demands onto the *engines*
+(:class:`~repro.core.localizer.LocalizationEngine`,
+:class:`~repro.datagen.campaign.CampaignEngine`); the engines drive the
+substrates (simulator, model, analysis).  The historical entry points
+(``train_pipeline``, ``BugLocalizer``, ``BugInjectionCampaign``, …)
+survive as deprecation shims over these layers.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from typing import TYPE_CHECKING, Iterable
+
+from ..analysis import compute_static_slice
+from ..core import (
+    BatchEncoder,
+    BugLocalizer,
+    EvalMetrics,
+    LocalizationEngine,
+    LocalizationRequest,
+    LocalizationResult,
+    Sample,
+    Trainer,
+    VeriBugModel,
+    Vocabulary,
+    train_test_split,
+)
+from ..datagen import CampaignEngine, Mutation, sample_mutations
+from ..designs import REGISTRY, design_testbench, load_design
+from ..nn import load_state, save_state
+from ..sim.testbench import TestbenchConfig
+from ..sim.trace import Trace
+from ..verilog.ast_nodes import Module
+from ..verilog.parser import parse_module
+from .campaign import DEFAULT_PLAN, CampaignHandle
+from .config import SessionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline -> api)
+    from ..pipeline import CorpusSpec, TrainedPipeline
+
+
+def generate_corpus(
+    spec: "CorpusSpec | None" = None, seed: int = 0
+) -> list[Sample]:
+    """Simulate an RVDG corpus into training samples, no session needed.
+
+    The warning-free replacement for the deprecated
+    ``repro.pipeline.generate_corpus_samples`` when no trained session
+    exists yet (:meth:`VeriBugSession.generate_corpus` inherits the
+    session's engine/worker/seed defaults instead).
+    """
+    from ..pipeline import CorpusSpec, _generate_corpus_samples
+
+    return _generate_corpus_samples(spec or CorpusSpec(), seed=seed)
+
+
+class VeriBugSession:
+    """Facade over training, localization, and campaigns.
+
+    Construct via :meth:`train` (fresh model), :meth:`from_checkpoint`
+    (saved weights), or directly from components.  The session applies
+    its :class:`SessionConfig` cache policy to the model's
+    context-embedding cache at construction, and every engine it builds
+    inherits the config's engine/worker/batching knobs.
+
+    A model should belong to one session at a time: the session *owns*
+    the model's cache policy, so constructing a second session over the
+    same model object reconfigures the cache for both (the
+    :meth:`as_pipeline` bridge is the supported way to share the model
+    with legacy code).
+
+    Attributes:
+        config: The immutable session configuration.
+        model / encoder: The owned model and its batch codec.
+        train_metrics / test_metrics: Corpus-split predictor metrics when
+            trained with ``evaluate=True`` (None otherwise).
+    """
+
+    def __init__(
+        self,
+        model: VeriBugModel,
+        encoder: BatchEncoder | None = None,
+        config: SessionConfig | None = None,
+        *,
+        train_metrics: EvalMetrics | None = None,
+        test_metrics: EvalMetrics | None = None,
+    ):
+        self.config = config or SessionConfig(model=model.config)
+        self.model = model
+        self.encoder = encoder or BatchEncoder(model.vocab)
+        self.train_metrics = train_metrics
+        self.test_metrics = test_metrics
+        # The session owns the cache policy: one place decides whether
+        # structural memoization is active and how large it may grow.
+        model.context_cache.configure(
+            enabled=self.config.cache_policy == "structural",
+            max_entries=self.config.cache_max_entries,
+        )
+        self._localizer = LocalizationEngine(
+            model,
+            self.encoder,
+            self.config.model,
+            fast_inference=self.config.fast_inference,
+        )
+        self._trainer: Trainer | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        config: SessionConfig | None = None,
+        corpus: "CorpusSpec | None" = None,
+        *,
+        evaluate: bool = True,
+        log: bool = False,
+    ) -> "VeriBugSession":
+        """Train a fresh model on an RVDG synthetic corpus.
+
+        Args:
+            config: Session configuration (model hyper-parameters, data
+                seed, engine/worker knobs).
+            corpus: Corpus size spec; defaults to a spec inheriting the
+                session's engine and worker-pool settings.
+            evaluate: Compute train/test metrics on the design-level
+                corpus split.
+            log: Print per-epoch training losses.
+        """
+        from ..pipeline import CorpusSpec, _generate_corpus_samples
+
+        config = config or SessionConfig()
+        corpus = corpus or CorpusSpec(
+            engine=config.engine, n_workers=config.n_workers
+        )
+        vocab = Vocabulary()
+        model = VeriBugModel(config.model, vocab)
+        encoder = BatchEncoder(vocab)
+        trainer = Trainer(model, encoder, config.model)
+
+        samples = _generate_corpus_samples(corpus, seed=config.seed)
+        # Design-level split: statements re-execute with identical operand
+        # values thousands of times, so a sample-level split would leak
+        # near-duplicates of every test sample into training.
+        train_samples, test_samples = train_test_split(
+            samples, corpus.test_fraction, seed=config.seed, split_by_design=True
+        )
+        trainer.train(train_samples, log=log)
+
+        session = cls(model, encoder, config)
+        if evaluate:
+            session.train_metrics = trainer.evaluate(train_samples)
+            if test_samples:
+                session.test_metrics = trainer.evaluate(test_samples)
+        return session
+
+    @classmethod
+    def from_checkpoint(
+        cls, path, config: SessionConfig | None = None
+    ) -> "VeriBugSession":
+        """Load a session from weights saved with :meth:`save`.
+
+        The model is built from ``config.model`` (which must match the
+        checkpoint's architecture) and the fixed node-type vocabulary,
+        then the weights are restored.
+        """
+        config = config or SessionConfig()
+        vocab = Vocabulary()
+        model = VeriBugModel(config.model, vocab)
+        load_state(model, path)
+        return cls(model, BatchEncoder(vocab), config)
+
+    def save(self, path) -> None:
+        """Serialize the model weights (reload with :meth:`from_checkpoint`)."""
+        save_state(self.model, path)
+
+    # ------------------------------------------------------------------
+    # Localization
+    # ------------------------------------------------------------------
+    def localize(
+        self,
+        design: Module | str,
+        target: str,
+        failing_traces: list[Trace],
+        correct_traces: list[Trace],
+        threshold: float | None = None,
+    ) -> LocalizationResult:
+        """Localize a failure observed at ``target`` (see the engine docs).
+
+        ``design`` may be a parsed module, a registered design name, or
+        raw Verilog source (:meth:`resolve_design`).
+        """
+        return self._localizer.localize(
+            self.resolve_design(design),
+            target,
+            failing_traces,
+            correct_traces,
+            threshold,
+        )
+
+    def localize_many(
+        self, requests: list[LocalizationRequest], batch_size: int = 512
+    ) -> list[LocalizationResult]:
+        """Localize several failures with shared forward passes."""
+        return self._localizer.localize_many(requests, batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # Campaigns
+    # ------------------------------------------------------------------
+    def campaign(
+        self,
+        design: Module | str,
+        target: str,
+        mutations: Iterable[Mutation] | None = None,
+        *,
+        plan: dict[str, int] | None = None,
+        testbench: TestbenchConfig | None = None,
+        n_cycles: int = 10,
+        seed: int | None = None,
+        n_traces: int | None = None,
+        n_workers: int | None = None,
+        localize_batch: int | None = None,
+    ) -> CampaignHandle:
+        """Prepare a bug-injection campaign (execute via the handle).
+
+        Args:
+            design: Parsed module, registered design name, or source.
+            target: Output where failures must symptomatize.
+            mutations: Explicit injection plan; when omitted one is
+                sampled from ``plan`` (default :data:`DEFAULT_PLAN`)
+                inside the target's dependency cone.
+            plan: Mutation kind -> count for sampling (ignored when
+                ``mutations`` is given).
+            testbench: Stimulus knobs; defaults to the design's
+                registered testbench (registry names) or a generic one,
+                both pinned to the session's simulation engine.
+            n_cycles: Cycles per testbench when building the default.
+            seed / n_traces / n_workers / localize_batch: Per-campaign
+                overrides of the session defaults.
+
+        Returns:
+            A :class:`CampaignHandle`; call ``.run()`` for the batch
+            report or ``.stream()`` for incremental outcomes/heatmaps.
+        """
+        module = self.resolve_design(design)
+        seed = self.config.seed if seed is None else seed
+        if testbench is None:
+            if isinstance(design, str) and design in REGISTRY:
+                testbench = design_testbench(design, n_cycles=n_cycles)
+                testbench.engine = self.config.engine
+            else:
+                testbench = TestbenchConfig(
+                    n_cycles=n_cycles, engine=self.config.engine
+                )
+        if mutations is None:
+            cone = compute_static_slice(module, target).stmt_ids
+            mutations = sample_mutations(
+                module,
+                dict(plan or DEFAULT_PLAN),
+                seed=seed,
+                restrict_to=cone,
+                min_operands=2,
+            )
+        engine = CampaignEngine(
+            self._localizer,
+            n_traces=self.config.n_traces if n_traces is None else n_traces,
+            testbench_config=testbench,
+            seed=seed,
+            min_correct_traces=self.config.min_correct_traces,
+            max_extra_batches=self.config.max_extra_batches,
+            n_workers=self.config.n_workers if n_workers is None else n_workers,
+            localize_batch=(
+                self.config.localize_batch
+                if localize_batch is None
+                else localize_batch
+            ),
+        )
+        return CampaignHandle(engine, module, target, list(mutations))
+
+    # ------------------------------------------------------------------
+    # Corpus / evaluation
+    # ------------------------------------------------------------------
+    def generate_corpus(
+        self, spec: "CorpusSpec | None" = None, seed: int | None = None
+    ) -> list[Sample]:
+        """Simulate an RVDG corpus into training samples.
+
+        Defaults inherit the session's engine, worker pool, and seed.
+        """
+        from ..pipeline import CorpusSpec, _generate_corpus_samples
+
+        spec = spec or CorpusSpec(
+            engine=self.config.engine, n_workers=self.config.n_workers
+        )
+        return _generate_corpus_samples(
+            spec, seed=self.config.seed if seed is None else seed
+        )
+
+    def evaluate(self, samples: list[Sample]) -> EvalMetrics:
+        """Predictor accuracy / per-class precision-recall on samples."""
+        return self._ensure_trainer().evaluate(samples)
+
+    def fit(
+        self,
+        samples: list[Sample],
+        epochs: int | None = None,
+        log: bool = False,
+    ):
+        """Continue training the owned model on explicit samples."""
+        return self._ensure_trainer().train(samples, epochs=epochs, log=log)
+
+    def _ensure_trainer(self) -> Trainer:
+        if self._trainer is None:
+            self._trainer = Trainer(self.model, self.encoder, self.config.model)
+        return self._trainer
+
+    # ------------------------------------------------------------------
+    # Introspection / interop
+    # ------------------------------------------------------------------
+    def resolve_design(self, design: Module | str) -> Module:
+        """Normalize a design reference into a parsed module.
+
+        Accepts a parsed :class:`Module` (returned as-is), the name of a
+        registered evaluation design, or raw Verilog source text.
+        """
+        if isinstance(design, Module):
+            return design
+        if design in REGISTRY:
+            return load_design(design)
+        # Verilog source opens a line with the `module` keyword (possibly
+        # after comments/blank lines); a mistyped registry name merely
+        # *containing* the substring must not hit the parser.
+        if re.search(r"(?m)^\s*module\b", design):
+            return parse_module(design)
+        raise KeyError(
+            f"unknown design {design!r}: not a registered design name"
+            f" (available: {', '.join(REGISTRY)}) and not Verilog source"
+        )
+
+    def cache_stats(self) -> dict[str, float]:
+        """Context-embedding cache counters (structural sharing evidence)."""
+        return self.model.context_cache.stats()
+
+    def as_pipeline(self) -> "TrainedPipeline":
+        """Legacy :class:`TrainedPipeline` view over this session's state.
+
+        The bridge the deprecated ``train_pipeline`` shim returns; the
+        pipeline's localizer shares this session's model and cache.
+        """
+        from ..pipeline import TrainedPipeline
+
+        with warnings.catch_warnings():
+            # The session already is the new surface; don't re-warn for
+            # the compatibility objects it hands out.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            localizer = BugLocalizer(
+                self.model,
+                self.encoder,
+                self.config.model,
+                fast_inference=self.config.fast_inference,
+            )
+        return TrainedPipeline(
+            model=self.model,
+            encoder=self.encoder,
+            localizer=localizer,
+            config=self.config.model,
+            train_metrics=self.train_metrics,
+            test_metrics=self.test_metrics,
+        )

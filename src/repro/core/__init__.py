@@ -22,7 +22,12 @@ from .features import (
     train_test_split,
 )
 from .heatmap import format_operand_scores, render_heatmap, score_bin, score_glyph
-from .localizer import BugLocalizer, LocalizationRequest, LocalizationResult
+from .localizer import (
+    BugLocalizer,
+    LocalizationEngine,
+    LocalizationRequest,
+    LocalizationResult,
+)
 from .model import ContextEmbeddingCache, ModelOutput, VeriBugModel
 from .trainer import EvalMetrics, TrainHistory, Trainer, compute_metrics
 from .vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
@@ -38,6 +43,7 @@ __all__ = [
     "FT_ONLY_SUSPICIOUSNESS",
     "Heatmap",
     "HeatmapEntry",
+    "LocalizationEngine",
     "LocalizationRequest",
     "LocalizationResult",
     "ModelOutput",

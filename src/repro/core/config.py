@@ -5,6 +5,11 @@ attention vector, ``dc = 16`` for the context embedding, Adam with
 ``lr = 1e-3`` and ``weight_decay = 1e-5``, regularization weight
 ``alpha = 0.1`` (the best predictor in Table II), and a suspiciousness
 threshold of 0.10.
+
+This class holds *model* hyper-parameters only.  System-level knobs —
+engine selection, worker pools, localization batching, cache policy —
+are consolidated in :class:`repro.api.SessionConfig`, which embeds a
+``VeriBugConfig`` as its ``model`` field.
 """
 
 from __future__ import annotations

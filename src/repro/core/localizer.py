@@ -12,6 +12,7 @@ the localizer:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..analysis.contexts import StatementContext, extract_module_contexts
@@ -73,8 +74,12 @@ class LocalizationRequest:
     threshold: float | None = None
 
 
-class BugLocalizer:
+class LocalizationEngine:
     """Ties the slicer, model, and explainer into one callable pipeline.
+
+    This is the *engine* layer: it owns no session state beyond the model
+    handed to it and is driven by :class:`repro.api.VeriBugSession` (the
+    facade) or, for legacy callers, the :class:`BugLocalizer` shim.
 
     Args:
         model / encoder / config: The trained model and its codec.
@@ -118,6 +123,9 @@ class BugLocalizer:
         Returns:
             The :class:`LocalizationResult` with heatmap and ranking.
         """
+        # One localization = one cache epoch: hits on entries created in
+        # an earlier epoch are cross-request (cross-mutant) sharing.
+        self.model.context_cache.begin_epoch()
         static_slice = compute_static_slice(module, target)
         contexts = extract_module_contexts(slice_statements(module, static_slice))
         heatmap = self.explainer.explain(
@@ -177,6 +185,7 @@ class BugLocalizer:
                 for request in requests
             ]
 
+        self.model.context_cache.begin_epoch()
         prepared: list[tuple[StaticSlice, dict[int, StatementContext]]] = []
         maps: list[tuple[AttentionMap, AttentionMap]] = []
         flat_samples: list[Sample] = []
@@ -225,3 +234,22 @@ class BugLocalizer:
                 )
             )
         return results
+
+
+class BugLocalizer(LocalizationEngine):
+    """Deprecated alias of :class:`LocalizationEngine`.
+
+    Retained so pre-``repro.api`` code keeps working unchanged; new code
+    should go through :meth:`repro.api.VeriBugSession.localize` /
+    :meth:`~repro.api.VeriBugSession.localize_many`, which own the model,
+    cache policy, and batching knobs in one place.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "BugLocalizer is deprecated; use repro.api.VeriBugSession.localize"
+            " / localize_many (the session facade) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

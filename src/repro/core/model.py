@@ -19,16 +19,17 @@ Three stages, all fully batched over ragged statements via segment ops:
 Stage 1 is where inference time goes (the PathRNN runs over every path of
 every operand), and its output is *value-independent*: ``c_i`` is a pure
 function of the static ``(StatementContext, operand_index)`` pair and the
-current weights.  :class:`ContextEmbeddingCache` memoizes it per context
-identity, so repeated executions of the same statement — with whatever
-operand values — skip the PathRNN entirely and inference reduces to the
-value-MLP stages.  The cache is consulted only while autograd is off;
-training and the per-execution reference arm are byte-for-byte untouched.
+current weights.  :class:`ContextEmbeddingCache` memoizes it per
+*structural fingerprint* (the operand's ordered path tuple), so repeated
+executions of the same statement *structure* — with whatever operand
+values, from whatever context object, mutant, or design — skip the
+PathRNN entirely and inference reduces to the value-MLP stages.  The
+cache is consulted only while autograd is off; training and the
+per-execution reference arm are byte-for-byte untouched.
 """
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,47 +55,96 @@ from .vocab import Vocabulary
 
 
 class ContextEmbeddingCache:
-    """Memoizes PathRNN context embeddings per (context identity, operand).
+    """Memoizes PathRNN context embeddings per *structural* fingerprint.
 
-    Keys are ``(id(context), operand_index)`` with a weak-reference guard,
-    the same scheme as :attr:`BatchEncoder._path_cache` and the simulator's
-    compile cache: a context that happens to reuse a garbage-collected
-    context's ``id`` can never be served the dead context's embedding, and
-    entries are evicted when their context dies, so the cache stays bounded
-    across long campaigns.
+    Keys are :meth:`StatementContext.structural_key` fingerprints — the
+    operand's ordered leaf-to-leaf path tuple — not object identities.
+    Structurally identical operands therefore share one entry even when
+    they live in different context objects: a campaign that re-extracts
+    fresh :class:`StatementContext` objects for every mutant still hits
+    the entries populated by earlier mutants on the golden/mutant
+    statement overlap (the cross-campaign memoization the identity-keyed
+    scheme could never provide).  Sharing is exact, not approximate: the
+    fingerprint pins the paths *and their order*, so the summed PathRNN
+    output is bit-identical to recomputing it.
 
-    Entries are valid only for the weights they were computed with; owners
-    of the weights invalidate via :meth:`clear` (``Trainer.train`` and
+    Entries outlive their contexts by design, so boundedness comes from
+    an LRU policy (``max_entries``) instead of weakref eviction.  Entries
+    are valid only for the weights they were computed with; owners of the
+    weights invalidate via :meth:`clear` (``Trainer.train`` and
     ``VeriBugModel.load_state_dict`` both do).
+
+    :meth:`begin_epoch` lets callers mark request boundaries — the
+    localizer opens a new epoch per ``localize``/``localize_many`` call —
+    and hits on entries created in an *earlier* epoch are counted
+    separately (``cross_epoch_hits``).  Since one localization call never
+    spans the same mutant twice, cross-epoch hits are a lower bound on
+    cross-mutant sharing, the number ``BENCH_localize.json`` reports.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, max_entries: int = 100_000):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.enabled = enabled
-        self._entries: dict[
-            tuple[int, int], tuple[weakref.ref, np.ndarray]
-        ] = {}
+        self.max_entries = max_entries
+        self._entries: dict[object, tuple[int, np.ndarray]] = {}
+        self._epoch = 0
         self.hits = 0
         self.misses = 0
+        self.cross_epoch_hits = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def begin_epoch(self) -> None:
+        """Mark a request boundary (one localization call = one epoch)."""
+        self._epoch += 1
+
+    def configure(self, enabled: bool, max_entries: int | None = None) -> None:
+        """Re-apply a cache policy (validated, with immediate effect).
+
+        Disabling drops every resident entry (a disabled cache is never
+        consulted, so keeping them would just pin memory); shrinking
+        ``max_entries`` evicts LRU overflow now rather than at the next
+        :meth:`put`.
+        """
+        if max_entries is not None:
+            if max_entries < 1:
+                raise ValueError("max_entries must be >= 1")
+            self.max_entries = max_entries
+        self.enabled = enabled
+        if not enabled:
+            self.clear()
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+
     def get(self, context: StatementContext, op_index: int) -> np.ndarray | None:
-        """The cached ``c_i`` row for a live (context, operand), or None."""
-        entry = self._entries.get((id(context), op_index))
-        if entry is not None and entry[0]() is context:
-            self.hits += 1
-            return entry[1]
-        self.misses += 1
-        return None
+        """The cached ``c_i`` row for the operand's structure, or None."""
+        key = context.structural_key(op_index)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        # LRU touch: re-insert so dict order tracks recency.
+        del self._entries[key]
+        self._entries[key] = entry
+        self.hits += 1
+        if entry[0] != self._epoch:
+            self.cross_epoch_hits += 1
+        return entry[1]
 
     def put(
         self, context: StatementContext, op_index: int, embedding: np.ndarray
     ) -> None:
-        """Store an embedding; evicted automatically when ``context`` dies."""
-        key = (id(context), op_index)
-        ref = weakref.ref(context, lambda _r, _k=key: self._entries.pop(_k, None))
-        self._entries[key] = (ref, embedding)
+        """Store an embedding, evicting least-recently-used overflow."""
+        key = context.structural_key(op_index)
+        self._entries.pop(key, None)
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = (self._epoch, embedding)
 
     def clear(self) -> None:
         """Drop every entry (weights changed or owner reset)."""
@@ -103,6 +153,8 @@ class ContextEmbeddingCache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.cross_epoch_hits = 0
+        self.evictions = 0
 
     @property
     def hit_rate(self) -> float:
@@ -110,13 +162,22 @@ class ContextEmbeddingCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def cross_epoch_hit_rate(self) -> float:
+        """Fraction of lookups served from an earlier epoch's entries."""
+        total = self.hits + self.misses
+        return self.cross_epoch_hits / total if total else 0.0
+
     def stats(self) -> dict[str, float]:
-        """Hit/miss counters plus the derived hit rate."""
+        """Hit/miss counters plus the derived hit rates."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
+            "cross_epoch_hits": self.cross_epoch_hits,
+            "cross_epoch_hit_rate": self.cross_epoch_hit_rate,
             "entries": len(self._entries),
+            "evictions": self.evictions,
         }
 
 
@@ -239,11 +300,13 @@ class VeriBugModel(Module):
     def _cached_context_embeddings(self, batch: EncodedBatch) -> np.ndarray:
         cache = self.context_cache
         out = np.zeros((batch.n_operands, self.config.dc))
-        # Group operand rows by context identity: one lookup (and at most
-        # one PathRNN row group) per distinct (context, operand) pair.
-        groups: dict[tuple[int, int], list[int]] = {}
+        # Group operand rows by structural fingerprint: one lookup (and at
+        # most one PathRNN row group) per distinct operand structure —
+        # operands of *different* contexts sharing a structure collapse
+        # into one group here, even before the cache is consulted.
+        groups: dict[object, list[int]] = {}
         for row, (context, op_index) in enumerate(batch.operand_contexts):
-            groups.setdefault((id(context), op_index), []).append(row)
+            groups.setdefault(context.structural_key(op_index), []).append(row)
 
         missing: list[tuple[int, ...]] = []  # (representative row, ...rows)
         for key, rows in groups.items():

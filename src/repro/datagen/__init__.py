@@ -1,6 +1,11 @@
 """Data generation: synthetic designs (RVDG), mutations, campaigns."""
 
-from .campaign import BugInjectionCampaign, CampaignResult, MutantOutcome
+from .campaign import (
+    BugInjectionCampaign,
+    CampaignEngine,
+    CampaignResult,
+    MutantOutcome,
+)
 from .mutation import (
     SUBSTITUTION_GROUPS,
     Mutation,
@@ -13,6 +18,7 @@ from .rvdg import RandomVerilogDesignGenerator, RVDGConfig
 
 __all__ = [
     "BugInjectionCampaign",
+    "CampaignEngine",
     "CampaignResult",
     "Mutation",
     "MutantOutcome",

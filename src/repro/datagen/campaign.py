@@ -34,10 +34,16 @@ to per-mutant localization.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Iterator
 
-from ..core.localizer import BugLocalizer, LocalizationRequest, LocalizationResult
+from ..core.localizer import (
+    LocalizationEngine,
+    LocalizationRequest,
+    LocalizationResult,
+)
 from ..sim.simulator import SimulationError, Simulator
 from ..sim.testbench import TestbenchConfig, generate_testbench_suite
 from ..sim.trace import Trace
@@ -235,8 +241,13 @@ def _campaign_worker(
     )
 
 
-class BugInjectionCampaign:
+class CampaignEngine:
     """Runs mutation campaigns against a trained localizer.
+
+    This is the *engine* layer driven by
+    :meth:`repro.api.VeriBugSession.campaign` (whose handle adds
+    streaming heatmap snapshots on top of :meth:`iter_localized`) or, for
+    legacy callers, the :class:`BugInjectionCampaign` shim.
 
     Args:
         localizer: Trained localizer scored against each observable bug.
@@ -247,16 +258,19 @@ class BugInjectionCampaign:
         min_correct_traces / max_extra_batches: Correct-trace top-up policy.
         n_workers: When > 0, simulate mutants on a process pool of this
             size; localization still runs in the parent process.
-        localize_batch: Number of observable mutants whose localizations
-            are encoded into shared model forward passes (the inference
-            fast path).  1 localizes each mutant with its own model call
-            stream; larger values amortize per-call overhead at the cost
-            of keeping up to that many mutants' trace sets alive at once.
+        localize_batch: Cap on the number of observable mutants whose
+            localizations are encoded into shared model forward passes
+            (the inference fast path).  Batches ramp 1 → 2 → 4 → … up to
+            this cap so the first outcome streams immediately; 1
+            localizes each mutant with its own model call stream, larger
+            caps amortize per-call overhead at the cost of keeping up to
+            that many mutants' trace sets alive at once.  Outcomes are
+            identical for every value (attention is segment-local).
     """
 
     def __init__(
         self,
-        localizer: BugLocalizer,
+        localizer: LocalizationEngine,
         n_traces: int = 12,
         testbench_config: TestbenchConfig | None = None,
         seed: int = 0,
@@ -284,6 +298,10 @@ class BugInjectionCampaign:
     ) -> CampaignResult:
         """Execute a campaign for one design/target pair.
 
+        Drains :meth:`iter_localized`, so batch and streaming semantics
+        are one implementation: per-mutant outcomes are identical however
+        they are consumed.
+
         Args:
             module: The golden design.
             target: Output where failures must symptomatize.
@@ -293,6 +311,33 @@ class BugInjectionCampaign:
             Per-mutant outcomes and aggregate coverage.
         """
         result = CampaignResult(design=module.name, target=target)
+        for outcome, _localization in self.iter_localized(module, target, mutations):
+            result.outcomes.append(outcome)
+        return result
+
+    def iter_localized(
+        self,
+        module: Module,
+        target: str,
+        mutations: list[Mutation],
+    ) -> Iterator[tuple[MutantOutcome, LocalizationResult | None]]:
+        """Stream fully-scored outcomes as the campaign progresses.
+
+        Yields ``(outcome, localization)`` pairs in mutation order, each
+        emitted as soon as its localization (or the decision that none is
+        needed — simulation error / not observable) completes.  Mutants
+        are simulated as they arrive (in parallel when ``n_workers > 0``)
+        and localized in shared batches of observable mutants whose size
+        ramps 1 → 2 → 4 → … up to ``localize_batch``: the first result
+        streams as soon as one mutant is localizable, while long
+        campaigns still amortize model calls across full batches.  At
+        most ``localize_batch`` mutants' trace sets are alive at once,
+        and batch composition cannot change any outcome (attention is
+        segment-local; see :meth:`LocalizationEngine.localize_many`), so
+        :meth:`run` — which drains this iterator — is unaffected by the
+        ramp.  ``localization`` is None for erroring or unobservable
+        mutants.
+        """
         stimuli = generate_testbench_suite(
             module, self.n_traces, self.testbench_config, seed=self.seed
         )
@@ -309,21 +354,41 @@ class BugInjectionCampaign:
                 for mutation in mutations
             )
 
-        # Localize mutants as their simulations arrive, batching up to
-        # ``localize_batch`` observable mutants into shared model forward
-        # passes; at most that many mutants' trace sets are alive at once.
+        # ``buffered`` holds outcome slots awaiting emission in mutation
+        # order; observable ones stay un-emittable until their shared
+        # localization batch runs, which also flushes everything queued
+        # behind them.
+        buffered: list[tuple[MutantOutcome, LocalizationResult | None]] = []
         pending: list[tuple[Mutation, MutantOutcome, list[Trace], list[Trace]]] = []
+        slots: list[int] = []  # buffered index of each pending mutant
+        # Batch-size ramp: stream the first localization immediately,
+        # then double toward the configured cap.
+        flush_at = 1
         for mutation, (outcome, failing, correct) in zip(mutations, simulated):
-            result.outcomes.append(outcome)
+            buffered.append((outcome, None))
             if outcome.error or not outcome.observable:
+                if not pending:
+                    yield from buffered
+                    buffered.clear()
                 continue
             pending.append((mutation, outcome, failing, correct))
-            if len(pending) >= self.localize_batch:
-                self._localize_pending(module, target, pending)
+            slots.append(len(buffered) - 1)
+            if len(pending) >= min(flush_at, self.localize_batch):
+                for slot, localization in zip(
+                    slots, self._localize_pending(module, target, pending)
+                ):
+                    buffered[slot] = (buffered[slot][0], localization)
                 pending.clear()
+                slots.clear()
+                flush_at *= 2
+                yield from buffered
+                buffered.clear()
         if pending:
-            self._localize_pending(module, target, pending)
-        return result
+            for slot, localization in zip(
+                slots, self._localize_pending(module, target, pending)
+            ):
+                buffered[slot] = (buffered[slot][0], localization)
+        yield from buffered
 
     def _simulate(self, module, target, mutation, stimuli, golden_traces):
         return _simulate_mutant(
@@ -365,7 +430,7 @@ class BugInjectionCampaign:
         module: Module,
         target: str,
         pending: list[tuple[Mutation, MutantOutcome, list[Trace], list[Trace]]],
-    ) -> None:
+    ) -> list[LocalizationResult]:
         """Localize a batch of observable mutants and score their outcomes."""
         requests = [
             LocalizationRequest(
@@ -387,3 +452,23 @@ class BugInjectionCampaign:
                 mutation.stmt_id
             )
             outcome.localized = localization.is_top1(mutation.stmt_id)
+        return localizations
+
+
+class BugInjectionCampaign(CampaignEngine):
+    """Deprecated alias of :class:`CampaignEngine`.
+
+    Retained so pre-``repro.api`` code keeps working unchanged; new code
+    should go through :meth:`repro.api.VeriBugSession.campaign`, whose
+    handle adds streaming (:meth:`~repro.api.CampaignHandle.stream`) and
+    incremental heatmap snapshots on top of this engine.
+    """
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "BugInjectionCampaign is deprecated; use"
+            " repro.api.VeriBugSession.campaign (the session facade) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

@@ -1,13 +1,21 @@
-"""High-level convenience pipeline: train a model, localize bugs.
+"""Legacy convenience pipeline: train a model, localize bugs.
 
 This module wires the substrates together the way the paper's evaluation
 does: train on an RVDG synthetic corpus (free supervision from simulation
 traces), then localize injected bugs on arbitrary designs with the
 *same* model instance — the transferability claim of §VI-A.
+
+The public entry points here (:func:`train_pipeline`,
+:func:`generate_corpus_samples`) are **deprecation shims** over the
+session facade in :mod:`repro.api`; they keep their historical signatures
+and behavior but new code should use
+:meth:`repro.api.VeriBugSession.train` /
+:meth:`~repro.api.VeriBugSession.generate_corpus`.
 """
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
@@ -17,12 +25,9 @@ from .core import (
     BugLocalizer,
     EvalMetrics,
     Sample,
-    Trainer,
     VeriBugConfig,
     VeriBugModel,
-    Vocabulary,
     build_samples,
-    train_test_split,
 )
 from .datagen import RandomVerilogDesignGenerator, RVDGConfig
 from .sim import Simulator, TestbenchConfig, generate_testbench_suite
@@ -99,6 +104,22 @@ def _design_samples(
 
 
 def generate_corpus_samples(spec: CorpusSpec, seed: int = 0) -> list[Sample]:
+    """Deprecated shim over :meth:`repro.api.VeriBugSession.generate_corpus`.
+
+    Same behavior as the internal corpus generator the session uses;
+    retained for pre-``repro.api`` callers.
+    """
+    warnings.warn(
+        "generate_corpus_samples is deprecated; use"
+        " repro.api.VeriBugSession.generate_corpus (the session facade)"
+        " instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _generate_corpus_samples(spec, seed)
+
+
+def _generate_corpus_samples(spec: CorpusSpec, seed: int = 0) -> list[Sample]:
     """Simulate an RVDG corpus and convert traces to training samples.
 
     Design sources are generated sequentially (the RVDG RNG stream is a
@@ -138,7 +159,7 @@ def train_pipeline(
     evaluate: bool = True,
     log: bool = False,
 ) -> TrainedPipeline:
-    """Train a VeriBug model on a fresh synthetic corpus.
+    """Deprecated shim over :meth:`repro.api.VeriBugSession.train`.
 
     Args:
         config: Model/training hyper-parameters.
@@ -150,30 +171,18 @@ def train_pipeline(
     Returns:
         The trained pipeline, ready for :meth:`BugLocalizer.localize`.
     """
-    config = config or VeriBugConfig()
-    corpus = corpus or CorpusSpec(engine=config.sim_engine)
-    vocab = Vocabulary()
-    model = VeriBugModel(config, vocab)
-    encoder = BatchEncoder(vocab)
-    trainer = Trainer(model, encoder, config)
-
-    samples = generate_corpus_samples(corpus, seed=seed)
-    # Design-level split: statements re-execute with identical operand
-    # values thousands of times, so a sample-level split would leak
-    # near-duplicates of every test sample into training.
-    train_samples, test_samples = train_test_split(
-        samples, corpus.test_fraction, seed=seed, split_by_design=True
+    warnings.warn(
+        "train_pipeline is deprecated; use repro.api.VeriBugSession.train"
+        " (the session facade) instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    trainer.train(train_samples, log=log)
+    from .api import SessionConfig, VeriBugSession
 
-    pipeline = TrainedPipeline(
-        model=model,
-        encoder=encoder,
-        localizer=BugLocalizer(model, encoder, config),
-        config=config,
+    session = VeriBugSession.train(
+        SessionConfig(model=config or VeriBugConfig(), seed=seed),
+        corpus,
+        evaluate=evaluate,
+        log=log,
     )
-    if evaluate:
-        pipeline.train_metrics = trainer.evaluate(train_samples)
-        if test_samples:
-            pipeline.test_metrics = trainer.evaluate(test_samples)
-    return pipeline
+    return session.as_pipeline()

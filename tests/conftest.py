@@ -8,8 +8,9 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import generate_corpus
 from repro.core import BatchEncoder, VeriBugConfig, VeriBugModel, Vocabulary
-from repro.pipeline import CorpusSpec, generate_corpus_samples, train_pipeline
+from repro.pipeline import CorpusSpec
 from repro.verilog import parse_module
 
 ARBITER_SOURCE = """
@@ -62,7 +63,7 @@ def tiny_config():
 @pytest.fixture(scope="session")
 def tiny_samples(tiny_config):
     """A small simulated RVDG corpus."""
-    return generate_corpus_samples(
+    return generate_corpus(
         CorpusSpec(n_designs=3, n_traces_per_design=2, n_cycles=12), seed=11
     )
 
@@ -78,9 +79,7 @@ def trained_pipeline(tmp_path_factory):
     """
     import pathlib
 
-    from repro.core import BugLocalizer
-    from repro.nn import load_state, save_state
-    from repro.pipeline import TrainedPipeline
+    from repro.api import SessionConfig, VeriBugSession
 
     # 20 designs so ~16 remain on the training side after the grouped
     # (design-level) holdout — see "Train/test split" in
@@ -94,19 +93,15 @@ def trained_pipeline(tmp_path_factory):
     cache = cache_dir / key
 
     if cache.exists():
-        vocab = Vocabulary()
-        model = VeriBugModel(config, vocab)
-        load_state(model, cache)
-        encoder = BatchEncoder(vocab)
-        return TrainedPipeline(
-            model=model,
-            encoder=encoder,
-            localizer=BugLocalizer(model, encoder, config),
-            config=config,
+        session = VeriBugSession.from_checkpoint(
+            cache, SessionConfig(model=config)
         )
-    pipeline = train_pipeline(config, corpus, seed=1, evaluate=False)
-    save_state(pipeline.model, cache)
-    return pipeline
+    else:
+        session = VeriBugSession.train(
+            SessionConfig(model=config).with_seed(1), corpus, evaluate=False
+        )
+        session.save(cache)
+    return session.as_pipeline()
 
 
 @pytest.fixture

@@ -1,0 +1,463 @@
+"""The `repro.api` surface: session facade, streaming campaigns, CLI.
+
+Four contracts:
+
+* **Equivalence** — the session facade and the legacy shims
+  (`BugLocalizer`, `BugInjectionCampaign`, `train_pipeline`) produce
+  identical rankings and suspiciousness (within 1e-9) for the same
+  inputs, and the shims emit `DeprecationWarning`.
+* **Streaming** — `CampaignHandle.stream()` yields per-mutant outcomes
+  equal to `run()`'s, with incremental `HeatmapSnapshot`s whose final
+  state is bit-identical to the batch report's.
+* **Config** — `SessionConfig` consolidates the scattered knobs,
+  validates them, and the session applies the cache policy it declares.
+* **CLI** — `python -m repro campaign --smoke` (the CI smoke) works
+  end-to-end against the committed checkpoint.
+"""
+
+import dataclasses
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import (
+    DEFAULT_PLAN,
+    CampaignHandle,
+    HeatmapSnapshot,
+    SessionConfig,
+    VeriBugSession,
+)
+from repro.core import BugLocalizer, LocalizationEngine, VeriBugConfig
+from repro.datagen import BugInjectionCampaign, CampaignEngine, sample_mutations
+from repro.designs import design_testbench, load_design
+from repro.pipeline import CorpusSpec, generate_corpus_samples, train_pipeline
+from repro.sim import Simulator, TestbenchConfig, generate_testbench_suite
+from repro.verilog import parse_module
+
+TOL = 1e-9
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+CHECKPOINT = pathlib.Path(__file__).parent / ".cache" / "model_e30_d20_s1.npz"
+
+
+@pytest.fixture(scope="module")
+def session(trained_pipeline):
+    """A session sharing the committed fixture's weights.
+
+    Depends on ``trained_pipeline`` so the checkpoint exists even on a
+    cold checkout (the conftest fixture trains and saves it if needed).
+    """
+    assert CHECKPOINT.exists()
+    return VeriBugSession.from_checkpoint(CHECKPOINT)
+
+
+def planted_bug_case():
+    golden = parse_module(
+        "module t(clk, rst_n, sel, a, b, y); input clk, rst_n, sel, a, b;"
+        " output reg y;"
+        " always @(*) if (sel) y = a & b; else y = a | b; endmodule"
+    )
+    buggy = parse_module(
+        "module t(clk, rst_n, sel, a, b, y); input clk, rst_n, sel, a, b;"
+        " output reg y;"
+        " always @(*) if (sel) y = a & ~b; else y = a | b; endmodule"
+    )
+    stimuli = generate_testbench_suite(golden, 20, TestbenchConfig(n_cycles=6), seed=3)
+    gsim, bsim = Simulator(golden), Simulator(buggy)
+    failing, correct = [], []
+    for stim in stimuli:
+        golden_trace = gsim.run(stim, record=False)
+        trace = bsim.run(stim)
+        if trace.diverges_from(golden_trace, signals=["y"]):
+            failing.append(trace)
+        else:
+            correct.append(trace)
+    assert failing and correct
+    return buggy, failing, correct
+
+
+# ----------------------------------------------------------------------
+# SessionConfig
+# ----------------------------------------------------------------------
+
+
+class TestSessionConfig:
+    def test_builders_return_new_frozen_configs(self):
+        base = SessionConfig()
+        tuned = (
+            base.with_engine("interpreted")
+            .with_workers(2)
+            .with_localize_batch(4)
+            .with_cache("off", max_entries=7)
+            .with_seed(5)
+            .with_campaign_defaults(n_traces=3, min_correct_traces=1)
+        )
+        # The original is untouched (frozen + replace semantics).
+        assert base.engine == "compiled" and base.n_workers == 0
+        assert tuned.engine == "interpreted"
+        assert tuned.n_workers == 2
+        assert tuned.localize_batch == 4
+        assert tuned.cache_policy == "off"
+        assert tuned.cache_max_entries == 7
+        assert tuned.seed == 5
+        assert tuned.n_traces == 3 and tuned.min_correct_traces == 1
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            tuned.seed = 9
+
+    def test_with_model_overrides(self):
+        tuned = SessionConfig().with_model(epochs=3, alpha=0.5)
+        assert tuned.model.epochs == 3 and tuned.model.alpha == 0.5
+        replaced = SessionConfig().with_model(VeriBugConfig(dc=8))
+        assert replaced.model.dc == 8
+        with pytest.raises(ValueError):
+            SessionConfig().with_model(VeriBugConfig(), epochs=3)
+
+    def test_engine_resolution_defers_to_model(self):
+        assert SessionConfig().engine == "compiled"
+        via_model = SessionConfig(model=VeriBugConfig(sim_engine="interpreted"))
+        assert via_model.engine == "interpreted"
+        assert via_model.with_engine("compiled").engine == "compiled"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sim_engine": "jit"},
+            {"cache_policy": "weak"},
+            {"localize_batch": 0},
+            {"n_workers": -1},
+            {"cache_max_entries": 0},
+            {"n_traces": 0},
+            {"min_correct_traces": -1},
+            {"max_extra_batches": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SessionConfig(**kwargs)
+
+    def test_session_applies_cache_policy(self, trained_pipeline):
+        on = VeriBugSession(trained_pipeline.model, trained_pipeline.encoder)
+        assert trained_pipeline.model.context_cache.enabled
+        assert on.cache_stats()["entries"] >= 0
+        off = VeriBugSession(
+            trained_pipeline.model,
+            trained_pipeline.encoder,
+            SessionConfig().with_cache("off", max_entries=11),
+        )
+        assert not trained_pipeline.model.context_cache.enabled
+        assert trained_pipeline.model.context_cache.max_entries == 11
+        del off
+        # Restore the shared fixture's default policy.
+        VeriBugSession(trained_pipeline.model, trained_pipeline.encoder)
+
+
+# ----------------------------------------------------------------------
+# Equivalence: session vs legacy shims (+ DeprecationWarning)
+# ----------------------------------------------------------------------
+
+
+class TestLegacyShimEquivalence:
+    def test_buglocalizer_warns_and_matches_session(self, session):
+        buggy, failing, correct = planted_bug_case()
+        with pytest.warns(DeprecationWarning, match="VeriBugSession"):
+            legacy = BugLocalizer(session.model, session.encoder, session.config.model)
+        legacy_result = legacy.localize(buggy, "y", failing, correct)
+        session_result = session.localize(buggy, "y", failing, correct)
+        assert session_result.ranking == legacy_result.ranking
+        assert set(session_result.heatmap.suspiciousness) == set(
+            legacy_result.heatmap.suspiciousness
+        )
+        for stmt_id, score in legacy_result.heatmap.suspiciousness.items():
+            assert abs(session_result.heatmap.suspiciousness[stmt_id] - score) < TOL
+
+    def test_campaign_shim_warns_and_matches_handle(self, session):
+        module = load_design("wb_mux_2")
+        target = "wbs0_we_o"
+        mutations = sample_mutations(
+            module, {"negation": 2, "misuse": 2}, seed=11, min_operands=2
+        )
+        testbench = design_testbench("wb_mux_2", n_cycles=8)
+        common = dict(n_traces=8, testbench_config=testbench, seed=3)
+        with pytest.warns(DeprecationWarning, match="VeriBugSession"):
+            legacy_campaign = BugInjectionCampaign(session._localizer, **common)
+        legacy_result = legacy_campaign.run(module, target, mutations)
+
+        handle = session.campaign(
+            module, target, mutations, testbench=testbench, seed=3, n_traces=8
+        )
+        report = handle.run()
+
+        assert len(report.outcomes) == len(legacy_result.outcomes)
+        for new, old in zip(report.outcomes, legacy_result.outcomes):
+            assert new.observable == old.observable
+            assert new.rank == old.rank
+            assert new.localized == old.localized
+            if old.suspiciousness is None:
+                assert new.suspiciousness is None
+            else:
+                assert abs(new.suspiciousness - old.suspiciousness) < TOL
+        assert report.coverage == legacy_result.coverage
+
+    def test_train_pipeline_warns_and_matches_session_train(self):
+        config = VeriBugConfig(
+            dc=8, da=12, node_embed_dim=8, predictor_hidden=12, epochs=2
+        )
+        corpus = CorpusSpec(n_designs=3, n_traces_per_design=2, n_cycles=10)
+        with pytest.warns(DeprecationWarning, match="VeriBugSession.train"):
+            pipeline = train_pipeline(config, corpus, seed=7, evaluate=True)
+        session = VeriBugSession.train(
+            SessionConfig(model=config).with_seed(7), corpus, evaluate=True
+        )
+        # Same corpus, same split, same init seed -> identical metrics.
+        assert pipeline.train_metrics.accuracy == session.train_metrics.accuracy
+        assert pipeline.test_metrics.accuracy == session.test_metrics.accuracy
+        buggy, failing, correct = planted_bug_case()
+        old = pipeline.localizer.localize(buggy, "y", failing, correct)
+        new = session.localize(buggy, "y", failing, correct)
+        assert old.ranking == new.ranking
+        for stmt_id, score in old.heatmap.suspiciousness.items():
+            assert abs(new.heatmap.suspiciousness[stmt_id] - score) < TOL
+
+    def test_generate_corpus_samples_warns_and_matches(self, session):
+        from repro.api import generate_corpus
+
+        spec = CorpusSpec(n_designs=2, n_traces_per_design=1, n_cycles=6)
+        with pytest.warns(DeprecationWarning, match="generate_corpus"):
+            legacy = generate_corpus_samples(spec, seed=4)
+        via_session = session.generate_corpus(spec, seed=4)
+        free_standing = generate_corpus(spec, seed=4)
+        assert len(legacy) == len(via_session) == len(free_standing)
+        for a, b, c in zip(legacy, via_session, free_standing):
+            assert a.operand_values == b.operand_values == c.operand_values
+            assert a.label == b.label == c.label
+            assert a.design == b.design == c.design
+
+    def test_engine_classes_do_not_warn(self, session, recwarn):
+        LocalizationEngine(session.model, session.encoder, session.config.model)
+        CampaignEngine(session._localizer)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_as_pipeline_bridge(self, session):
+        pipeline = session.as_pipeline()
+        assert pipeline.model is session.model
+        assert pipeline.encoder is session.encoder
+        assert isinstance(pipeline.localizer, BugLocalizer)
+
+
+# ----------------------------------------------------------------------
+# Streaming campaigns
+# ----------------------------------------------------------------------
+
+
+class TestStreamingCampaign:
+    @pytest.fixture(scope="class")
+    def handle(self, session):
+        return session.campaign(
+            "wb_mux_2",
+            "wbs0_we_o",
+            plan={"negation": 2, "operation": 2, "misuse": 2},
+            n_cycles=8,
+            seed=3,
+            localize_batch=2,
+        )
+
+    def test_stream_outcomes_equal_run(self, handle):
+        updates = list(handle.stream())
+        report = handle.run()
+        assert len(updates) == len(handle) == len(report.outcomes)
+        for update, outcome in zip(updates, report.outcomes):
+            streamed = update.outcome
+            assert streamed.mutation == outcome.mutation
+            assert streamed.observable == outcome.observable
+            assert streamed.rank == outcome.rank
+            assert streamed.localized == outcome.localized
+            assert streamed.suspiciousness == outcome.suspiciousness
+            assert streamed.error == outcome.error
+
+    def test_final_snapshot_bit_identical_to_run(self, handle):
+        updates = list(handle.stream())
+        report = handle.run()
+        last = updates[-1].snapshot
+        assert report.snapshot.suspiciousness == last.suspiciousness
+        assert report.snapshot.ranking == last.ranking
+        assert report.snapshot.counts == last.counts
+        assert report.snapshot.completed == last.completed == len(handle)
+        assert report.snapshot.observable == last.observable
+        assert report.snapshot.localized == last.localized
+
+    def test_snapshots_are_incremental_and_monotonic(self, handle):
+        completed = 0
+        seen_scored = 0
+        for update in handle.stream():
+            snapshot = update.snapshot
+            completed += 1
+            assert snapshot.completed == completed
+            assert snapshot.total == len(handle)
+            assert 0.0 <= snapshot.progress <= 1.0
+            # Scored statements only ever accumulate.
+            assert sum(snapshot.counts.values()) >= seen_scored
+            seen_scored = sum(snapshot.counts.values())
+            assert set(snapshot.ranking) == set(snapshot.suspiciousness)
+            # Ranking is by decreasing mean suspiciousness, ties by id.
+            scores = [snapshot.suspiciousness[s] for s in snapshot.ranking]
+            assert scores == sorted(scores, reverse=True)
+            if update.outcome.observable:
+                assert update.localization is not None
+            else:
+                assert update.localization is None
+
+    def test_outcomes_match_per_mutant_localization(self, session, handle):
+        """Streamed ranks equal one-request-at-a-time localization."""
+        for update in handle.stream():
+            if update.localization is None:
+                continue
+            outcome = update.outcome
+            assert outcome.rank == update.localization.rank_of(
+                outcome.mutation.stmt_id
+            )
+
+    def test_batch_ramp_streams_before_campaign_end(self, session, monkeypatch):
+        """With the default cap the first localization must not wait for
+        the whole plan: batches ramp 1 -> 2 -> 4 -> ... (multiple
+        localize calls), instead of one end-of-campaign burst."""
+        from repro.datagen.campaign import CampaignEngine
+
+        handle = session.campaign(
+            "wb_mux_2",
+            "wbs0_we_o",
+            plan={"negation": 2, "operation": 2, "misuse": 2},
+            n_cycles=8,
+            seed=3,
+        )
+        batch_sizes = []
+        original = CampaignEngine._localize_pending
+
+        def spy(self, module, target, pending):
+            batch_sizes.append(len(pending))
+            return original(self, module, target, pending)
+
+        monkeypatch.setattr(CampaignEngine, "_localize_pending", spy)
+        observable = sum(1 for u in handle.stream() if u.outcome.observable)
+        assert observable >= 2  # the workload must exercise the ramp
+        assert len(batch_sizes) >= 2  # streamed in more than one burst
+        assert batch_sizes[0] == 1  # first result localized immediately
+        assert sum(batch_sizes) == observable
+
+    def test_cache_configure_policy(self, session):
+        from repro.core import ContextEmbeddingCache
+
+        from tests.test_fused_rnn import make_context
+
+        cache = ContextEmbeddingCache(max_entries=8)
+        import numpy as np
+
+        contexts = [
+            make_context(i, 1, paths=[[("And",) * (i + 1)]]) for i in range(4)
+        ]
+        for i, context in enumerate(contexts):
+            cache.put(context, 0, np.full(2, float(i)))
+        # Shrinking evicts LRU overflow immediately.
+        cache.configure(enabled=True, max_entries=2)
+        assert len(cache) == 2
+        assert cache.get(contexts[0], 0) is None
+        assert cache.get(contexts[3], 0) is not None
+        # Disabling drops the resident entries (they'd just pin memory).
+        cache.configure(enabled=False)
+        assert len(cache) == 0 and not cache.enabled
+        with pytest.raises(ValueError):
+            cache.configure(enabled=True, max_entries=0)
+
+    def test_structural_cache_shares_across_mutants(self, session, handle):
+        """The headline: fresh contexts per mutant still hit the cache."""
+        cache = session.model.context_cache
+        cache.clear()
+        cache.reset_stats()
+        list(handle.stream())
+        stats = cache.stats()
+        assert stats["cross_epoch_hits"] > 0
+        assert stats["cross_epoch_hit_rate"] > 0.0
+
+    def test_empty_mutation_list(self, session):
+        handle = session.campaign("wb_mux_2", "wbs0_we_o", mutations=[])
+        assert list(handle.stream()) == []
+        report = handle.run()
+        assert report.outcomes == []
+        assert report.snapshot.completed == 0
+        assert isinstance(report.snapshot, HeatmapSnapshot)
+
+    def test_campaign_resolves_source_and_names(self, session):
+        source = (
+            "module t(a, b, y); input a, b; output y;"
+            " assign y = a ^ b; endmodule"
+        )
+        module = session.resolve_design(source)
+        assert module.name == "t"
+        assert session.resolve_design("wb_mux_2").name == "wb_mux_2"
+        assert session.resolve_design(module) is module
+        with pytest.raises(KeyError, match="unknown design"):
+            session.resolve_design("no_such_design")
+
+
+# ----------------------------------------------------------------------
+# Checkpoint round-trip
+# ----------------------------------------------------------------------
+
+
+class TestCheckpointRoundTrip:
+    def test_save_load_localize_identical(self, session, tmp_path):
+        path = tmp_path / "model.npz"
+        session.save(path)
+        reloaded = VeriBugSession.from_checkpoint(path)
+        buggy, failing, correct = planted_bug_case()
+        a = session.localize(buggy, "y", failing, correct)
+        b = reloaded.localize(buggy, "y", failing, correct)
+        assert a.ranking == b.ranking
+        for stmt_id, score in a.heatmap.suspiciousness.items():
+            assert abs(b.heatmap.suspiciousness[stmt_id] - score) < TOL
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_campaign_smoke_subprocess(self, tmp_path, trained_pipeline):
+        """The CI smoke command end-to-end (needs the committed fixture)."""
+        out = tmp_path / "api_smoke.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "campaign", "--smoke",
+             "--json", str(out)],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "== campaign:" in proc.stdout
+        assert "context cache:" in proc.stdout
+        assert out.exists()
+
+    def test_localize_requires_inputs(self):
+        from repro.api.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["localize", "--target", "y"])
+
+    def test_plan_parsing(self):
+        from repro.api.cli import _parse_plan
+
+        assert _parse_plan("negation=2,misuse=1") == {"negation": 2, "misuse": 1}
+        with pytest.raises(SystemExit):
+            _parse_plan("negation")
+
+    def test_default_plan_is_table_iii_shaped(self):
+        assert set(DEFAULT_PLAN) == {"negation", "operation", "misuse"}
