@@ -15,6 +15,7 @@ import numpy as np
 from repro.analysis import compute_static_slice, extract_module_contexts
 from repro.core import (
     BatchEncoder,
+    LocalizationRequest,
     Trainer,
     VeriBugConfig,
     VeriBugModel,
@@ -22,17 +23,27 @@ from repro.core import (
     build_samples,
 )
 from repro.core.features import Sample, train_test_split
-from repro.datagen import CampaignEngine, sample_mutations
+from repro.datagen import sample_mutations
+from repro.datagen.campaign import _simulate_mutant
+from repro.datagen.mutation import apply_mutation
 from repro.designs import design_testbench, load_design
 from repro.api import generate_corpus
 from repro.pipeline import CorpusSpec
-from repro.sim import Simulator, generate_stimulus
+from repro.sim import Simulator, generate_stimulus, generate_testbench_suite
 
 ABLATION_CORPUS = CorpusSpec(n_designs=8, n_traces_per_design=3, n_cycles=15)
 ABLATION_EPOCHS = 15
 
 
-def test_ablation_threshold_sweep(benchmark, paper_pipeline):
+def test_ablation_threshold_sweep(benchmark, paper_session):
+    """Threshold sweep through the session's persistent worker pool.
+
+    Mutants are simulated once (the threshold only gates heatmap
+    emission, not simulation) and each threshold localizes the same
+    trace sets via per-request overrides — the supported way to vary
+    thresholds under sharded localization, where the worker-side config
+    snapshot is fixed at pool init.  One pool serves all five sweeps.
+    """
     module = load_design("wb_mux_2")
     target = "wbs0_we_o"
     cone = compute_static_slice(module, target).stmt_ids
@@ -41,24 +52,35 @@ def test_ablation_threshold_sweep(benchmark, paper_pipeline):
         restrict_to=cone,
     )
     thresholds = (0.02, 0.05, 0.10, 0.20, 0.40)
+    testbench = design_testbench("wb_mux_2", n_cycles=10)
+    stimuli = generate_testbench_suite(module, 10, testbench, seed=29)
+    golden = Simulator(module, engine=testbench.engine)
+    golden_traces = golden.run_suite(stimuli, record=False)
+    simulated = []
+    for mutation in mutations:
+        outcome, failing, correct = _simulate_mutant(
+            module, target, mutation, stimuli, golden_traces,
+            testbench, 10, 29, 4, 4,
+        )
+        if outcome.observable and not outcome.error:
+            simulated.append((mutation, failing, correct))
 
     def sweep():
         rows = []
         for threshold in thresholds:
-            campaign = CampaignEngine(
-                paper_pipeline.localizer,
-                n_traces=10,
-                testbench_config=design_testbench("wb_mux_2", n_cycles=10),
-                seed=29,
+            requests = [
+                LocalizationRequest(
+                    apply_mutation(module, mutation), target,
+                    failing, correct, threshold=threshold,
+                )
+                for mutation, failing, correct in simulated
+            ]
+            results = paper_session.localize_many(requests)
+            localized = sum(
+                result.is_top1(mutation.stmt_id)
+                for (mutation, _f, _c), result in zip(simulated, results)
             )
-            # Patch the localizer threshold through config override.
-            original = paper_pipeline.config.suspicious_threshold
-            paper_pipeline.config.suspicious_threshold = threshold
-            try:
-                result = campaign.run(module, target, mutations)
-            finally:
-                paper_pipeline.config.suspicious_threshold = original
-            rows.append((threshold, result.observable, result.localized))
+            rows.append((threshold, len(simulated), localized))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -15,7 +15,13 @@ configurations:
 * **fused_cache** — plus the structural context-embedding cache (cold
   at the start of the timed run; its overall hit rate and the
   cross-mutant share — hits on entries created while localizing an
-  earlier batch of mutants — are reported).
+  earlier batch of mutants — are reported);
+* **sharded_workers** — the full fast path sharded across an
+  :class:`repro.runtime.ExecutionRuntime` worker pool at each size in
+  ``--workers`` (pool started and warmed before timing, the way a
+  session amortizes it; worker-local caches start cold).  Scaling is
+  meaningful only with that many physical cores — ``cpu_cores`` is
+  recorded next to the results.
 
 Mutant simulation is run once and shared by all arms, so the reported
 speedups isolate inference.  The end-to-end campaign latency (simulate +
@@ -35,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -55,6 +62,7 @@ from repro.datagen.campaign import _simulate_mutant  # noqa: E402
 from repro.datagen.mutation import apply_mutation  # noqa: E402
 from repro.designs import REGISTRY, design_info, design_testbench, load_design  # noqa: E402
 from repro.nn import load_state  # noqa: E402
+from repro.runtime import ExecutionRuntime  # noqa: E402
 from repro.sim import Simulator, generate_testbench_suite  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -66,6 +74,13 @@ PLAN = {"negation": 2, "operation": 2, "misuse": 3}
 SMOKE_PLAN = {"negation": 1, "operation": 1, "misuse": 1}
 
 TOL = 1e-9
+
+
+def arm_metrics(wall: float, total_executions: int) -> dict:
+    return {
+        "wall_s": round(wall, 4),
+        "executions_per_s": round(total_executions / wall),
+    }
 
 
 def build_localizers() -> tuple[LocalizationEngine, LocalizationEngine]:
@@ -196,6 +211,42 @@ def run_fast(
     return wall, results, stats
 
 
+def run_sharded(
+    fast: LocalizationEngine, cases, localize_batch: int, n_workers: int
+) -> tuple[float, list, dict]:
+    """Time the sharded runtime arm at one worker-pool size.
+
+    The pool is started and warmed *before* the timed region — a session
+    amortizes pool startup across its lifetime, so steady-state shard
+    throughput is the number that matters.  Worker-local context caches
+    start cold (fresh pool), mirroring the cold-start of the
+    single-process ``fused_cache`` arm.
+    """
+    model = fast.model
+    with ExecutionRuntime(n_workers) as runtime:
+        runtime.attach_model(
+            model,
+            cache_enabled=True,
+            cache_max_entries=model.context_cache.max_entries,
+            fast_inference=True,
+        )
+        runtime.warm_up()
+        t0 = time.perf_counter()
+        results = []
+        for start in range(0, len(cases), localize_batch):
+            chunk = cases[start : start + localize_batch]
+            requests = [
+                LocalizationRequest(
+                    c["mutant"], c["target"], c["failing"], c["correct"]
+                )
+                for c in chunk
+            ]
+            results.extend(runtime.localize_many(requests))
+        wall = time.perf_counter() - t0
+        stats = runtime.stats()
+    return wall, results, stats.to_dict()
+
+
 def verify_identical(reference_results, fast_results) -> None:
     """Assert two arms agree: scores within TOL, rankings equal up to ties.
 
@@ -250,9 +301,19 @@ def main() -> None:
     parser.add_argument("--cycles", type=int, default=None, help="cycles per testbench")
     parser.add_argument("--batch", type=int, default=8, help="mutants per shared localization batch")
     parser.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated pool sizes for the sharded arm"
+        " (default: 1,2,4; smoke: 2; empty string skips the arm)",
+    )
+    parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_localize.json"), help="result path"
     )
     args = parser.parse_args()
+    if args.workers is None:
+        worker_arms = [2] if args.smoke else [1, 2, 4]
+    else:
+        worker_arms = [int(w) for w in args.workers.split(",") if w.strip()]
     n_traces = args.traces if args.traces is not None else (8 if args.smoke else 20)
     n_cycles = args.cycles if args.cycles is not None else (8 if args.smoke else 12)
     seed = 29
@@ -279,14 +340,27 @@ def main() -> None:
     verify_identical(ref_results, fused_results)
     verify_identical(ref_results, full_results)
 
+    sharded_arms = {}
+    for n_workers in worker_arms:
+        sharded_wall, sharded_results, runtime_stats = run_sharded(
+            fast, cases, args.batch, n_workers
+        )
+        verify_identical(ref_results, sharded_results)
+        sharded_arms[str(n_workers)] = {
+            **arm_metrics(sharded_wall, total_executions),
+            "speedup_vs_single_process": round(full_wall / sharded_wall, 2),
+            "worker_cache_hit_rate": runtime_stats["worker_cache"]["hit_rate"],
+            "shard_sizes_last_call": runtime_stats["last_shard_sizes"],
+        }
+    if worker_arms and (os.cpu_count() or 1) < max(worker_arms):
+        sharded_arms["note"] = (
+            f"host exposes {os.cpu_count()} CPU core(s): worker arms beyond"
+            " that measure dispatch overhead only — shard speedup requires"
+            " one physical core per worker"
+        )
+
     e2e_ref = run_end_to_end(reference, workload, n_traces, n_cycles, seed, 1)
     e2e_fast = run_end_to_end(fast, workload, n_traces, n_cycles, seed, args.batch)
-
-    def arm(wall: float) -> dict:
-        return {
-            "wall_s": round(wall, 4),
-            "executions_per_s": round(total_executions / wall),
-        }
 
     results = {
         "workload": {
@@ -298,13 +372,14 @@ def main() -> None:
             "cycles_per_trace": n_cycles,
             "localize_batch": args.batch,
             "executions_localized": total_executions,
+            "cpu_cores": os.cpu_count(),
         },
         "localization": {
-            "reference": arm(ref_wall),
-            "fast_dedup_batch": arm(dedup_wall),
-            "fused": arm(fused_wall),
+            "reference": arm_metrics(ref_wall, total_executions),
+            "fast_dedup_batch": arm_metrics(dedup_wall, total_executions),
+            "fused": arm_metrics(fused_wall, total_executions),
             "fused_cache": {
-                **arm(full_wall),
+                **arm_metrics(full_wall, total_executions),
                 "cache_hit_rate": round(cache_stats["hit_rate"], 4),
                 # Hits on entries created by an earlier localize_many
                 # call: with structural keys this is the golden/mutant
@@ -318,6 +393,7 @@ def main() -> None:
             "speedup": round(ref_wall / full_wall, 2),
             "speedup_vs_dedup_batch": round(dedup_wall / full_wall, 2),
             "rankings_identical": True,
+            "sharded_workers": sharded_arms,
         },
         "end_to_end_campaign": {
             "reference_wall_s": round(e2e_ref, 4),
@@ -340,6 +416,15 @@ def main() -> None:
         f"{loc['fused_cache']['cross_mutant_hit_rate']:.1%}), rankings "
         f"identical over {len(cases)} mutants"
     )
+    for n_workers, sharded in sharded_arms.items():
+        if not isinstance(sharded, dict):
+            continue
+        print(
+            f"sharded ({n_workers} workers, {os.cpu_count()} cores):"
+            f" {sharded['wall_s']:.2f}s"
+            f" ({sharded['speedup_vs_single_process']}x vs single-process,"
+            f" worker cache hit rate {sharded['worker_cache_hit_rate']:.1%})"
+        )
     print(
         f"end-to-end campaign: {e2e_ref:.2f}s -> {e2e_fast:.2f}s "
         f"({results['end_to_end_campaign']['speedup']}x)"

@@ -23,18 +23,15 @@ PAPER_CONFIG = VeriBugConfig(epochs=30)
 PAPER_CORPUS = CorpusSpec(n_designs=20, n_traces_per_design=4, n_cycles=25)
 
 
-def load_or_train_session() -> VeriBugSession:
+def load_or_train_session(n_workers: int = 0) -> VeriBugSession:
     """The shared evaluation model (cached across benchmark runs)."""
     CACHE_DIR.mkdir(exist_ok=True)
     cache = CACHE_DIR / "paper_model.npz"
+    config = SessionConfig(model=PAPER_CONFIG).with_workers(n_workers)
     if cache.exists():
-        return VeriBugSession.from_checkpoint(
-            cache, SessionConfig(model=PAPER_CONFIG)
-        )
+        return VeriBugSession.from_checkpoint(cache, config)
     session = VeriBugSession.train(
-        SessionConfig(model=PAPER_CONFIG).with_seed(1),
-        PAPER_CORPUS,
-        evaluate=False,
+        config.with_seed(1), PAPER_CORPUS, evaluate=False
     )
     session.save(cache)
     return session
@@ -48,3 +45,12 @@ def load_or_train_pipeline() -> TrainedPipeline:
 @pytest.fixture(scope="session")
 def paper_pipeline() -> TrainedPipeline:
     return load_or_train_pipeline()
+
+
+@pytest.fixture(scope="session")
+def paper_session() -> VeriBugSession:
+    """A worker-pool session over the shared model: one persistent pool
+    (spawned lazily) serves every benchmark that requests this fixture."""
+    session = load_or_train_session(n_workers=2)
+    yield session
+    session.close()

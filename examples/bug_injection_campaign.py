@@ -7,6 +7,11 @@ the session API: `session.campaign(...)` prepares the campaign and its
 campaign heatmap* the moment its localization completes — the long-form
 equivalent of `python -m repro campaign --design wb_mux_2`.
 
+With `with_workers(2)` the session owns one persistent worker pool
+(started lazily, reused by corpus generation and both targets' campaigns,
+released by the `with` block) instead of churning a process pool per
+run; sharded localization rides the same pool.
+
 Run:  python examples/bug_injection_campaign.py
 """
 
@@ -21,16 +26,20 @@ def main() -> None:
     config = (
         SessionConfig()
         .with_seed(1)
+        .with_workers(2)
         .with_campaign_defaults(n_traces=12, min_correct_traces=6)
     )
-    session = VeriBugSession.train(
+    with VeriBugSession.train(
         config,
         # 20 RVDG designs: the design-level test split holds out whole
         # designs, so ~16 remain for training (the paper-scale corpus).
-        CorpusSpec(n_designs=20, n_traces_per_design=4, n_cycles=25),
+        CorpusSpec(n_designs=20, n_traces_per_design=4, n_cycles=25, n_workers=2),
         evaluate=False,
-    )
+    ) as session:
+        _run_campaigns(session)
 
+
+def _run_campaigns(session: VeriBugSession) -> None:
     meta = design_info(DESIGN)
     print(f"design: {DESIGN} ({meta.description}, {meta.loc} lines)")
     # The session owns every knob the campaign will use.
@@ -71,6 +80,15 @@ def main() -> None:
     print(f"\ncontext-embedding cache: {stats['hit_rate']:.1%} hit rate"
           f" ({stats['cross_epoch_hit_rate']:.1%} cross-mutant,"
           f" {int(stats['entries'])} entries)")
+    runtime = session.runtime_stats()
+    if runtime is not None:
+        print(f"runtime: one pool of {runtime['pool_size']}"
+              f" ({runtime['start_method']}) started"
+              f" {runtime['pools_started']}x for"
+              f" {runtime['campaigns_served']} campaigns +"
+              f" {runtime['corpus_runs']} corpus run(s);"
+              f" worker cache hit rate"
+              f" {runtime['worker_cache']['hit_rate']:.1%}")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,7 @@ The recommended entry surface is :mod:`repro.api`
 walkthrough.
 """
 
-from . import analysis, api, core, datagen, designs, nn, sim, verilog
+from . import analysis, api, core, datagen, designs, nn, runtime, sim, verilog
 
 __version__ = "0.1.0"
 
@@ -24,6 +24,7 @@ __all__ = [
     "datagen",
     "designs",
     "nn",
+    "runtime",
     "sim",
     "verilog",
     "__version__",

@@ -133,6 +133,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         print(f"held-out accuracy: {session.test_metrics.accuracy:.3f}")
     session.save(args.output)
     print(f"trained in {wall:.1f}s; checkpoint written to {args.output}")
+    session.close()
     return 0
 
 
@@ -252,10 +253,28 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f" (cross-mutant {stats['cross_epoch_hit_rate']:.1%},"
         f" {int(stats['entries'])} entries)"
     )
+    runtime_stats = session.runtime_stats()
+    if runtime_stats is not None:
+        shard_sizes = ",".join(
+            str(s) for s in runtime_stats["last_shard_sizes"]
+        ) or "-"
+        print(
+            f"runtime: pool of {runtime_stats['pool_size']}"
+            f" ({runtime_stats['start_method']}),"
+            f" {runtime_stats['pools_started']} pool start(s) for"
+            f" {runtime_stats['campaigns_served']} campaign(s),"
+            f" {runtime_stats['localize_calls']} sharded localize call(s)"
+            f" (last shards: {shard_sizes}),"
+            f" worker cache hit rate"
+            f" {runtime_stats['worker_cache']['hit_rate']:.1%}"
+        )
     if args.json:
         payload = {"campaigns": results, "cache": stats}
+        if runtime_stats is not None:
+            payload["runtime"] = runtime_stats
         pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
+    session.close()
     return 0
 
 

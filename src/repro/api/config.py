@@ -20,6 +20,9 @@ from ..sim.simulator import ENGINES
 #: Valid context-embedding cache policies.
 CACHE_POLICIES = ("structural", "off")
 
+#: Valid worker-pool lifecycle policies.
+POOL_POLICIES = ("session", "ephemeral")
+
 
 @dataclass(frozen=True)
 class SessionConfig:
@@ -33,9 +36,16 @@ class SessionConfig:
         sim_engine: Simulation engine for every simulator the session
             builds ("compiled" or "interpreted"); None defers to
             ``model.sim_engine``.
-        n_workers: Process-pool size for mutant simulation and corpus
-            generation; 0 runs sequentially (results are bit-identical
-            either way).
+        n_workers: Worker-pool size for mutant simulation, corpus
+            generation, and sharded localization; 0 runs sequentially
+            (results are bit-identical either way).
+        pool_policy: Worker-pool lifecycle — "session" (the session owns
+            one persistent :class:`~repro.runtime.ExecutionRuntime`,
+            lazily started on the first parallel dispatch and reused by
+            every campaign/corpus/localization until
+            :meth:`~repro.api.VeriBugSession.close`) or "ephemeral"
+            (pre-runtime behavior: each parallel call spins up and tears
+            down its own pool).
         localize_batch: Observable mutants per shared localization batch
             (the cross-mutant inference fast path).
         cache_policy: Context-embedding cache policy — "structural"
@@ -54,6 +64,7 @@ class SessionConfig:
     model: VeriBugConfig = field(default_factory=VeriBugConfig)
     sim_engine: str | None = None
     n_workers: int = 0
+    pool_policy: str = "session"
     localize_batch: int = 8
     cache_policy: str = "structural"
     cache_max_entries: int = 100_000
@@ -73,6 +84,11 @@ class SessionConfig:
             raise ValueError(
                 f"unknown cache_policy {self.cache_policy!r};"
                 f" available: {', '.join(CACHE_POLICIES)}"
+            )
+        if self.pool_policy not in POOL_POLICIES:
+            raise ValueError(
+                f"unknown pool_policy {self.pool_policy!r};"
+                f" available: {', '.join(POOL_POLICIES)}"
             )
         if self.localize_batch < 1:
             raise ValueError("localize_batch must be >= 1")
@@ -107,9 +123,19 @@ class SessionConfig:
         """Select the simulation engine ("compiled" or "interpreted")."""
         return dataclasses.replace(self, sim_engine=sim_engine)
 
-    def with_workers(self, n_workers: int) -> SessionConfig:
-        """Size the simulation process pools (0 = sequential)."""
-        return dataclasses.replace(self, n_workers=n_workers)
+    def with_workers(
+        self, n_workers: int, pool_policy: str | None = None
+    ) -> SessionConfig:
+        """Size the worker pool (0 = sequential), optionally set its policy.
+
+        ``pool_policy="session"`` (default) makes the session own one
+        persistent execution runtime; ``"ephemeral"`` restores the
+        pre-runtime pool-per-call behavior.
+        """
+        updates: dict = {"n_workers": n_workers}
+        if pool_policy is not None:
+            updates["pool_policy"] = pool_policy
+        return dataclasses.replace(self, **updates)
 
     def with_localize_batch(self, localize_batch: int) -> SessionConfig:
         """Set the cross-mutant shared-localization batch size."""

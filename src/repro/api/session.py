@@ -24,6 +24,7 @@ survive as deprecation shims over these layers.
 
 from __future__ import annotations
 
+import dataclasses
 import re
 import warnings
 from typing import TYPE_CHECKING, Iterable
@@ -45,6 +46,7 @@ from ..core import (
 from ..datagen import CampaignEngine, Mutation, sample_mutations
 from ..designs import REGISTRY, design_testbench, load_design
 from ..nn import load_state, save_state
+from ..runtime import ExecutionRuntime
 from ..sim.testbench import TestbenchConfig
 from ..sim.trace import Trace
 from ..verilog.ast_nodes import Module
@@ -86,6 +88,13 @@ class VeriBugSession:
     :meth:`as_pipeline` bridge is the supported way to share the model
     with legacy code).
 
+    With ``config.n_workers > 0`` the session also owns a persistent
+    :class:`~repro.runtime.ExecutionRuntime` — one lazily-started worker
+    pool serving mutant simulation, corpus generation, and sharded
+    localization for every campaign the session runs.  Call
+    :meth:`close` (or use the session as a context manager) to release
+    the pool; sequential sessions have nothing to release.
+
     Attributes:
         config: The immutable session configuration.
         model / encoder: The owned model and its batch codec.
@@ -109,15 +118,30 @@ class VeriBugSession:
         self.test_metrics = test_metrics
         # The session owns the cache policy: one place decides whether
         # structural memoization is active and how large it may grow.
+        cache_enabled = self.config.cache_policy == "structural"
         model.context_cache.configure(
-            enabled=self.config.cache_policy == "structural",
+            enabled=cache_enabled,
             max_entries=self.config.cache_max_entries,
         )
+        # The session likewise owns the execution runtime: one lazily
+        # started persistent worker pool serving campaign simulation,
+        # corpus generation, and sharded localization until close().
+        self._closed = False
+        self._runtime: ExecutionRuntime | None = None
+        if self.config.n_workers > 0 and self.config.pool_policy == "session":
+            self._runtime = ExecutionRuntime(self.config.n_workers)
+            self._runtime.attach_model(
+                model,
+                cache_enabled=cache_enabled,
+                cache_max_entries=self.config.cache_max_entries,
+                fast_inference=self.config.fast_inference,
+            )
         self._localizer = LocalizationEngine(
             model,
             self.encoder,
             self.config.model,
             fast_inference=self.config.fast_inference,
+            runtime=self._runtime,
         )
         self._trainer: Trainer | None = None
 
@@ -144,7 +168,7 @@ class VeriBugSession:
                 corpus split.
             log: Print per-epoch training losses.
         """
-        from ..pipeline import CorpusSpec, _generate_corpus_samples
+        from ..pipeline import CorpusSpec
 
         config = config or SessionConfig()
         corpus = corpus or CorpusSpec(
@@ -153,18 +177,21 @@ class VeriBugSession:
         vocab = Vocabulary()
         model = VeriBugModel(config.model, vocab)
         encoder = BatchEncoder(vocab)
-        trainer = Trainer(model, encoder, config.model)
+        # Construct the session first so corpus generation (and every
+        # later campaign) runs on the session's own worker pool instead
+        # of a throwaway one.
+        session = cls(model, encoder, config)
+        samples = session.generate_corpus(corpus)
 
-        samples = _generate_corpus_samples(corpus, seed=config.seed)
         # Design-level split: statements re-execute with identical operand
         # values thousands of times, so a sample-level split would leak
         # near-duplicates of every test sample into training.
         train_samples, test_samples = train_test_split(
             samples, corpus.test_fraction, seed=config.seed, split_by_design=True
         )
+        trainer = session._ensure_trainer()
         trainer.train(train_samples, log=log)
 
-        session = cls(model, encoder, config)
         if evaluate:
             session.train_metrics = trainer.evaluate(train_samples)
             if test_samples:
@@ -278,6 +305,20 @@ class VeriBugSession:
                 restrict_to=cone,
                 min_operands=2,
             )
+        # Per-campaign n_workers overrides that differ from the session
+        # pool's size fall back to an ephemeral pool for that campaign;
+        # matching (or omitted) overrides drain through the shared one.
+        # A closed session defaults to sequential (no surprise pools),
+        # but an explicit per-call override is still honored.
+        if n_workers is None:
+            resolved_workers = 0 if self._closed else self.config.n_workers
+        else:
+            resolved_workers = n_workers
+        runtime = (
+            self._runtime
+            if resolved_workers == self.config.n_workers
+            else None
+        )
         engine = CampaignEngine(
             self._localizer,
             n_traces=self.config.n_traces if n_traces is None else n_traces,
@@ -285,12 +326,13 @@ class VeriBugSession:
             seed=seed,
             min_correct_traces=self.config.min_correct_traces,
             max_extra_batches=self.config.max_extra_batches,
-            n_workers=self.config.n_workers if n_workers is None else n_workers,
+            n_workers=resolved_workers,
             localize_batch=(
                 self.config.localize_batch
                 if localize_batch is None
                 else localize_batch
             ),
+            runtime=runtime,
         )
         return CampaignHandle(engine, module, target, list(mutations))
 
@@ -306,11 +348,24 @@ class VeriBugSession:
         """
         from ..pipeline import CorpusSpec, _generate_corpus_samples
 
+        # Post-close sessions resolve to sequential, like campaign().
+        session_workers = 0 if self._closed else self.config.n_workers
         spec = spec or CorpusSpec(
-            engine=self.config.engine, n_workers=self.config.n_workers
+            engine=self.config.engine, n_workers=session_workers
+        )
+        # A spec that doesn't ask for workers of its own inherits the
+        # session pool (results are bit-identical either way, so the
+        # default is never a silent de-parallelization); an explicit
+        # differing worker count gets an ephemeral pool sized to it.
+        if spec.n_workers == 0 and session_workers > 0:
+            spec = dataclasses.replace(spec, n_workers=session_workers)
+        runtime = (
+            self._runtime if spec.n_workers == self.config.n_workers else None
         )
         return _generate_corpus_samples(
-            spec, seed=self.config.seed if seed is None else seed
+            spec,
+            seed=self.config.seed if seed is None else seed,
+            runtime=runtime,
         )
 
     def evaluate(self, samples: list[Sample]) -> EvalMetrics:
@@ -330,6 +385,44 @@ class VeriBugSession:
         if self._trainer is None:
             self._trainer = Trainer(self.model, self.encoder, self.config.model)
         return self._trainer
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self) -> ExecutionRuntime | None:
+        """The session-owned execution runtime (None when sequential).
+
+        Present when ``config.n_workers > 0`` with the "session" pool
+        policy; its process pool starts lazily on the first parallel
+        dispatch and persists across campaigns until :meth:`close`.
+        """
+        return self._runtime
+
+    def close(self) -> None:
+        """Shut down the session's worker pool (idempotent).
+
+        The session remains usable afterwards, falling back to
+        single-process execution: engines built after close() resolve to
+        zero workers unless a call passes an explicit ``n_workers``
+        override (which gets an ephemeral pool scoped to that call).
+        Sessions used as context managers close on exit::
+
+            with VeriBugSession.from_checkpoint(path, config) as session:
+                session.campaign("wb_mux_2", "wbs0_we_o").run()
+        """
+        self._closed = True
+        if self._runtime is not None:
+            self._runtime.close()
+            # Detach so campaign/corpus engines stop routing to it.
+            self._localizer.runtime = None
+            self._runtime = None
+
+    def __enter__(self) -> "VeriBugSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection / interop
@@ -357,6 +450,17 @@ class VeriBugSession:
     def cache_stats(self) -> dict[str, float]:
         """Context-embedding cache counters (structural sharing evidence)."""
         return self.model.context_cache.stats()
+
+    def runtime_stats(self) -> dict | None:
+        """Execution-runtime counters, or None for sequential sessions.
+
+        Includes pool size/reuse counts, the last localization shard
+        sizes, the weight epoch, and the aggregated worker-side
+        context-cache hit rate (see :class:`repro.runtime.RuntimeStats`).
+        """
+        if self._runtime is None:
+            return None
+        return self._runtime.stats().to_dict()
 
     def as_pipeline(self) -> "TrainedPipeline":
         """Legacy :class:`TrainedPipeline` view over this session's state.

@@ -34,6 +34,110 @@ from .model import VeriBugModel
 FT_ONLY_SUSPICIOUSNESS = 1.0
 
 
+def _columnar_distinct(trace_columns, contexts, restrict_to, accumulate) -> bool:
+    """Deduplicate a whole trace set straight off its execution columns.
+
+    Builds one padded ``[rows, 2 + max_width]`` matrix — statement slot,
+    operand values (−1-padded; simulator values are non-negative), label
+    — spanning every trace, restricted to slice statements, and collapses
+    it with a single ``np.unique(axis=0)``.  The distinct groups are then
+    replayed through ``accumulate`` ordered by each group's first
+    occurrence across the concatenated traces — exactly the order (and
+    counts) the record-by-record loop would produce, so downstream
+    attention-map accumulation is bit-identical.  Returns False (caller
+    falls back to the object path) when values don't fit an int64
+    column, e.g. >63-bit operands.
+    """
+    # One table spans all traces: rows from different traces sharing a
+    # statement shape must land in the same dedup group.
+    global_slot_of: dict[tuple, int] = {}
+    slot_rows: list[tuple[int, tuple[str, ...]]] = []  # (stmt_id, operands)
+    chunks: list[np.ndarray] = []
+    for columns in trace_columns:
+        if not len(columns):
+            continue
+        flat = columns.flat_values
+        lhs = columns.lhs_values
+        if not (  # >63-bit values fall back to the object path
+            isinstance(flat, np.ndarray) and isinstance(lhs, np.ndarray)
+        ):
+            return False
+        labels = (lhs != 0).astype(np.int64)
+        # Map this trace's slot table onto the global one; -1 marks rows
+        # outside the slice (or without a usable context) for dropping.
+        local_to_global = np.empty(len(columns.stmt_table), dtype=np.int64)
+        local_widths = np.empty(len(columns.stmt_table), dtype=np.int64)
+        for local, key in enumerate(columns.stmt_table):
+            stmt_id, _target, operands, _width = key
+            local_widths[local] = len(operands)
+            context = contexts.get(stmt_id)
+            if (
+                (restrict_to is not None and stmt_id not in restrict_to)
+                or context is None
+                or context.n_operands == 0
+            ):
+                local_to_global[local] = -1
+                continue
+            slot = global_slot_of.get(key)
+            if slot is None:
+                slot = global_slot_of[key] = len(slot_rows)
+                slot_rows.append((stmt_id, operands))
+            local_to_global[local] = slot
+        slots = columns.stmt_slots.astype(np.int64)
+        offsets = np.zeros(len(slots) + 1, dtype=np.int64)
+        np.cumsum(local_widths[slots], out=offsets[1:])
+        global_slots = local_to_global[slots]
+        keep = np.flatnonzero(global_slots >= 0)
+        if not keep.size:
+            continue
+        max_width = int(local_widths.max(initial=0))
+        # Chunks are padded to a common width before stacking (traces
+        # that took different branches execute different statement sets,
+        # so per-trace max widths differ); the pad column count never
+        # affects grouping because a statement slot pins its width.
+        keyed = np.full((keep.size, 2 + max_width), -1, dtype=np.int64)
+        keyed[:, 0] = global_slots[keep]
+        keyed[:, 1] = labels[keep]
+        kept_widths = local_widths[slots[keep]]
+        kept_offsets = offsets[keep]
+        # Fill the ragged value spans width-group by width-group (a few
+        # distinct widths per design, each filled with one gather).
+        for width in np.unique(kept_widths):
+            if width == 0:
+                continue
+            rows = np.flatnonzero(kept_widths == width)
+            keyed[rows[:, None], 2 + np.arange(width)] = flat[
+                kept_offsets[rows][:, None] + np.arange(width)
+            ]
+        chunks.append(keyed)
+
+    if not chunks:
+        return True
+    total_width = max(chunk.shape[1] for chunk in chunks)
+    for index, chunk in enumerate(chunks):
+        if chunk.shape[1] < total_width:
+            widened = np.full((chunk.shape[0], total_width), -1, dtype=np.int64)
+            widened[:, : chunk.shape[1]] = chunk
+            chunks[index] = widened
+    combined = np.vstack(chunks)
+    distinct, first, group_counts = np.unique(
+        combined, axis=0, return_index=True, return_counts=True
+    )
+    replay_order = np.argsort(first, kind="stable")
+    for index in replay_order:
+        row = distinct[index]
+        stmt_id, operands = slot_rows[int(row[0])]
+        value_map = dict(zip(operands, row[2 : 2 + len(operands)].tolist()))
+        context = contexts[stmt_id]
+        sample = Sample(
+            context=context,
+            operand_values=tuple(value_map[op.name] for op in context.operands),
+            label=int(row[1]),
+        )
+        accumulate(stmt_id, sample, int(group_counts[index]))
+    return True
+
+
 @dataclass
 class AttentionMap:
     """Statement-wise aggregated attention weights for one trace set.
@@ -172,11 +276,35 @@ class Explainer:
         number of *distinct* samples, not executions — across cycles and
         traces the same statement overwhelmingly re-executes with values
         it has already been seen with.
+
+        Traces that arrived over a process boundary (localization shards,
+        parallel campaign workers) keep their executions in columnar form
+        (:meth:`Trace.execution_columns`); those are deduplicated
+        directly off the columns with vectorized ``np.unique`` — no
+        execution objects are ever materialized — while preserving the
+        exact first-seen order and counts of the record-by-record loop,
+        so both paths produce bit-identical attention maps.
         """
         groups: dict[tuple[int, tuple[int, ...]], int] = {}
         samples: list[Sample] = []
         stmt_ids: list[int] = []
         counts: list[int] = []
+
+        def accumulate(stmt_id: int, sample: Sample, count: int) -> None:
+            key = (stmt_id, sample.operand_values)
+            slot = groups.get(key)
+            if slot is None:
+                groups[key] = len(samples)
+                samples.append(sample)
+                stmt_ids.append(stmt_id)
+                counts.append(count)
+            else:
+                counts[slot] += count
+
+        trace_columns = [trace.execution_columns() for trace in traces]
+        if traces and all(columns is not None for columns in trace_columns):
+            if _columnar_distinct(trace_columns, contexts, restrict_to, accumulate):
+                return samples, stmt_ids, counts
         for trace in traces:
             for execution in trace.executions:
                 if restrict_to is not None and execution.stmt_id not in restrict_to:
@@ -187,15 +315,7 @@ class Explainer:
                 sample = sample_from_execution(context, execution)
                 if sample is None:
                     continue
-                key = (execution.stmt_id, sample.operand_values)
-                slot = groups.get(key)
-                if slot is None:
-                    groups[key] = len(samples)
-                    samples.append(sample)
-                    stmt_ids.append(execution.stmt_id)
-                    counts.append(1)
-                else:
-                    counts[slot] += 1
+                accumulate(execution.stmt_id, sample, 1)
         return samples, stmt_ids, counts
 
     def attention_map(

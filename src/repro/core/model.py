@@ -247,10 +247,29 @@ class VeriBugModel(Module):
         #: exclusively while autograd is off, so training and the autograd
         #: reference arm never see it.
         self.context_cache = ContextEmbeddingCache()
+        #: Callbacks fired whenever the weights change wholesale
+        #: (``load_state_dict`` or a completed ``Trainer.train`` run) —
+        #: the execution runtime registers here to version its read-only
+        #: worker snapshots (see ``repro.runtime``).
+        self._weight_listeners: list = []
+
+    def add_weight_listener(self, callback) -> None:
+        """Register a zero-arg callback fired after every weight change."""
+        self._weight_listeners.append(callback)
+
+    def remove_weight_listener(self, callback) -> None:
+        """Detach a listener (no-op when absent, e.g. double close)."""
+        try:
+            self._weight_listeners.remove(callback)
+        except ValueError:
+            pass
 
     def _on_state_loaded(self) -> None:
-        # New weights invalidate every memoized context embedding.
+        # New weights invalidate every memoized context embedding ...
         self.context_cache.clear()
+        # ... and every externally-held snapshot of the old weights.
+        for callback in list(self._weight_listeners):
+            callback()
 
     # ------------------------------------------------------------------
     # Forward

@@ -13,12 +13,17 @@ For each sampled mutation the campaign:
    statement must hold the single highest suspiciousness in ``Ht``.
 
 Simulation of mutants is embarrassingly parallel: with ``n_workers > 0``
-the campaign fans the simulate/classify phase out across a process pool
-(one task per mutation; the worker pool is seeded once with the golden
-design, stimuli, and golden traces).  Localization stays in the parent
-process so the trained model is never pickled.  Parallel campaigns are
-bit-identical to sequential ones because every mutant derives its extra
-testbench seeds from its own ``node_index``.
+the campaign fans the simulate/classify phase out across an
+:class:`~repro.runtime.ExecutionRuntime` worker pool (one task per
+mutation; the campaign context — golden design, stimuli, golden traces —
+is shipped once per worker and referenced by id afterwards).  A session
+passes its own persistent runtime so consecutive campaigns reuse one
+pool; legacy callers that only set ``n_workers`` get an ephemeral
+runtime scoped to the call.  Parallel campaigns are bit-identical to
+sequential ones because every mutant derives its extra testbench seeds
+from its own ``node_index``
+(:func:`repro.runtime.seeding.mutant_topup_seed`), never from the
+worker that happens to simulate it.
 
 Localization itself runs on the inference fast path: up to
 ``localize_batch`` observable mutants are handed to
@@ -35,7 +40,6 @@ to per-mutant localization.
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -44,6 +48,7 @@ from ..core.localizer import (
     LocalizationRequest,
     LocalizationResult,
 )
+from ..runtime.seeding import mutant_topup_seed
 from ..sim.simulator import SimulationError, Simulator
 from ..sim.testbench import TestbenchConfig, generate_testbench_suite
 from ..sim.trace import Trace
@@ -173,7 +178,7 @@ def _simulate_mutant(
             module,
             n_traces,
             testbench_config,
-            seed=seed + 1000 * extra_batch + mutation.node_index,
+            seed=mutant_topup_seed(seed, extra_batch, mutation.node_index),
         )
         extra_golden = golden_sim.run_suite(extra_stimuli, record=False)
         if not classify(extra_stimuli, extra_golden):
@@ -183,62 +188,6 @@ def _simulate_mutant(
     outcome.n_correct = len(correct)
     outcome.observable = bool(failing)
     return outcome, failing, correct
-
-
-#: Per-process state for campaign workers (set by the pool initializer).
-_WORKER_STATE: dict = {}
-
-
-def _init_campaign_worker(
-    module: Module,
-    target: str,
-    stimuli: list[list[dict[str, int]]],
-    golden_traces: list[Trace],
-    testbench_config: TestbenchConfig,
-    n_traces: int,
-    seed: int,
-    min_correct_traces: int,
-    max_extra_batches: int,
-) -> None:
-    _WORKER_STATE["args"] = (
-        module,
-        target,
-        stimuli,
-        golden_traces,
-        testbench_config,
-        n_traces,
-        seed,
-        min_correct_traces,
-        max_extra_batches,
-    )
-
-
-def _campaign_worker(
-    mutation: Mutation,
-) -> tuple[MutantOutcome, list[Trace], list[Trace]]:
-    (
-        module,
-        target,
-        stimuli,
-        golden_traces,
-        testbench_config,
-        n_traces,
-        seed,
-        min_correct,
-        max_extra,
-    ) = _WORKER_STATE["args"]
-    return _simulate_mutant(
-        module,
-        target,
-        mutation,
-        stimuli,
-        golden_traces,
-        testbench_config,
-        n_traces,
-        seed,
-        min_correct,
-        max_extra,
-    )
 
 
 class CampaignEngine:
@@ -256,8 +205,14 @@ class CampaignEngine:
             simulation engine for golden and mutant runs.
         seed: Base seed for the testbench suite.
         min_correct_traces / max_extra_batches: Correct-trace top-up policy.
-        n_workers: When > 0, simulate mutants on a process pool of this
-            size; localization still runs in the parent process.
+        n_workers: When > 0, simulate mutants on a worker pool of this
+            size; localization batches may additionally shard across the
+            same pool when the localizer carries a runtime.
+        runtime: Optional :class:`~repro.runtime.ExecutionRuntime` to
+            fan simulation out on.  A session passes its persistent
+            pool so consecutive campaigns reuse one set of workers;
+            when omitted and ``n_workers > 0`` an ephemeral runtime is
+            created (and closed) per :meth:`iter_localized` execution.
         localize_batch: Cap on the number of observable mutants whose
             localizations are encoded into shared model forward passes
             (the inference fast path).  Batches ramp 1 → 2 → 4 → … up to
@@ -278,6 +233,7 @@ class CampaignEngine:
         max_extra_batches: int = 4,
         n_workers: int = 0,
         localize_batch: int = 8,
+        runtime=None,
     ):
         if localize_batch < 1:
             raise ValueError("localize_batch must be >= 1")
@@ -289,6 +245,7 @@ class CampaignEngine:
         self.max_extra_batches = max_extra_batches
         self.n_workers = n_workers
         self.localize_batch = localize_batch
+        self.runtime = runtime
 
     def run(
         self,
@@ -405,7 +362,9 @@ class CampaignEngine:
         )
 
     def _simulate_parallel(self, module, target, mutations, stimuli, golden_traces):
-        initargs = (
+        from ..runtime import ExecutionRuntime
+
+        context = (
             module,
             target,
             stimuli,
@@ -416,14 +375,17 @@ class CampaignEngine:
             self.min_correct_traces,
             self.max_extra_batches,
         )
-        with ProcessPoolExecutor(
-            max_workers=self.n_workers,
-            initializer=_init_campaign_worker,
-            initargs=initargs,
-        ) as pool:
+        if self.runtime is not None and not self.runtime.closed:
+            # Session-owned persistent pool: reused across campaigns.
+            yield from self.runtime.simulate_mutants(context, mutations)
+            return
+        # No (live) shared runtime: scope one to this execution, e.g. for
+        # legacy callers that only pass n_workers, or a handle executed
+        # after its owning session closed.
+        with ExecutionRuntime.ephemeral(self.n_workers) as runtime:
             # yield from inside the context manager so results stream to
             # the caller while the pool stays alive.
-            yield from pool.map(_campaign_worker, mutations)
+            yield from runtime.simulate_mutants(context, mutations)
 
     def _localize_pending(
         self,

@@ -16,7 +16,6 @@ and behavior but new code should use
 from __future__ import annotations
 
 import warnings
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from .analysis import extract_module_contexts
@@ -30,6 +29,7 @@ from .core import (
     build_samples,
 )
 from .datagen import RandomVerilogDesignGenerator, RVDGConfig
+from .runtime.seeding import corpus_design_seed
 from .sim import Simulator, TestbenchConfig, generate_testbench_suite
 from .verilog import parse_module
 
@@ -96,7 +96,7 @@ def _design_samples(
         module,
         spec.n_traces_per_design,
         TestbenchConfig(n_cycles=spec.n_cycles),
-        seed=seed * 7919 + index,
+        seed=corpus_design_seed(seed, index),
     )
     traces = simulator.run_suite(stimuli)
     contexts = extract_module_contexts(module.statements())
@@ -119,32 +119,34 @@ def generate_corpus_samples(spec: CorpusSpec, seed: int = 0) -> list[Sample]:
     return _generate_corpus_samples(spec, seed)
 
 
-def _generate_corpus_samples(spec: CorpusSpec, seed: int = 0) -> list[Sample]:
+def _generate_corpus_samples(
+    spec: CorpusSpec, seed: int = 0, runtime=None
+) -> list[Sample]:
     """Simulate an RVDG corpus and convert traces to training samples.
 
     Design sources are generated sequentially (the RVDG RNG stream is a
     single sequence), then each design is simulated and featurized either
-    inline or — when ``spec.n_workers > 0`` — fanned out across a process
-    pool.  Both paths yield samples in design order, so the execution
-    strategy never changes the corpus.
+    inline or — when ``spec.n_workers > 0`` — fanned out across an
+    :class:`~repro.runtime.ExecutionRuntime` worker pool (the caller's
+    ``runtime`` when given, e.g. the owning session's persistent pool;
+    an ephemeral one otherwise).  All paths yield samples in design
+    order, so the execution strategy never changes the corpus.
     """
     generator = RandomVerilogDesignGenerator(spec.rvdg, seed=seed)
     sources = generator.generate_corpus_sources(spec.n_designs)
+    design_sources = [source for _name, source in sources]
     if spec.n_workers > 0 and spec.n_designs > 1:
-        with ProcessPoolExecutor(max_workers=spec.n_workers) as pool:
-            results = list(
-                pool.map(
-                    _design_samples,
-                    range(len(sources)),
-                    [source for _name, source in sources],
-                    [spec] * len(sources),
-                    [seed] * len(sources),
-                )
-            )
+        from .runtime import ExecutionRuntime
+
+        if runtime is not None:
+            results = runtime.map_corpus(design_sources, spec, seed)
+        else:
+            with ExecutionRuntime.ephemeral(spec.n_workers) as ephemeral:
+                results = ephemeral.map_corpus(design_sources, spec, seed)
     else:
         results = [
             _design_samples(index, source, spec, seed)
-            for index, (_name, source) in enumerate(sources)
+            for index, source in enumerate(design_sources)
         ]
     samples: list[Sample] = []
     for design_samples in results:

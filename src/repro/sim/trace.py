@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class StatementExecution:
@@ -40,15 +42,185 @@ class StatementExecution:
         return dict(zip(self.operands, self.operand_values))
 
 
+class ExecutionColumns:
+    """The executions of one trace in columnar (struct-of-arrays) form.
+
+    Layout: ``stmt_table`` holds one ``(stmt_id, target, operands,
+    lhs_width)`` row per distinct statement shape; per execution there is
+    a slot into that table, a cycle, an lhs value, and a span of
+    ``operand_width(slot)`` entries in the flat operand-value column.
+    Execution order is preserved exactly.
+
+    Value columns are int64 numpy arrays when every value fits (the
+    common case — they pickle as flat buffers and feed the explainer's
+    vectorized dedup without conversion) and plain Python lists when a
+    >63-bit simulator value forces arbitrary precision.
+    """
+
+    __slots__ = ("stmt_table", "stmt_slots", "cycles", "lhs_values", "flat_values")
+
+    def __init__(self, stmt_table, stmt_slots, cycles, lhs_values, flat_values):
+        self.stmt_table = stmt_table
+        self.stmt_slots = stmt_slots
+        self.cycles = cycles
+        self.lhs_values = lhs_values
+        self.flat_values = flat_values
+
+    def __len__(self) -> int:
+        return len(self.stmt_slots)
+
+    @staticmethod
+    def _column(values: list[int]):
+        """The narrowest integer array, or the list on >63-bit overflow."""
+        try:
+            column = np.asarray(values, dtype=np.int64)
+        except OverflowError:
+            return values
+        if column.size and (
+            column.min() >= np.iinfo(np.int32).min
+            and column.max() <= np.iinfo(np.int32).max
+        ):
+            return column.astype(np.int32)
+        return column
+
+    @classmethod
+    def pack(cls, executions: list[StatementExecution]) -> "ExecutionColumns":
+        stmt_table: list[tuple[int, str, tuple[str, ...], int]] = []
+        index_of: dict[tuple[int, str, tuple[str, ...], int], int] = {}
+        stmt_slots: list[int] = []
+        cycles: list[int] = []
+        lhs_values: list[int] = []
+        flat_values: list[int] = []
+        for execution in executions:
+            key = (
+                execution.stmt_id,
+                execution.target,
+                execution.operands,
+                execution.lhs_width,
+            )
+            slot = index_of.get(key)
+            if slot is None:
+                slot = index_of[key] = len(stmt_table)
+                stmt_table.append(key)
+            stmt_slots.append(slot)
+            cycles.append(execution.cycle)
+            lhs_values.append(execution.lhs_value)
+            flat_values.extend(execution.operand_values)
+        return cls(
+            stmt_table,
+            np.asarray(stmt_slots, dtype=np.int32),
+            np.asarray(cycles, dtype=np.int32),
+            cls._column(lhs_values),
+            cls._column(flat_values),
+        )
+
+    def unpack(self) -> list[StatementExecution]:
+        """Rebuild the execution records, identically and in order."""
+        executions: list[StatementExecution] = []
+        new = object.__new__
+        flat = self.flat_values
+        if isinstance(flat, np.ndarray):
+            flat = flat.tolist()
+        lhs_column = self.lhs_values
+        if isinstance(lhs_column, np.ndarray):
+            lhs_column = lhs_column.tolist()
+        position = 0
+        for slot, cycle, lhs_value in zip(
+            self.stmt_slots.tolist(), self.cycles.tolist(), lhs_column
+        ):
+            stmt_id, target, operands, lhs_width = self.stmt_table[slot]
+            end = position + len(operands)
+            execution = new(StatementExecution)
+            # Frozen dataclass: populate the instance dict directly
+            # (object.__setattr__ per field costs ~4x as much, which
+            # matters at 10^5 records per trace set).
+            execution.__dict__.update(
+                stmt_id=stmt_id,
+                cycle=cycle,
+                target=target,
+                operands=operands,
+                operand_values=tuple(flat[position:end]),
+                lhs_value=lhs_value,
+                lhs_width=lhs_width,
+            )
+            executions.append(execution)
+            position = end
+        return executions
+
+
+class _LazyExecutions:
+    """Sequence facade over :class:`ExecutionColumns`.
+
+    Deserialized traces hold one of these instead of a materialized
+    record list: column-aware consumers (the explainer's execution dedup)
+    read :attr:`columns` directly and never pay for object construction;
+    everything else transparently materializes on first access.
+    """
+
+    __slots__ = ("columns", "_records")
+
+    def __init__(self, columns: ExecutionColumns):
+        self.columns = columns
+        self._records: list[StatementExecution] | None = None
+
+    def _materialized(self) -> list[StatementExecution]:
+        if self._records is None:
+            self._records = self.columns.unpack()
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self._materialized())
+
+    def __getitem__(self, index):
+        return self._materialized()[index]
+
+    def __eq__(self, other) -> bool:
+        return list(self) == list(other)
+
+
 @dataclass
 class Trace:
-    """A full simulation run of one design under one stimulus."""
+    """A full simulation run of one design under one stimulus.
+
+    Traces cross process boundaries constantly (campaign workers return
+    them, localization shards receive them), and a recorded trace holds
+    one :class:`StatementExecution` per statement per cycle — easily
+    10^5 small objects per shard.  Pickling that many dataclasses would
+    dominate worker dispatch cost, so traces serialize via
+    :class:`ExecutionColumns`, and a deserialized trace keeps its
+    executions columnar (:class:`_LazyExecutions`) until something
+    actually indexes them — the inference fast path dedups straight off
+    the columns and never does.
+    """
 
     design: str
     stimulus: list[dict[str, int]] = field(default_factory=list)
     outputs: list[dict[str, int]] = field(default_factory=list)
     executions: list[StatementExecution] = field(default_factory=list)
     is_failure: bool = False
+
+    def execution_columns(self) -> ExecutionColumns | None:
+        """The columnar execution view, when this trace was deserialized."""
+        executions = self.executions
+        if isinstance(executions, _LazyExecutions):
+            return executions.columns
+        return None
+
+    def __getstate__(self) -> dict:
+        state = {k: v for k, v in self.__dict__.items() if k != "executions"}
+        columns = self.execution_columns()
+        if columns is None:
+            columns = ExecutionColumns.pack(self.executions)
+        state["_exec_columns"] = columns
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        columns = state.pop("_exec_columns")
+        self.__dict__.update(state)
+        self.__dict__["executions"] = _LazyExecutions(columns)
 
     @property
     def n_cycles(self) -> int:
