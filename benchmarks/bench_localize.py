@@ -1,7 +1,7 @@
 """Localization inference throughput: fused/cached arms vs reference.
 
 Measures the Table-III campaign's *localization* phase — model inference
-over every observable mutant's failing/correct trace sets — under four
+over every observable mutant's failing/correct trace sets — under six
 configurations:
 
 * **reference** — the pre-fast-path behavior: one model row per
@@ -16,21 +16,27 @@ configurations:
   at the start of the timed run; its overall hit rate and the
   cross-mutant share — hits on entries created while localizing an
   earlier batch of mutants — are reported);
-* **sharded_workers** — the full fast path sharded across an
-  :class:`repro.runtime.ExecutionRuntime` worker pool at each size in
-  ``--workers`` (pool started and warmed before timing, the way a
-  session amortizes it; worker-local caches start cold).  Scaling is
-  meaningful only with that many physical cores — ``cpu_cores`` is
-  recorded next to the results.
+* **fused_head_memo** — the whole inference roofline: fused model-head
+  kernels (``model_forward_fused``) plus the campaign-scoped
+  attention-row memo, both cold at the start of the timed run.  The
+  earlier arms pin the head kernels and memo *off* so their historical
+  meaning is preserved;
+* **sharded_workers** — the full fast path (head + memo included,
+  worker-local) sharded across an :class:`repro.runtime.ExecutionRuntime`
+  worker pool at each size in ``--workers`` (pool started and warmed
+  before timing, the way a session amortizes it; worker-local caches and
+  memos start cold).  Scaling is meaningful only with that many physical
+  cores — ``cpu_cores`` is recorded next to the results.
 
 Mutant simulation is run once and shared by all arms, so the reported
 speedups isolate inference.  The end-to-end campaign latency (simulate +
 localize, as ``CampaignEngine.run`` executes it) is also timed for
 the reference and full fast arms.  Heatmap rankings and suspiciousness
-scores are verified identical (within 1e-9) across every arm before
-results are written to ``BENCH_localize.json`` at the repo root — a
-mismatch raises, so the ``--smoke`` CI run doubles as a differential
-assertion for the fused/cached arms.
+scores are verified identical (within 1e-9) across every arm; a
+divergence is recorded per arm in the JSON (``rankings_identical``),
+the results are still written, and the process exits nonzero — so the
+``--smoke`` CI run doubles as a differential assertion for the
+fused/cached/memoized arms while keeping the artifact inspectable.
 
 Run with::
 
@@ -81,6 +87,23 @@ def arm_metrics(wall: float, total_executions: int) -> dict:
         "wall_s": round(wall, 4),
         "executions_per_s": round(total_executions / wall),
     }
+
+
+def best_of(repeats: int, runner, *args, **kwargs):
+    """Min-wall outcome of N invocations of a timed arm.
+
+    Every invocation is a full cold start (the arm runners clear their
+    caches/memos on entry, so hit-rate stats are identical across
+    repeats); the minimum wall is the standard noise-floor estimate for
+    sub-second arms on shared/single-core hosts, where one scheduling
+    hiccup can swing a single shot by ±20%.
+    """
+    best = None
+    for _ in range(repeats):
+        outcome = runner(*args, **kwargs)
+        if best is None or outcome[0] < best[0]:
+            best = outcome
+    return best
 
 
 def build_localizers() -> tuple[LocalizationEngine, LocalizationEngine]:
@@ -148,6 +171,11 @@ def simulate_workload(workload, n_traces: int, n_cycles: int, seed: int):
             )
             if outcome.error or not outcome.observable:
                 continue
+            # Pack the columnar execution view outside the timed arms:
+            # it is a one-time per-trace cost (cached on the trace) that
+            # would otherwise land on whichever arm touches it first.
+            for trace in failing + correct:
+                trace.columnize()
             cases.append(
                 {
                     "design": name,
@@ -164,12 +192,20 @@ def simulate_workload(workload, n_traces: int, n_cycles: int, seed: int):
 
 
 def run_reference(reference: LocalizationEngine, cases) -> tuple[float, list]:
-    t0 = time.perf_counter()
-    results = [
-        reference.localize(c["mutant"], c["target"], c["failing"], c["correct"])
-        for c in cases
-    ]
-    return time.perf_counter() - t0, results
+    model = reference.model
+    saved = (model.fused_head, model.attention_memo.enabled)
+    model.fused_head = False
+    model.attention_memo.enabled = False
+    try:
+        t0 = time.perf_counter()
+        results = [
+            reference.localize(c["mutant"], c["target"], c["failing"], c["correct"])
+            for c in cases
+        ]
+        wall = time.perf_counter() - t0
+    finally:
+        model.fused_head, model.attention_memo.enabled = saved
+    return wall, results
 
 
 def run_fast(
@@ -178,19 +214,33 @@ def run_fast(
     localize_batch: int,
     fused: bool,
     cache: bool,
-) -> tuple[float, list, dict]:
-    """Time one fast-path arm with the fused/cache switches pinned.
+    head: bool = False,
+    memo: bool = False,
+) -> tuple[float, list, dict, dict]:
+    """Time one fast-path arm with all four layer switches pinned.
 
-    The context cache starts cold and its hit/miss stats are returned, so
-    the reported hit rate covers exactly the timed work.
+    ``fused``/``cache`` gate the PathRNN kernel and context-embedding
+    cache (the historical arms), ``head``/``memo`` the fused model-head
+    kernels and the attention-row memo.  Cache and memo start cold and
+    their hit/miss stats are returned, so the reported hit rates cover
+    exactly the timed work.
     """
     model = fast.model
     lstm = model.path_rnn
-    saved = (lstm.fused_inference, model.context_cache.enabled)
+    saved = (
+        lstm.fused_inference,
+        model.context_cache.enabled,
+        model.fused_head,
+        model.attention_memo.enabled,
+    )
     lstm.fused_inference = fused
     model.context_cache.enabled = cache
+    model.fused_head = head
+    model.attention_memo.enabled = memo
     model.context_cache.clear()
     model.context_cache.reset_stats()
+    model.attention_memo.clear()
+    model.attention_memo.reset_stats()
     try:
         t0 = time.perf_counter()
         results = []
@@ -205,10 +255,17 @@ def run_fast(
             results.extend(fast.localize_many(requests))
         wall = time.perf_counter() - t0
     finally:
-        lstm.fused_inference, model.context_cache.enabled = saved
-    stats = model.context_cache.stats()
+        (
+            lstm.fused_inference,
+            model.context_cache.enabled,
+            model.fused_head,
+            model.attention_memo.enabled,
+        ) = saved
+    cache_stats = model.context_cache.stats()
+    memo_stats = model.attention_memo.stats()
     model.context_cache.clear()
-    return wall, results, stats
+    model.attention_memo.clear()
+    return wall, results, cache_stats, memo_stats
 
 
 def run_sharded(
@@ -219,8 +276,8 @@ def run_sharded(
     The pool is started and warmed *before* the timed region — a session
     amortizes pool startup across its lifetime, so steady-state shard
     throughput is the number that matters.  Worker-local context caches
-    start cold (fresh pool), mirroring the cold-start of the
-    single-process ``fused_cache`` arm.
+    and attention-row memos start cold (fresh pool), mirroring the
+    cold-start of the single-process ``fused_head_memo`` arm.
     """
     model = fast.model
     with ExecutionRuntime(n_workers) as runtime:
@@ -228,6 +285,8 @@ def run_sharded(
             model,
             cache_enabled=True,
             cache_max_entries=model.context_cache.max_entries,
+            memo_enabled=True,
+            memo_max_entries=model.attention_memo.max_entries,
             fast_inference=True,
         )
         runtime.warm_up()
@@ -307,6 +366,11 @@ def main() -> None:
         " (default: 1,2,4; smoke: 2; empty string skips the arm)",
     )
     parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="cold-start invocations per single-process arm; min wall is"
+        " reported (sub-second arms are noise-dominated in single shots)",
+    )
+    parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_localize.json"), help="result path"
     )
     args = parser.parse_args()
@@ -325,32 +389,56 @@ def main() -> None:
         raise SystemExit("no observable mutants in the workload; nothing to measure")
     total_executions = sum(c["executions"] for c in cases)
 
-    ref_wall, ref_results = run_reference(reference, cases)
-    dedup_wall, dedup_results, _ = run_fast(
-        fast, cases, args.batch, fused=False, cache=False
+    repeats = max(1, args.repeats)
+    ref_wall, ref_results = best_of(repeats, run_reference, reference, cases)
+    dedup_wall, dedup_results, _, _ = best_of(
+        repeats, run_fast, fast, cases, args.batch, fused=False, cache=False
     )
-    fused_wall, fused_results, _ = run_fast(
-        fast, cases, args.batch, fused=True, cache=False
+    fused_wall, fused_results, _, _ = best_of(
+        repeats, run_fast, fast, cases, args.batch, fused=True, cache=False
     )
-    full_wall, full_results, cache_stats = run_fast(
-        fast, cases, args.batch, fused=True, cache=True
+    full_wall, full_results, cache_stats, _ = best_of(
+        repeats, run_fast, fast, cases, args.batch, fused=True, cache=True
     )
+    head_wall, head_results, _, memo_stats = best_of(
+        repeats, run_fast, fast, cases, args.batch,
+        fused=True, cache=True, head=True, memo=True,
+    )
+
     # Every arm must be observably identical to the autograd reference.
-    verify_identical(ref_results, dedup_results)
-    verify_identical(ref_results, fused_results)
-    verify_identical(ref_results, full_results)
+    # A divergence is recorded (and fails the run at exit) instead of
+    # aborting, so the JSON artifact still lands with the evidence.
+    divergences: dict[str, str] = {}
+
+    def check_arm(arm: str, arm_results) -> bool:
+        try:
+            verify_identical(ref_results, arm_results)
+            return True
+        except AssertionError as err:
+            divergences[arm] = str(err)
+            return False
+
+    arm_ok = {
+        "fast_dedup_batch": check_arm("fast_dedup_batch", dedup_results),
+        "fused": check_arm("fused", fused_results),
+        "fused_cache": check_arm("fused_cache", full_results),
+        "fused_head_memo": check_arm("fused_head_memo", head_results),
+    }
 
     sharded_arms = {}
     for n_workers in worker_arms:
         sharded_wall, sharded_results, runtime_stats = run_sharded(
             fast, cases, args.batch, n_workers
         )
-        verify_identical(ref_results, sharded_results)
         sharded_arms[str(n_workers)] = {
             **arm_metrics(sharded_wall, total_executions),
-            "speedup_vs_single_process": round(full_wall / sharded_wall, 2),
+            "speedup_vs_single_process": round(head_wall / sharded_wall, 2),
             "worker_cache_hit_rate": runtime_stats["worker_cache"]["hit_rate"],
+            "worker_memo_hit_rate": runtime_stats["worker_memo"]["hit_rate"],
             "shard_sizes_last_call": runtime_stats["last_shard_sizes"],
+            "rankings_identical": check_arm(
+                f"sharded_workers[{n_workers}]", sharded_results
+            ),
         }
     if worker_arms and (os.cpu_count() or 1) < max(worker_arms):
         sharded_arms["note"] = (
@@ -373,6 +461,7 @@ def main() -> None:
             "localize_batch": args.batch,
             "executions_localized": total_executions,
             "cpu_cores": os.cpu_count(),
+            "repeats": repeats,
         },
         "localization": {
             "reference": arm_metrics(ref_wall, total_executions),
@@ -390,9 +479,19 @@ def main() -> None:
                 ),
                 "cache_entries": cache_stats["entries"],
             },
-            "speedup": round(ref_wall / full_wall, 2),
-            "speedup_vs_dedup_batch": round(dedup_wall / full_wall, 2),
-            "rankings_identical": True,
+            "fused_head_memo": {
+                **arm_metrics(head_wall, total_executions),
+                "memo_hit_rate": round(memo_stats["hit_rate"], 4),
+                "memo_cross_mutant_hit_rate": round(
+                    memo_stats["cross_epoch_hit_rate"], 4
+                ),
+                "memo_entries": memo_stats["entries"],
+                "speedup_vs_fused_cache": round(full_wall / head_wall, 2),
+            },
+            "speedup": round(ref_wall / head_wall, 2),
+            "speedup_vs_dedup_batch": round(dedup_wall / head_wall, 2),
+            "arm_rankings_identical": arm_ok,
+            "rankings_identical": not divergences,
             "sharded_workers": sharded_arms,
         },
         "end_to_end_campaign": {
@@ -403,18 +502,25 @@ def main() -> None:
     }
 
     loc = results["localization"]
+    head_arm = loc["fused_head_memo"]
     print(
         f"localization: reference {ref_wall:.2f}s -> dedup+batch "
         f"{dedup_wall:.2f}s -> fused {fused_wall:.2f}s -> fused+cache "
-        f"{full_wall:.2f}s"
+        f"{full_wall:.2f}s -> fused+head+memo {head_wall:.2f}s"
     )
     print(
         f"  {loc['speedup']}x vs reference, "
         f"{loc['speedup_vs_dedup_batch']}x vs the dedup+batch fast path, "
-        f"{loc['fused_cache']['executions_per_s']} exec/s, cache hit rate "
-        f"{loc['fused_cache']['cache_hit_rate']:.1%} (cross-mutant "
-        f"{loc['fused_cache']['cross_mutant_hit_rate']:.1%}), rankings "
-        f"identical over {len(cases)} mutants"
+        f"{head_arm['speedup_vs_fused_cache']}x vs fused+cache, "
+        f"{head_arm['executions_per_s']} exec/s"
+    )
+    print(
+        f"  cache hit rate {loc['fused_cache']['cache_hit_rate']:.1%} "
+        f"(cross-mutant {loc['fused_cache']['cross_mutant_hit_rate']:.1%}), "
+        f"memo hit rate {head_arm['memo_hit_rate']:.1%} (cross-mutant "
+        f"{head_arm['memo_cross_mutant_hit_rate']:.1%}), rankings "
+        f"{'identical' if not divergences else 'DIVERGED'} over "
+        f"{len(cases)} mutants"
     )
     for n_workers, sharded in sharded_arms.items():
         if not isinstance(sharded, dict):
@@ -423,7 +529,8 @@ def main() -> None:
             f"sharded ({n_workers} workers, {os.cpu_count()} cores):"
             f" {sharded['wall_s']:.2f}s"
             f" ({sharded['speedup_vs_single_process']}x vs single-process,"
-            f" worker cache hit rate {sharded['worker_cache_hit_rate']:.1%})"
+            f" worker cache hit rate {sharded['worker_cache_hit_rate']:.1%},"
+            f" memo {sharded['worker_memo_hit_rate']:.1%})"
         )
     print(
         f"end-to-end campaign: {e2e_ref:.2f}s -> {e2e_fast:.2f}s "
@@ -435,6 +542,11 @@ def main() -> None:
     existing.update(results)
     out.write_text(json.dumps(existing, indent=2) + "\n")
     print(f"wrote {out}")
+
+    if divergences:
+        for arm, detail in divergences.items():
+            print(f"DIVERGENCE in arm {arm}: {detail}", file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -114,6 +114,9 @@ class StatementContext:
     _fingerprints: list[OperandFingerprint | None] | None = field(
         default=None, repr=False, compare=False
     )
+    _statement_key: tuple[OperandFingerprint, ...] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_operands(self) -> int:
@@ -138,6 +141,22 @@ class StatementContext:
             fingerprint = OperandFingerprint(tuple(self.contexts[op_index]))
             self._fingerprints[op_index] = fingerprint
         return fingerprint
+
+    def statement_key(self) -> tuple[OperandFingerprint, ...]:
+        """Structural identity of the whole statement (memoized).
+
+        The ordered tuple of every operand's fingerprint.  Together with
+        the operand value tuple it pins the model's entire forward pass
+        for the statement — the attention row and logits are pure
+        functions of ``(statement_key, operand_values, weights)`` — so
+        it keys the attention-row memo the way :meth:`structural_key`
+        keys the context-embedding cache.
+        """
+        if self._statement_key is None:
+            self._statement_key = tuple(
+                self.structural_key(i) for i in range(len(self.contexts))
+            )
+        return self._statement_key
 
 
 def _leaf_parents(root: Expr) -> list[tuple[Node, list[Node]]]:

@@ -253,6 +253,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f" (cross-mutant {stats['cross_epoch_hit_rate']:.1%},"
         f" {int(stats['entries'])} entries)"
     )
+    memo_stats = session.memo_stats()
+    print(
+        f"attention memo: hit rate {memo_stats['hit_rate']:.1%}"
+        f" (cross-mutant {memo_stats['cross_epoch_hit_rate']:.1%},"
+        f" {int(memo_stats['entries'])} entries)"
+    )
     runtime_stats = session.runtime_stats()
     if runtime_stats is not None:
         shard_sizes = ",".join(
@@ -266,10 +272,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f" {runtime_stats['localize_calls']} sharded localize call(s)"
             f" (last shards: {shard_sizes}),"
             f" worker cache hit rate"
-            f" {runtime_stats['worker_cache']['hit_rate']:.1%}"
+            f" {runtime_stats['worker_cache']['hit_rate']:.1%},"
+            f" worker memo hit rate"
+            f" {runtime_stats['worker_memo']['hit_rate']:.1%}"
         )
     if args.json:
-        payload = {"campaigns": results, "cache": stats}
+        payload = {"campaigns": results, "cache": stats, "memo": memo_stats}
         if runtime_stats is not None:
             payload["runtime"] = runtime_stats
         pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")

@@ -118,8 +118,14 @@ class VeriBugSession:
         self.test_metrics = test_metrics
         # The session owns the cache policy: one place decides whether
         # structural memoization is active and how large it may grow.
+        # The attention-row memo follows the same policy — both layers
+        # are structural memoization, just of different forward stages.
         cache_enabled = self.config.cache_policy == "structural"
         model.context_cache.configure(
+            enabled=cache_enabled,
+            max_entries=self.config.cache_max_entries,
+        )
+        model.attention_memo.configure(
             enabled=cache_enabled,
             max_entries=self.config.cache_max_entries,
         )
@@ -134,6 +140,8 @@ class VeriBugSession:
                 model,
                 cache_enabled=cache_enabled,
                 cache_max_entries=self.config.cache_max_entries,
+                memo_enabled=cache_enabled,
+                memo_max_entries=self.config.cache_max_entries,
                 fast_inference=self.config.fast_inference,
             )
         self._localizer = LocalizationEngine(
@@ -451,12 +459,19 @@ class VeriBugSession:
         """Context-embedding cache counters (structural sharing evidence)."""
         return self.model.context_cache.stats()
 
+    def memo_stats(self) -> dict[str, float]:
+        """Attention-row memo counters (whole-row sharing evidence)."""
+        return self.model.attention_memo.stats()
+
     def runtime_stats(self) -> dict | None:
         """Execution-runtime counters, or None for sequential sessions.
 
         Includes pool size/reuse counts, the last localization shard
         sizes, the weight epoch, and the aggregated worker-side
-        context-cache hit rate (see :class:`repro.runtime.RuntimeStats`).
+        context-cache and attention-memo hit rates (see
+        :class:`repro.runtime.RuntimeStats`) — the numbers that show the
+        per-worker caches losing cross-shard sharing as shard counts
+        grow.
         """
         if self._runtime is None:
             return None

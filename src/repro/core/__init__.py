@@ -28,12 +28,19 @@ from .localizer import (
     LocalizationRequest,
     LocalizationResult,
 )
-from .model import ContextEmbeddingCache, ModelOutput, VeriBugModel
+from .model import (
+    AttentionRowMemo,
+    ContextEmbeddingCache,
+    ModelOutput,
+    VeriBugModel,
+    model_forward_fused,
+)
 from .trainer import EvalMetrics, TrainHistory, Trainer, compute_metrics
 from .vocab import PAD_TOKEN, UNK_TOKEN, Vocabulary
 
 __all__ = [
     "AttentionMap",
+    "AttentionRowMemo",
     "BatchEncoder",
     "BugLocalizer",
     "ContextEmbeddingCache",
@@ -59,6 +66,7 @@ __all__ = [
     "build_samples",
     "compute_metrics",
     "format_operand_scores",
+    "model_forward_fused",
     "normalized_l1_distance",
     "render_heatmap",
     "sample_from_execution",

@@ -242,12 +242,18 @@ class Explainer:
             differentially test the pre-dedup reference path.
 
     Under ``inference_mode`` the model additionally runs the fused PathRNN
-    kernel (``LSTM.forward_fused``) and serves repeated contexts from its
-    :class:`~repro.core.model.ContextEmbeddingCache`; both are gated on
-    autograd being off, so ``fast_inference=False`` still exercises the
-    unmodified per-execution autograd reference arm.  Toggle
-    ``model.path_rnn.fused_inference`` / ``model.context_cache.enabled``
-    to isolate either layer when benchmarking.
+    kernel (``LSTM.forward_fused``), the fused head
+    (:func:`~repro.core.model.model_forward_fused`), and serves repeated
+    contexts from its :class:`~repro.core.model.ContextEmbeddingCache`;
+    samples whose ``(structure, operand values)`` pair was already scored
+    are served whole from the model's
+    :class:`~repro.core.model.AttentionRowMemo` without encoding at all.
+    All of these are gated on autograd being off, so
+    ``fast_inference=False`` still exercises the unmodified per-execution
+    autograd reference arm.  Toggle ``model.path_rnn.fused_inference`` /
+    ``model.fused_head`` / ``model.context_cache.enabled`` /
+    ``model.attention_memo.enabled`` to isolate any layer when
+    benchmarking.
     """
 
     def __init__(
@@ -277,13 +283,14 @@ class Explainer:
         traces the same statement overwhelmingly re-executes with values
         it has already been seen with.
 
-        Traces that arrived over a process boundary (localization shards,
-        parallel campaign workers) keep their executions in columnar form
-        (:meth:`Trace.execution_columns`); those are deduplicated
-        directly off the columns with vectorized ``np.unique`` — no
-        execution objects are ever materialized — while preserving the
-        exact first-seen order and counts of the record-by-record loop,
-        so both paths produce bit-identical attention maps.
+        Every trace is deduplicated off its columnar execution view
+        (:meth:`Trace.columnize` — traces that crossed a process boundary
+        already carry it, in-process traces pack it once and cache it)
+        with vectorized ``np.unique`` — no per-execution Python loop —
+        while preserving the exact first-seen order and counts of the
+        record-by-record loop, so both paths produce bit-identical
+        attention maps.  The record loop remains as the fallback for
+        >63-bit operand values, which don't fit the int64 columns.
         """
         groups: dict[tuple[int, tuple[int, ...]], int] = {}
         samples: list[Sample] = []
@@ -301,8 +308,8 @@ class Explainer:
             else:
                 counts[slot] += count
 
-        trace_columns = [trace.execution_columns() for trace in traces]
-        if traces and all(columns is not None for columns in trace_columns):
+        trace_columns = [trace.columnize() for trace in traces]
+        if traces:
             if _columnar_distinct(trace_columns, contexts, restrict_to, accumulate):
                 return samples, stmt_ids, counts
         for trace in traces:
@@ -341,14 +348,63 @@ class Explainer:
         samples, stmt_ids, counts = self.distinct_samples(
             contexts, traces, restrict_to
         )
+        rows = self._memoized_rows(samples, batch_size)
+        for index, weights in enumerate(rows):
+            amap.add(stmt_ids[index], weights, counts[index])
+        return amap
+
+    def _memoized_rows(self, samples: list[Sample], batch_size: int) -> list:
+        """Attention row per sample, via the model's attention-row memo.
+
+        With the memo enabled, samples whose ``(structure, operand
+        values)`` pair was already scored — by an earlier trace set,
+        mutant, or request — skip encoding and the whole forward pass;
+        samples *within* this call sharing one memo key collapse onto a
+        single representative forward row (a statement's attention row is
+        segment-local, so the representative's row is bit-identical to
+        recomputing each duplicate).  Rows come back in sample order, so
+        callers accumulate attention maps in the exact order (and thus
+        the exact float rounding) of the memo-off path.  With the memo
+        disabled every sample is encoded, matching the pre-memo behavior
+        batch for batch.
+        """
+        memo = self.model.attention_memo
+        rows: list[np.ndarray | None] = [None] * len(samples)
+        if memo.enabled:
+            # Each sample's key is built exactly once and reused for the
+            # dedup map, the memo lookup, and the store below.
+            pending_groups: list[list[int]] = []
+            pending_keys: list[tuple] = []
+            group_slot: dict = {}
+            key_for = memo.key_for
+            get_by_key = memo.get_by_key
+            for index, sample in enumerate(samples):
+                key = key_for(sample)
+                slot = group_slot.get(key)
+                if slot is not None:
+                    pending_groups[slot].append(index)
+                    continue
+                row = get_by_key(key)
+                if row is not None:
+                    rows[index] = row
+                else:
+                    group_slot[key] = len(pending_groups)
+                    pending_groups.append([index])
+                    pending_keys.append(key)
+        else:
+            pending_groups = [[index] for index in range(len(samples))]
+            pending_keys = []
         with inference_mode():
-            for start in range(0, len(samples), batch_size):
-                batch = self.encoder.encode(samples[start : start + batch_size])
+            for start in range(0, len(pending_groups), batch_size):
+                chunk = pending_groups[start : start + batch_size]
+                batch = self.encoder.encode([samples[group[0]] for group in chunk])
                 output = self.model(batch)
                 for offset, weights in enumerate(output.attention_per_statement()):
-                    row = start + offset
-                    amap.add(stmt_ids[row], weights, counts[row])
-        return amap
+                    for index in chunk[offset]:
+                        rows[index] = weights
+                    if memo.enabled:
+                        memo.put_by_key(pending_keys[start + offset], weights)
+        return rows
 
     def _attention_map_per_execution(
         self,

@@ -17,7 +17,6 @@ from dataclasses import dataclass, field
 
 from ..analysis.contexts import StatementContext, extract_module_contexts
 from ..analysis.slicing import StaticSlice, compute_static_slice, slice_statements
-from ..nn import inference_mode
 from ..sim.trace import Trace
 from ..verilog.ast_nodes import Module
 from .config import VeriBugConfig
@@ -148,9 +147,10 @@ class LocalizationEngine:
         Returns:
             The :class:`LocalizationResult` with heatmap and ranking.
         """
-        # One localization = one cache epoch: hits on entries created in
-        # an earlier epoch are cross-request (cross-mutant) sharing.
+        # One localization = one cache/memo epoch: hits on entries created
+        # in an earlier epoch are cross-request (cross-mutant) sharing.
         self.model.context_cache.begin_epoch()
+        self.model.attention_memo.begin_epoch()
         static_slice = compute_static_slice(module, target)
         contexts = extract_module_contexts(slice_statements(module, static_slice))
         heatmap = self.explainer.explain(
@@ -182,11 +182,13 @@ class LocalizationEngine:
         overhead (LSTM step loop, op dispatch) is amortized across
         mutants instead of being paid per small trace set.  Inside the
         ``inference_mode`` scope the model also selects the fused PathRNN
-        kernel and memoizes context embeddings per distinct
-        ``(context, operand)`` pair, so a statement whose paths were
-        embedded for one distinct sample never re-runs the PathRNN for
-        any other operand values — inference reduces to the value-MLP
-        stages.  Results are identical to calling :meth:`localize` per
+        kernel plus the fused head and memoizes context embeddings per
+        distinct ``(context, operand)`` pair, so a statement whose paths
+        were embedded for one distinct sample never re-runs the PathRNN
+        for any other operand values; the attention-row memo further
+        collapses whole ``(structure, operand values)`` repeats — the
+        golden/mutant overlap — onto a single forward row each.  Results
+        are identical to calling :meth:`localize` per
         request: attention weights are segment-local, so a sample's
         weights do not depend on which batch it lands in.
 
@@ -214,6 +216,7 @@ class LocalizationEngine:
             return self.runtime.localize_many(requests, batch_size=batch_size)
 
         self.model.context_cache.begin_epoch()
+        self.model.attention_memo.begin_epoch()
         prepared: list[tuple[StaticSlice, dict[int, StatementContext]]] = []
         maps: list[tuple[AttentionMap, AttentionMap]] = []
         flat_samples: list[Sample] = []
@@ -236,13 +239,12 @@ class LocalizationEngine:
             prepared.append((static_slice, contexts))
             maps.append((ft, ct))
 
-        with inference_mode():
-            for start in range(0, len(flat_samples), batch_size):
-                batch = self.encoder.encode(flat_samples[start : start + batch_size])
-                output = self.model(batch)
-                for offset, weights in enumerate(output.attention_per_statement()):
-                    amap, stmt_id, count = flat_adds[start + offset]
-                    amap.add(stmt_id, weights, count)
+        # The memo collapses samples shared across requests (the
+        # golden/mutant overlap) onto one forward row each; rows are
+        # applied in flat order, so maps accumulate exactly as without it.
+        rows = self.explainer._memoized_rows(flat_samples, batch_size)
+        for weights, (amap, stmt_id, count) in zip(rows, flat_adds):
+            amap.add(stmt_id, weights, count)
 
         results: list[LocalizationResult] = []
         for request, (static_slice, contexts), (ft, ct) in zip(

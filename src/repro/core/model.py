@@ -46,11 +46,14 @@ from ..nn import (
     gather_rows,
     inference_mode,
     is_grad_enabled,
+    mlp_forward_fused,
     segment_softmax,
+    segment_softmax_fused,
     segment_sum,
+    segment_sum_fused,
 )
 from .config import VeriBugConfig
-from .features import EncodedBatch
+from .features import EncodedBatch, Sample
 from .vocab import Vocabulary
 
 
@@ -181,6 +184,142 @@ class ContextEmbeddingCache:
         }
 
 
+class AttentionRowMemo:
+    """Memoizes final attention rows per ``(structure, operand values)``.
+
+    The campaign-scoped complement of :class:`ContextEmbeddingCache`: the
+    cache removes the *value-independent* stage-1 cost, this memo removes
+    everything else.  A statement's attention row is a pure function of
+    ``(statement_key, operand value tuple, weights)`` — the whole head
+    (aggregation, attention softmax, weighted sum) sees nothing but the
+    per-operand structures and their one-hot values — so executions shared
+    between the golden and mutant runs of a campaign (identical structure
+    *and* identical simulated values) skip encoding and every forward
+    stage outright.  Memoized rows are exact up to BLAS batch-shape
+    rounding (the key pins operand order and every head stage is
+    segment-local, so the only divergence from recomputing in a different
+    batch is last-ulp matmul blocking — well inside the 1e-9 ranking
+    tolerance the differential tests pin).
+
+    Only attention rows are memoized — never logits — so ``predict`` and
+    evaluation semantics are untouched; the memo is consulted by the
+    explainer/localizer heatmap fast paths exclusively, and only while
+    autograd is off.  Lifecycle mirrors the cache: LRU-bounded
+    (``max_entries``), invalidated on weight changes via
+    ``VeriBugModel._on_state_loaded``, with per-request epochs
+    (:meth:`begin_epoch`) separating same-request repeats from the
+    cross-mutant hits (``cross_epoch_hits``) the bench reports.
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: int = 100_000):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self._entries: dict[object, tuple[int, np.ndarray]] = {}
+        self._epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.cross_epoch_hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(sample: Sample) -> tuple:
+        """Memo key: the statement's structural key plus operand values."""
+        return (sample.context.statement_key(), sample.operand_values)
+
+    def begin_epoch(self) -> None:
+        """Mark a request boundary (one localization call = one epoch)."""
+        self._epoch += 1
+
+    def configure(self, enabled: bool, max_entries: int | None = None) -> None:
+        """Re-apply a memo policy (validated, with immediate effect)."""
+        if max_entries is not None:
+            if max_entries < 1:
+                raise ValueError("max_entries must be >= 1")
+            self.max_entries = max_entries
+        self.enabled = enabled
+        if not enabled:
+            self.clear()
+        while len(self._entries) > self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+
+    def get(self, sample: Sample) -> np.ndarray | None:
+        """The memoized attention row for the sample, or None."""
+        return self.get_by_key(self.key_for(sample))
+
+    def get_by_key(self, key: tuple) -> np.ndarray | None:
+        """:meth:`get` for callers that already built the key.
+
+        The hot loop (``Explainer._memoized_rows``) builds each sample's
+        key once and reuses it for the dedup group map, the lookup, and
+        the store — the key tuple hashes its fingerprints on every dict
+        op, so rebuilding it per operation is measurable at 10^4 samples
+        per call.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        # LRU touch: re-insert so dict order tracks recency.
+        del self._entries[key]
+        self._entries[key] = entry
+        self.hits += 1
+        if entry[0] != self._epoch:
+            self.cross_epoch_hits += 1
+        return entry[1]
+
+    def put(self, sample: Sample, row: np.ndarray) -> None:
+        """Store an attention row, evicting least-recently-used overflow."""
+        self.put_by_key(self.key_for(sample), row)
+
+    def put_by_key(self, key: tuple, row: np.ndarray) -> None:
+        """:meth:`put` for callers that already built the key."""
+        self._entries.pop(key, None)
+        while len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+        self._entries[key] = (self._epoch, row)
+
+    def clear(self) -> None:
+        """Drop every entry (weights changed or owner reset)."""
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.cross_epoch_hits = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def cross_epoch_hit_rate(self) -> float:
+        """Fraction of lookups served from an earlier epoch's entries."""
+        total = self.hits + self.misses
+        return self.cross_epoch_hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss counters plus the derived hit rates."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "cross_epoch_hits": self.cross_epoch_hits,
+            "cross_epoch_hit_rate": self.cross_epoch_hit_rate,
+            "entries": len(self._entries),
+            "evictions": self.evictions,
+        }
+
+
 @dataclass
 class ModelOutput:
     """Everything the trainer and explainer need from one forward pass.
@@ -247,6 +386,14 @@ class VeriBugModel(Module):
         #: exclusively while autograd is off, so training and the autograd
         #: reference arm never see it.
         self.context_cache = ContextEmbeddingCache()
+        #: Inference-only memo of final attention rows keyed on
+        #: ``(statement structure, operand values)``; consulted by the
+        #: explainer/localizer heatmap fast paths, never by ``forward``.
+        self.attention_memo = AttentionRowMemo()
+        #: Route no-grad forwards through :func:`model_forward_fused`
+        #: (raw-ndarray head kernels).  The autograd Tensor path stays
+        #: the reference oracle and is always used while grad is on.
+        self.fused_head = True
         #: Callbacks fired whenever the weights change wholesale
         #: (``load_state_dict`` or a completed ``Trainer.train`` run) —
         #: the execution runtime registers here to version its read-only
@@ -265,8 +412,10 @@ class VeriBugModel(Module):
             pass
 
     def _on_state_loaded(self) -> None:
-        # New weights invalidate every memoized context embedding ...
+        # New weights invalidate every memoized context embedding and
+        # attention row ...
         self.context_cache.clear()
+        self.attention_memo.clear()
         # ... and every externally-held snapshot of the old weights.
         for callback in list(self._weight_listeners):
             callback()
@@ -275,7 +424,14 @@ class VeriBugModel(Module):
     # Forward
     # ------------------------------------------------------------------
     def forward(self, batch: EncodedBatch) -> ModelOutput:
-        """Run the full model on an encoded batch."""
+        """Run the full model on an encoded batch.
+
+        Under :func:`inference_mode` (with :attr:`fused_head` left on)
+        the pass is routed through :func:`model_forward_fused`; the
+        Tensor path below is the autograd reference.
+        """
+        if self.fused_head and not is_grad_enabled():
+            return model_forward_fused(self, batch)
         x = self._operand_embeddings(batch)
         updated = self._aggregation(x, batch)
         attention = self._attention_weights(updated, batch)
@@ -373,3 +529,53 @@ class VeriBugModel(Module):
         """Class predictions without keeping the autograd graph."""
         with inference_mode():
             return self.forward(batch).predictions()
+
+
+def model_forward_fused(model: VeriBugModel, batch: EncodedBatch) -> ModelOutput:
+    """Full no-grad forward pass on raw arrays (no Tensor graph).
+
+    Stage 1 reuses :meth:`VeriBugModel._context_embeddings` — which
+    already dispatches between the fused-LSTM/cached path and the plain
+    PathRNN depending on the model's switches — and the head stages run
+    through the raw kernels in :mod:`repro.nn.fused`.  Every numpy call
+    matches the Tensor path in operand order, so the returned arrays are
+    bit-identical to ``forward`` evaluated under
+    :func:`~repro.nn.inference_mode` with :attr:`~VeriBugModel.fused_head`
+    off; the autograd path stays the reference oracle.
+
+    Raises:
+        RuntimeError: If autograd is enabled (the outputs carry no graph,
+            so running under training would silently detach gradients).
+    """
+    if is_grad_enabled():
+        raise RuntimeError(
+            "model_forward_fused requires autograd to be disabled; wrap the "
+            "call in repro.nn.inference_mode() (training must use the Tensor "
+            "autograd path)"
+        )
+    # Stage 1: x_i = (c_i || v_i) — cache/fused-LSTM dispatch included.
+    context = model._context_embeddings(batch).data  # [M, dc]
+    x = np.concatenate([context, batch.value_onehot], axis=1)  # [M, dc+dv]
+    # Stage 2a: x*_i = MLP_θ1(Σ_j x_j + ε · x_i).
+    stmt_sum = segment_sum_fused(x, batch.operand_stmt, batch.n_statements)
+    updated = mlp_forward_fused(
+        model.aggregation_mlp,
+        stmt_sum[batch.operand_stmt] + model.epsilon.data * x,
+    )
+    # Stage 2b: w = softmax(a · x*ᵀ) within each statement.
+    scores = updated @ model.attention_vector.data  # [M]
+    attention = segment_softmax_fused(
+        scores, batch.operand_stmt, batch.n_statements
+    )
+    # Stage 3: logits = MLP_θ2(Σ_i w_i x_i).
+    statement = segment_sum_fused(
+        attention.reshape(-1, 1) * x, batch.operand_stmt, batch.n_statements
+    )
+    logits = mlp_forward_fused(model.predictor, statement)
+    return ModelOutput(
+        logits=Tensor(logits),
+        attention=Tensor(attention),
+        updated_embeddings=Tensor(updated),
+        operand_stmt=batch.operand_stmt,
+        operand_counts=batch.operand_counts,
+    )

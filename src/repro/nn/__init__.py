@@ -17,6 +17,12 @@ from .functional import (
     softmax,
     stack,
 )
+from .fused import (
+    linear_forward_fused,
+    mlp_forward_fused,
+    segment_softmax_fused,
+    segment_sum_fused,
+)
 from .layers import MLP, Embedding, Linear, Module, Parameter
 from .loss import (
     attention_norm_regularizer,
@@ -50,13 +56,17 @@ __all__ = [
     "gather_rows",
     "inference_mode",
     "is_grad_enabled",
+    "linear_forward_fused",
     "load_state",
     "log_softmax",
     "lstm_forward_fused",
+    "mlp_forward_fused",
     "one_hot",
     "segment_mean",
     "segment_softmax",
+    "segment_softmax_fused",
     "segment_sum",
+    "segment_sum_fused",
     "softmax",
     "stack",
     "veribug_loss",

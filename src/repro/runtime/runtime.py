@@ -96,9 +96,11 @@ def plan_shards(n_items: int, n_shards: int) -> list[tuple[int, int]]:
 class RuntimeStats:
     """A point-in-time snapshot of one runtime's counters.
 
-    ``worker_cache_*`` aggregate the per-shard cache deltas reported by
-    workers — the fleet-wide equivalent of the in-process
-    ``ContextEmbeddingCache.stats()``.
+    ``worker_cache_*`` / ``worker_memo_*`` aggregate the per-shard deltas
+    reported by workers — the fleet-wide equivalents of the in-process
+    ``ContextEmbeddingCache.stats()`` and ``AttentionRowMemo.stats()``.
+    They make the sharded hit-rate drop (worker-local caches see only
+    their shard's structural overlap) visible without the bench script.
     """
 
     n_workers: int
@@ -116,11 +118,19 @@ class RuntimeStats:
     worker_cache_hits: int = 0
     worker_cache_misses: int = 0
     worker_cache_cross_epoch_hits: int = 0
+    worker_memo_hits: int = 0
+    worker_memo_misses: int = 0
+    worker_memo_cross_epoch_hits: int = 0
 
     @property
     def worker_cache_hit_rate(self) -> float:
         total = self.worker_cache_hits + self.worker_cache_misses
         return self.worker_cache_hits / total if total else 0.0
+
+    @property
+    def worker_memo_hit_rate(self) -> float:
+        total = self.worker_memo_hits + self.worker_memo_misses
+        return self.worker_memo_hits / total if total else 0.0
 
     def to_dict(self) -> dict:
         """JSON-friendly view (used by ``campaign --json``)."""
@@ -143,6 +153,12 @@ class RuntimeStats:
                 "hit_rate": round(self.worker_cache_hit_rate, 4),
                 "cross_epoch_hits": self.worker_cache_cross_epoch_hits,
             },
+            "worker_memo": {
+                "hits": self.worker_memo_hits,
+                "misses": self.worker_memo_misses,
+                "hit_rate": round(self.worker_memo_hit_rate, 4),
+                "cross_epoch_hits": self.worker_memo_cross_epoch_hits,
+            },
         }
 
 
@@ -158,6 +174,9 @@ class _Counters:
     worker_cache_hits: int = 0
     worker_cache_misses: int = 0
     worker_cache_cross_epoch_hits: int = 0
+    worker_memo_hits: int = 0
+    worker_memo_misses: int = 0
+    worker_memo_cross_epoch_hits: int = 0
 
 
 class ExecutionRuntime:
@@ -294,6 +313,8 @@ class ExecutionRuntime:
         *,
         cache_enabled: bool = True,
         cache_max_entries: int = 100_000,
+        memo_enabled: bool = True,
+        memo_max_entries: int = 100_000,
         fast_inference: bool = True,
     ) -> None:
         """Bind the session's model so workers can mirror it read-only.
@@ -307,6 +328,8 @@ class ExecutionRuntime:
         self._model_options = {
             "cache_enabled": cache_enabled,
             "cache_max_entries": cache_max_entries,
+            "memo_enabled": memo_enabled,
+            "memo_max_entries": memo_max_entries,
             "fast_inference": fast_inference,
         }
         model.add_weight_listener(self._on_weights_changed)
@@ -415,6 +438,11 @@ class ExecutionRuntime:
             counters.worker_cache_hits += delta["hits"]
             counters.worker_cache_misses += delta["misses"]
             counters.worker_cache_cross_epoch_hits += delta["cross_epoch_hits"]
+            counters.worker_memo_hits += delta.get("memo_hits", 0)
+            counters.worker_memo_misses += delta.get("memo_misses", 0)
+            counters.worker_memo_cross_epoch_hits += delta.get(
+                "memo_cross_epoch_hits", 0
+            )
         return results
 
     # ------------------------------------------------------------------
@@ -434,31 +462,52 @@ class ExecutionRuntime:
         without any scheduling assumption.  Yields
         ``(outcome, failing, correct)`` triples in mutation order as
         they complete, so campaign streaming semantics are preserved.
+
+        Submission is windowed, not bulk: at most ``2 * n_workers``
+        simulation tasks are in flight at a time, the next one submitted
+        only as results are consumed.  ``ProcessPoolExecutor`` has no
+        task priorities — it drains its queue FIFO — so keeping the sim
+        queue shallow is what lets an interleaved :meth:`localize_many`
+        dispatch (a streaming campaign localizing mutants while later
+        mutants still simulate) run its shards after at most one window
+        of sim tasks instead of stalling behind the campaign's whole
+        backlog.  The window still keeps every worker busy: ``n_workers``
+        tasks run while ``n_workers`` more sit queued.
         """
         pool = self._ensure_pool()
         ctx_id = self._next_ctx_id
         self._next_ctx_id += 1
         blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
         mutations = list(mutations)
-        seeded = 2 * self.n_workers
-        futures = [
-            pool.submit(
+        # The window size doubles as the blob-seeding horizon: every
+        # submission in the first window carries the context blob, so
+        # the seeding guarantee of the bulk-submit scheme is unchanged.
+        window = 2 * self.n_workers
+        self._counters.campaigns_served += 1
+        self._counters.tasks_dispatched += len(mutations)
+
+        def submit(index: int):
+            return pool.submit(
                 _task_simulate_mutant,
                 ctx_id,
-                blob if index < seeded else None,
-                mutation,
+                blob if index < window else None,
+                mutations[index],
             )
-            for index, mutation in enumerate(mutations)
-        ]
-        self._counters.campaigns_served += 1
-        self._counters.tasks_dispatched += len(futures)
-        for mutation, future in zip(mutations, futures):
+
+        futures = [submit(index) for index in range(min(window, len(mutations)))]
+        for index in range(len(mutations)):
             try:
-                yield future.result()
+                result = futures[index].result()
             except MissingWorkerContext:
-                yield pool.submit(
-                    _task_simulate_mutant, ctx_id, blob, mutation
+                result = pool.submit(
+                    _task_simulate_mutant, ctx_id, blob, mutations[index]
                 ).result()
+            # Top the window up before yielding: the consumer may take
+            # arbitrarily long with the result (e.g. localizing), and the
+            # pool should be working on the next mutants meanwhile.
+            if len(futures) < len(mutations):
+                futures.append(submit(len(futures)))
+            yield result
 
     # ------------------------------------------------------------------
     # Corpus generation
@@ -501,4 +550,7 @@ class ExecutionRuntime:
             worker_cache_hits=c.worker_cache_hits,
             worker_cache_misses=c.worker_cache_misses,
             worker_cache_cross_epoch_hits=c.worker_cache_cross_epoch_hits,
+            worker_memo_hits=c.worker_memo_hits,
+            worker_memo_misses=c.worker_memo_misses,
+            worker_memo_cross_epoch_hits=c.worker_memo_cross_epoch_hits,
         )

@@ -50,6 +50,8 @@ class ModelPayload:
         epoch: The weight epoch the snapshot was taken at.
         cache_enabled / cache_max_entries: Session cache policy, applied
             to the worker-local :class:`ContextEmbeddingCache`.
+        memo_enabled / memo_max_entries: Session attention-row memo
+            policy, applied to the worker-local :class:`AttentionRowMemo`.
         fast_inference: Mirror of the session's inference-arm switch.
     """
 
@@ -58,6 +60,8 @@ class ModelPayload:
     epoch: int
     cache_enabled: bool = True
     cache_max_entries: int = 100_000
+    memo_enabled: bool = True
+    memo_max_entries: int = 100_000
     fast_inference: bool = True
 
 
@@ -117,6 +121,9 @@ def _build_engine(payload: ModelPayload):
     model.context_cache.configure(
         enabled=payload.cache_enabled, max_entries=payload.cache_max_entries
     )
+    model.attention_memo.configure(
+        enabled=payload.memo_enabled, max_entries=payload.memo_max_entries
+    )
     engine = LocalizationEngine(
         model,
         BatchEncoder(vocab),
@@ -163,13 +170,19 @@ def _task_localize_shard(
     """
     engine = _ensure_engine(epoch, refresh_blob)
     cache = engine.model.context_cache
+    memo = engine.model.attention_memo
     before = (cache.hits, cache.misses, cache.cross_epoch_hits)
+    memo_before = (memo.hits, memo.misses, memo.cross_epoch_hits)
     results = engine.localize_many(requests, batch_size=batch_size)
     return results, {
         "hits": cache.hits - before[0],
         "misses": cache.misses - before[1],
         "cross_epoch_hits": cache.cross_epoch_hits - before[2],
         "entries": len(cache),
+        "memo_hits": memo.hits - memo_before[0],
+        "memo_misses": memo.misses - memo_before[1],
+        "memo_cross_epoch_hits": memo.cross_epoch_hits - memo_before[2],
+        "memo_entries": len(memo),
     }
 
 

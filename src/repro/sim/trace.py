@@ -209,6 +209,24 @@ class Trace:
             return executions.columns
         return None
 
+    def columnize(self) -> ExecutionColumns:
+        """The columnar execution view, packing (once) if necessary.
+
+        In-process traces hold materialized record lists; vectorized
+        consumers (the explainer's execution dedup) call this to get the
+        same struct-of-arrays view deserialized traces already carry.
+        The packed columns are cached on the trace — the record list is
+        kept, so nothing later re-pays :meth:`ExecutionColumns.unpack` —
+        and serialization reuses them via ``__getstate__``.
+        """
+        executions = self.executions
+        if isinstance(executions, _LazyExecutions):
+            return executions.columns
+        lazy = _LazyExecutions(ExecutionColumns.pack(executions))
+        lazy._records = executions
+        self.executions = lazy
+        return lazy.columns
+
     def __getstate__(self) -> dict:
         state = {k: v for k, v in self.__dict__.items() if k != "executions"}
         columns = self.execution_columns()

@@ -375,10 +375,32 @@ class TestStreamingCampaign:
         cache = session.model.context_cache
         cache.clear()
         cache.reset_stats()
-        list(handle.stream())
+        # Pin the attention-row memo off: it would serve repeated
+        # (structure, values) pairs whole, so the context cache would
+        # never see the cross-mutant lookups this test measures.
+        memo = session.model.attention_memo
+        saved = memo.enabled
+        memo.enabled = False
+        memo.clear()
+        try:
+            list(handle.stream())
+        finally:
+            memo.enabled = saved
         stats = cache.stats()
         assert stats["cross_epoch_hits"] > 0
         assert stats["cross_epoch_hit_rate"] > 0.0
+
+    def test_attention_memo_shares_across_mutants(self, session, handle):
+        """The memo complement: repeated (structure, values) executions
+        across mutants are served whole, without re-encoding."""
+        memo = session.model.attention_memo
+        memo.clear()
+        memo.reset_stats()
+        list(handle.stream())
+        stats = memo.stats()
+        assert stats["hits"] > 0
+        assert stats["cross_epoch_hits"] > 0
+        assert 0.0 < stats["hit_rate"] <= 1.0
 
     def test_empty_mutation_list(self, session):
         handle = session.campaign("wb_mux_2", "wbs0_we_o", mutations=[])

@@ -1,0 +1,401 @@
+"""Fused model-head kernels + attention-row memo: differential/property tests.
+
+The contracts pinned here mirror ``tests/test_fused_rnn.py`` one layer up:
+
+* **Differential** — ``model_forward_fused`` agrees with the autograd
+  forward within 1e-9 on hypothesis-random ragged statement batches, and
+  is bit-identical to the no-grad Tensor path it replaces.
+* **Batch invariance** — a statement's attention row does not depend on
+  which (ragged) batch it lands in (within 1e-9; BLAS batch-shape
+  blocking perturbs the last ulp), the property that makes memoized rows
+  reusable across batches.
+* **Memo semantics** — rankings with the attention-row memo on equal the
+  memo-off fast path and the autograd reference; keys are structural
+  (statement structure + operand values, label excluded); the LRU bound
+  and epoch accounting match the context cache's.
+* **Gating** — every fused kernel (and the fused forward) refuses to run
+  while autograd is enabled, including ``enable_grad`` nested inside
+  ``inference_mode``.
+* **Invalidation** — ``load_state_dict`` and a completed ``Trainer.train``
+  run both clear the memo via the ``_on_state_loaded`` weight hook.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttentionRowMemo,
+    BatchEncoder,
+    Explainer,
+    Trainer,
+    VeriBugConfig,
+    VeriBugModel,
+    Vocabulary,
+    model_forward_fused,
+)
+from repro.core.features import Sample
+from repro.nn import (
+    Tensor,
+    enable_grad,
+    inference_mode,
+    linear_forward_fused,
+    mlp_forward_fused,
+    segment_softmax,
+    segment_softmax_fused,
+    segment_sum,
+    segment_sum_fused,
+)
+
+from tests.test_fused_rnn import (
+    make_context,
+    model_switches,
+    path_lists,
+    planted_bug_case,
+)
+
+TOL = 1e-9
+
+
+def tiny_model(seed: int = 0) -> VeriBugModel:
+    config = VeriBugConfig(
+        dc=8, da=12, node_embed_dim=8, predictor_hidden=12, seed=seed
+    )
+    return VeriBugModel(config, Vocabulary())
+
+
+@st.composite
+def statement_batches(draw):
+    """Random ragged batches: per-statement operand counts, paths, values."""
+    n_statements = draw(st.integers(min_value=1, max_value=4))
+    samples = []
+    for stmt_id in range(n_statements):
+        n_operands = draw(st.integers(min_value=1, max_value=3))
+        paths = [draw(path_lists) for _ in range(n_operands)]
+        values = tuple(
+            draw(st.integers(min_value=0, max_value=300))
+            for _ in range(n_operands)
+        )
+        samples.append(
+            Sample(
+                context=make_context(stmt_id, n_operands, paths=paths),
+                operand_values=values,
+                label=draw(st.integers(min_value=0, max_value=1)),
+            )
+        )
+    return samples
+
+
+# ----------------------------------------------------------------------
+# Kernel-level properties
+# ----------------------------------------------------------------------
+
+
+class TestSegmentKernels:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_rows=st.integers(min_value=1, max_value=24),
+        n_segments=st.integers(min_value=1, max_value=8),
+        extra_segments=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_segment_softmax_matches_autograd_and_ignores_padding(
+        self, seed, n_rows, n_segments, extra_segments
+    ):
+        """The single-sweep masked softmax equals the autograd op exactly,
+        and appending empty segments (ragged-batch padding) is identity."""
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(scale=4.0, size=n_rows)
+        segment_ids = np.sort(rng.integers(0, n_segments, size=n_rows))
+        with inference_mode():
+            fused = segment_softmax_fused(scores, segment_ids, n_segments)
+            padded = segment_softmax_fused(
+                scores, segment_ids, n_segments + extra_segments
+            )
+            reference = segment_softmax(
+                Tensor(scores), segment_ids, n_segments
+            ).data
+        assert np.array_equal(fused, reference)
+        assert np.array_equal(fused, padded)
+        # Each populated segment is a probability vector.
+        sums = segment_sum_fused_sums(fused, segment_ids, n_segments)
+        populated = np.bincount(segment_ids, minlength=n_segments) > 0
+        assert np.allclose(sums[populated], 1.0, atol=1e-12)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_rows=st.integers(min_value=1, max_value=24),
+        width=st.integers(min_value=1, max_value=6),
+        n_segments=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segment_sum_matches_autograd(self, seed, n_rows, width, n_segments):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n_rows, width))
+        segment_ids = rng.integers(0, n_segments, size=n_rows)
+        with inference_mode():
+            fused = segment_sum_fused(x, segment_ids, n_segments)
+            reference = segment_sum(Tensor(x), segment_ids, n_segments).data
+        assert np.array_equal(fused, reference)
+
+
+def segment_sum_fused_sums(values, segment_ids, n_segments):
+    with inference_mode():
+        return segment_sum_fused(values, segment_ids, n_segments)
+
+
+# ----------------------------------------------------------------------
+# Full-head differential
+# ----------------------------------------------------------------------
+
+
+class TestFusedHeadDifferential:
+    @given(samples=statement_batches(), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_autograd_on_random_batches(self, samples, seed):
+        model = tiny_model(seed % 1000)
+        encoder = BatchEncoder(model.vocab)
+        batch = encoder.encode(samples)
+        # Autograd reference: grad on forces the Tensor path.
+        reference = model.forward(batch)
+        assert reference.logits.requires_grad
+        with inference_mode():
+            fused = model.forward(batch)
+            model.fused_head = False
+            tensor_nograd = model.forward(batch)
+        assert np.allclose(fused.logits.data, reference.logits.data, atol=TOL)
+        assert np.allclose(
+            fused.attention.data, reference.attention.data, atol=TOL
+        )
+        assert np.allclose(
+            fused.updated_embeddings.data,
+            reference.updated_embeddings.data,
+            atol=TOL,
+        )
+        # Against the no-grad Tensor path the fused head is bit-identical
+        # (same numpy calls in the same operand order).
+        assert np.array_equal(fused.logits.data, tensor_nograd.logits.data)
+        assert np.array_equal(
+            fused.attention.data, tensor_nograd.attention.data
+        )
+
+    @given(samples=statement_batches())
+    @settings(max_examples=20, deadline=None)
+    def test_batch_composition_invariance(self, samples):
+        """A statement's attention row doesn't depend on which ragged
+        batch it lands in (within 1e-9) — the property that makes
+        memoized rows reusable across batches.  Exact bit-identity is
+        not guaranteed across batch *shapes*: BLAS blocks matmuls
+        differently for different operand sizes, so the same row can
+        round differently in the last ulp."""
+        model = tiny_model(7)
+        encoder = BatchEncoder(model.vocab)
+        with inference_mode():
+            combined = model.forward(encoder.encode(samples))
+            rows = combined.attention_per_statement()
+            for sample, row in zip(samples, rows):
+                alone = model.forward(encoder.encode([sample]))
+                assert np.allclose(
+                    alone.attention_per_statement()[0], row, rtol=0, atol=TOL
+                )
+
+    def test_predict_uses_fused_head(self):
+        model = tiny_model(3)
+        encoder = BatchEncoder(model.vocab)
+        samples = [
+            Sample(make_context(0, 2), operand_values=(1, 0), label=0),
+            Sample(make_context(1, 1), operand_values=(5,), label=1),
+        ]
+        batch = encoder.encode(samples)
+        fused_pred = model.predict(batch)
+        model.fused_head = False
+        assert np.array_equal(fused_pred, model.predict(batch))
+
+
+# ----------------------------------------------------------------------
+# Grad gating
+# ----------------------------------------------------------------------
+
+
+class TestGradRefusal:
+    def test_model_forward_fused_refuses_grad(self):
+        model = tiny_model(1)
+        encoder = BatchEncoder(model.vocab)
+        batch = encoder.encode(
+            [Sample(make_context(0, 1), operand_values=(1,), label=0)]
+        )
+        with pytest.raises(RuntimeError, match="inference_mode"):
+            model_forward_fused(model, batch)
+        # enable_grad nested inside inference_mode re-arms the refusal.
+        with inference_mode():
+            model_forward_fused(model, batch)
+            with enable_grad():
+                with pytest.raises(RuntimeError, match="inference_mode"):
+                    model_forward_fused(model, batch)
+
+    def test_kernels_refuse_grad(self):
+        x = np.ones((3, 2))
+        ids = np.array([0, 0, 1])
+        with pytest.raises(RuntimeError, match="inference_mode"):
+            segment_sum_fused(x, ids, 2)
+        with pytest.raises(RuntimeError, match="inference_mode"):
+            segment_softmax_fused(np.ones(3), ids, 2)
+        model = tiny_model(2)
+        with pytest.raises(RuntimeError, match="inference_mode"):
+            mlp_forward_fused(model.predictor, np.ones((1, model.config.operand_dim)))
+        with pytest.raises(RuntimeError, match="inference_mode"):
+            linear_forward_fused(model.predictor.layers[0], np.ones((1, model.config.operand_dim)))
+
+    def test_training_forward_builds_graph_despite_fused_head(self):
+        """With grad on, the dispatch must ignore fused_head entirely."""
+        model = tiny_model(4)
+        encoder = BatchEncoder(model.vocab)
+        batch = encoder.encode(
+            [Sample(make_context(0, 2), operand_values=(1, 2), label=1)]
+        )
+        assert model.fused_head
+        output = model.forward(batch)
+        assert output.logits.requires_grad
+        assert output.attention.requires_grad
+
+
+# ----------------------------------------------------------------------
+# Attention-row memo
+# ----------------------------------------------------------------------
+
+
+class TestAttentionRowMemo:
+    def _sample(self, stmt_id=0, paths=None, values=(1, 0), label=0):
+        context = make_context(stmt_id, len(values), paths=paths)
+        return Sample(context=context, operand_values=values, label=label)
+
+    def test_key_is_structure_plus_values_not_identity_or_label(self):
+        memo = AttentionRowMemo()
+        row = np.array([0.25, 0.75])
+        paths = [[("And", "Rvalue")], [("Not", "Lvalue")]]
+        memo.put(self._sample(0, paths=paths), row)
+        # Fresh context object, different stmt_id, different label: same
+        # structure + values -> served.
+        assert memo.get(self._sample(9, paths=paths, label=1)) is row
+        # Different operand values -> distinct entry.
+        assert memo.get(self._sample(0, paths=paths, values=(0, 1))) is None
+        # Different structure, same values -> distinct entry.
+        other = [[("Or", "Rvalue")], [("Not", "Lvalue")]]
+        assert memo.get(self._sample(0, paths=other)) is None
+
+    def test_lru_bound_and_epoch_accounting(self):
+        memo = AttentionRowMemo(max_entries=2)
+        samples = [
+            self._sample(i, paths=[[("And",) * (i + 1)]], values=(1,))
+            for i in range(3)
+        ]
+        memo.put(samples[0], np.zeros(1))
+        memo.put(samples[1], np.ones(1))
+        assert memo.get(samples[0]) is not None  # touch: 0 becomes MRU
+        memo.put(samples[2], np.full(1, 2.0))  # evicts 1, the LRU
+        assert len(memo) == 2
+        assert memo.evictions == 1
+        assert memo.get(samples[1]) is None
+        assert memo.cross_epoch_hits == 0
+        memo.begin_epoch()
+        assert memo.get(samples[0]) is not None
+        assert memo.cross_epoch_hits == 1
+        stats = memo.stats()
+        assert stats["cross_epoch_hits"] == 1
+        assert 0.0 < stats["cross_epoch_hit_rate"] <= 1.0
+        memo.configure(enabled=False)
+        assert len(memo) == 0 and not memo.enabled
+        with pytest.raises(ValueError):
+            memo.configure(enabled=True, max_entries=0)
+
+    def test_memo_on_off_ranking_identity(self, trained_pipeline):
+        buggy, failing, correct = planted_bug_case()
+        localizer = trained_pipeline.localizer
+        model = trained_pipeline.model
+        with model_switches(model, fused=True, cache=True, memo=True):
+            cold = localizer.localize(buggy, "y", failing, correct)
+            warm = localizer.localize(buggy, "y", failing, correct)
+            assert model.attention_memo.hits > 0
+            assert model.attention_memo.cross_epoch_hits > 0
+        with model_switches(model, fused=True, cache=True, memo=False):
+            plain = localizer.localize(buggy, "y", failing, correct)
+        for result in (cold, warm):
+            assert result.ranking == plain.ranking
+            assert set(result.heatmap.suspiciousness) == set(
+                plain.heatmap.suspiciousness
+            )
+            for stmt_id, score in plain.heatmap.suspiciousness.items():
+                assert abs(result.heatmap.suspiciousness[stmt_id] - score) <= TOL
+
+    def test_memoized_maps_match_reference(self, trained_pipeline, arbiter):
+        """Attention maps with a cold or warm memo equal the memo-off
+        maps within 1e-9 (batch regrouping perturbs BLAS rounding, so
+        bit-identity across the memo toggle is not guaranteed)."""
+        from repro.analysis import extract_module_contexts
+        from tests.test_fused_rnn import assert_maps_equal, design_traces
+
+        model = trained_pipeline.model
+        explainer = Explainer(model, trained_pipeline.encoder)
+        contexts = extract_module_contexts(arbiter.statements())
+        traces = design_traces(arbiter, n_traces=3)
+        with model_switches(model, fused=True, cache=True, memo=True):
+            cold = explainer.attention_map(contexts, traces)
+            warm = explainer.attention_map(contexts, traces)
+            assert model.attention_memo.hits > 0
+        with model_switches(model, fused=True, cache=True, memo=False):
+            reference = explainer.attention_map(contexts, traces)
+        for amap in (cold, warm):
+            assert_maps_equal(amap, reference)
+        # Warm lookups serve the exact rows the cold pass stored.
+        for stmt_id in cold.statements():
+            assert np.array_equal(cold.weights[stmt_id], warm.weights[stmt_id])
+
+
+# ----------------------------------------------------------------------
+# Weight-epoch invalidation
+# ----------------------------------------------------------------------
+
+
+class TestWeightInvalidation:
+    def _warm_memo(self, model):
+        encoder = BatchEncoder(model.vocab)
+        explainer = Explainer(model, encoder)
+        # Multi-operand statements with distinct structures: their
+        # attention rows are non-trivial (a single-operand row is always
+        # [1.0] no matter the weights).
+        samples = [
+            Sample(
+                make_context(
+                    i, 2, paths=[[("And",) * (i + 1)], [("Not", "Lvalue")]]
+                ),
+                operand_values=(i % 3, (i + 1) % 3),
+                label=0,
+            )
+            for i in range(4)
+        ]
+        rows = explainer._memoized_rows(samples, batch_size=8)
+        assert len(model.attention_memo) > 0
+        return samples, rows
+
+    def test_load_state_dict_clears_memo(self):
+        model = tiny_model(11)
+        samples, rows = self._warm_memo(model)
+        state = model.state_dict()
+        state["attention_vector"] = state["attention_vector"] * 1.5
+        model.load_state_dict(state)
+        assert len(model.attention_memo) == 0
+        assert len(model.context_cache) == 0
+        # Recomputed rows reflect the new weights, not the stale memo.
+        explainer = Explainer(model, BatchEncoder(model.vocab))
+        fresh = explainer._memoized_rows(samples, batch_size=8)
+        assert any(
+            not np.array_equal(old, new) for old, new in zip(rows, fresh)
+        )
+
+    def test_trainer_train_clears_memo(self, tiny_samples):
+        model = tiny_model(12)
+        self._warm_memo(model)
+        trainer = Trainer(model, BatchEncoder(model.vocab), model.config)
+        trainer.train(tiny_samples[:24], epochs=1)
+        assert len(model.attention_memo) == 0

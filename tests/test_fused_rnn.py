@@ -43,19 +43,36 @@ def ragged_batch(rng, batch, steps, input_size):
 
 
 @contextmanager
-def model_switches(model, fused: bool, cache: bool):
-    """Pin the fused-kernel and cache switches, starting from a cold cache."""
+def model_switches(model, fused: bool, cache: bool, memo: bool = False):
+    """Pin the fused-kernel/cache/memo switches, starting cold.
+
+    The attention-row memo defaults to *off* here so the cache-stat
+    assertions below keep measuring the context cache: with the memo on,
+    repeated samples skip encoding entirely and never consult the cache.
+    """
     lstm = model.path_rnn
-    saved = (lstm.fused_inference, model.context_cache.enabled)
+    saved = (
+        lstm.fused_inference,
+        model.context_cache.enabled,
+        model.attention_memo.enabled,
+    )
     lstm.fused_inference = fused
     model.context_cache.enabled = cache
     model.context_cache.clear()
     model.context_cache.reset_stats()
+    model.attention_memo.enabled = memo
+    model.attention_memo.clear()
+    model.attention_memo.reset_stats()
     try:
         yield
     finally:
-        lstm.fused_inference, model.context_cache.enabled = saved
+        (
+            lstm.fused_inference,
+            model.context_cache.enabled,
+            model.attention_memo.enabled,
+        ) = saved
         model.context_cache.clear()
+        model.attention_memo.clear()
 
 
 # ----------------------------------------------------------------------

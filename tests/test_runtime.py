@@ -391,6 +391,117 @@ class TestColumnarTraces:
         assert list(back.executions) == executions
 
 
+class _FakeFuture:
+    def __init__(self, value, error=None):
+        self._value = value
+        self._error = error
+
+    def result(self):
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+        return self._value
+
+
+class _FakePool:
+    """Records submissions; results come back immediately (no processes)."""
+
+    def __init__(self, fail_first_without_blob: bool = False):
+        self.submissions: list[tuple] = []
+        self._fail_first_without_blob = fail_first_without_blob
+
+    def submit(self, fn, ctx_id, blob, mutation):
+        from repro.runtime.worker import MissingWorkerContext
+
+        self.submissions.append((ctx_id, blob, mutation))
+        if self._fail_first_without_blob and blob is None:
+            self._fail_first_without_blob = False
+            return _FakeFuture(
+                None, MissingWorkerContext("worker lacks context")
+            )
+        return _FakeFuture(mutation)
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestWindowedSimulationDispatch:
+    """Campaign sims must not monopolize the executor queue.
+
+    ``ProcessPoolExecutor`` drains FIFO with no priorities, so the only
+    way an interleaved ``localize_many`` dispatch (streaming campaigns
+    localize mutants while later mutants still simulate) can run promptly
+    is for ``simulate_mutants`` to keep at most one small window of sim
+    tasks queued — never the whole campaign backlog.  These tests pin the
+    window invariant deterministically with a recording fake pool.
+    """
+
+    def _runtime_with_fake_pool(self, n_workers=2, **fake_kwargs):
+        runtime = ExecutionRuntime(n_workers)
+        fake = _FakePool(**fake_kwargs)
+        runtime._pool = fake  # bypasses _ensure_pool's lazy start
+        return runtime, fake
+
+    def test_in_flight_tasks_never_exceed_window(self):
+        runtime, fake = self._runtime_with_fake_pool(n_workers=2)
+        mutations = [f"m{i}" for i in range(11)]
+        window = 2 * runtime.n_workers
+        stream = runtime.simulate_mutants(("ctx",), mutations)
+        # Submission is lazy: nothing hits the queue before consumption.
+        assert fake.submissions == []
+        consumed = []
+        for result in stream:
+            consumed.append(result)
+            in_flight = len(fake.submissions) - len(consumed)
+            assert in_flight <= window
+        assert consumed == mutations  # mutation order preserved
+        assert len(fake.submissions) == len(mutations)
+        assert runtime.stats().tasks_dispatched == len(mutations)
+        runtime.close()
+
+    def test_localize_shards_jump_the_sim_backlog(self):
+        """The streaming-campaign interleave: after consuming one sim
+        result, a localize dispatch waits behind at most one window of
+        queued sim tasks, not the campaign's full backlog."""
+        runtime, fake = self._runtime_with_fake_pool(n_workers=2)
+        mutations = [f"m{i}" for i in range(40)]
+        stream = runtime.simulate_mutants(("ctx",), mutations)
+        next(stream)  # consumer now holds one result (and localizes it)
+        window = 2 * runtime.n_workers
+        queued_sims = len(fake.submissions) - 1
+        assert queued_sims <= window  # a shard submitted now runs soon
+        assert len(fake.submissions) < len(mutations)
+        runtime.close()
+
+    def test_first_window_carries_context_blob(self):
+        runtime, fake = self._runtime_with_fake_pool(n_workers=2)
+        mutations = [f"m{i}" for i in range(11)]
+        window = 2 * runtime.n_workers
+        list(runtime.simulate_mutants(("ctx",), mutations))
+        blobs = [blob for _ctx_id, blob, _mutation in fake.submissions]
+        assert all(blob is not None for blob in blobs[:window])
+        assert all(blob is None for blob in blobs[window:])
+        runtime.close()
+
+    def test_missing_context_retry_survives_windowing(self):
+        runtime, fake = self._runtime_with_fake_pool(
+            n_workers=1, fail_first_without_blob=True
+        )
+        mutations = [f"m{i}" for i in range(5)]
+        results = list(runtime.simulate_mutants(("ctx",), mutations))
+        assert results == mutations
+        # The failed submission was retried once, with the blob attached.
+        retried = [
+            (blob, mutation)
+            for _ctx_id, blob, mutation in fake.submissions
+            if mutation == mutations[2 * runtime.n_workers]
+        ]
+        assert len(retried) == 2
+        assert retried[0][0] is None and retried[1][0] is not None
+        runtime.close()
+
+
 class TestWorkerProtocol:
     """In-process checks of the worker task protocol's recovery paths."""
 
