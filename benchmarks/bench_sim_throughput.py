@@ -1,27 +1,44 @@
 """Simulation-engine throughput: interpreted vs compiled.
 
 Measures cycles/sec and statements/sec on the four paper designs for
-both execution engines, with recording on (trace-learning workload) and
-off (golden-trace workload), and writes the results to ``BENCH_sim.json``
-at the repo root so the performance trajectory is tracked across PRs.
+both execution engines and writes the results to ``BENCH_sim.json`` at
+the repo root so the performance trajectory is tracked across PRs.
+
+The ``--record`` arm selects the workload: ``on`` (trace-learning
+workload, columnar recording active), ``off`` (golden-trace workload,
+fast streams only), or ``both`` (default), which additionally reports
+the **recording overhead** per engine — recorded wall time over
+unrecorded wall time, the cost of columnar instrumentation itself.
+
+Unless ``--no-verify`` is given, the run first differential-tests the
+columnar recorder against its oracles on every design: the compiled and
+interpreted engines must produce identical recorded traces, and the
+recorder's native columns must be byte-equivalent to repacking the
+materialized record objects.  Any divergence makes the process exit
+nonzero, so CI bench smoke doubles as a recorder integrity gate.
 
 Run with::
 
     python benchmarks/bench_sim_throughput.py [--traces N] [--cycles N]
+        [--record {both,on,off}] [--no-verify]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import pathlib
 import sys
 import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+import numpy as np  # noqa: E402
+
 from repro.designs import REGISTRY, load_design  # noqa: E402
 from repro.sim import (  # noqa: E402
+    ExecutionColumns,
     Simulator,
     TestbenchConfig,
     clear_compile_cache,
@@ -30,8 +47,49 @@ from repro.sim import (  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
+ENGINES = ("interpreted", "compiled")
 
-def bench_design(name: str, n_traces: int, n_cycles: int, seed: int = 3) -> dict:
+
+def verify_design(name: str, n_cycles: int, seed: int = 3) -> list[str]:
+    """Recorder-vs-oracle differential check for one design.
+
+    Returns a list of human-readable divergence descriptions (empty when
+    the recorder is sound): compiled vs interpreted recorded traces, and
+    native recorder columns vs a repack of the materialized records.
+    """
+    module = load_design(name)
+    stimuli = generate_testbench_suite(
+        module, 2, TestbenchConfig(n_cycles=n_cycles), seed=seed
+    )
+    compiled = Simulator(module, engine="compiled")
+    interpreted = Simulator(module, engine="interpreted")
+    problems: list[str] = []
+    for index, stimulus in enumerate(stimuli):
+        tag = f"{name}[{index}]"
+        tc = compiled.run(stimulus)
+        ti = interpreted.run(stimulus)
+        if tc.outputs != ti.outputs:
+            problems.append(f"{tag}: engine outputs diverge")
+            continue
+        if list(tc.executions) != list(ti.executions):
+            problems.append(f"{tag}: recorded executions diverge between engines")
+            continue
+        columns = tc.execution_columns()
+        repacked = ExecutionColumns.pack(list(tc.executions))
+        if columns is None or columns.stmt_table != repacked.stmt_table:
+            problems.append(f"{tag}: recorder shape table != repacked shape table")
+            continue
+        for attr in ("stmt_slots", "cycles", "lhs_values", "flat_values"):
+            ours, oracle = getattr(columns, attr), getattr(repacked, attr)
+            if type(ours) is not type(oracle) or not np.array_equal(ours, oracle):
+                problems.append(f"{tag}: recorder column {attr} != repacked column")
+                break
+    return problems
+
+
+def bench_design(
+    name: str, n_traces: int, n_cycles: int, arms: tuple[str, ...], seed: int = 3
+) -> dict:
     module = load_design(name)
     stimuli = generate_testbench_suite(
         module, n_traces, TestbenchConfig(n_cycles=n_cycles), seed=seed
@@ -39,81 +97,134 @@ def bench_design(name: str, n_traces: int, n_cycles: int, seed: int = 3) -> dict
     total_cycles = n_traces * n_cycles
     row: dict = {"n_traces": n_traces, "n_cycles": n_cycles}
 
-    for engine in ("interpreted", "compiled"):
+    for engine in ENGINES:
         t0 = time.perf_counter()
         simulator = Simulator(module, engine=engine)
         setup_s = time.perf_counter() - t0
+        stats: dict = {"setup_s": round(setup_s, 6)}
 
-        t0 = time.perf_counter()
-        traces = simulator.run_suite(stimuli, record=True)
-        record_s = time.perf_counter() - t0
-        n_statements = sum(len(t.executions) for t in traces)
-
-        t0 = time.perf_counter()
-        simulator.run_suite(stimuli, record=False)
-        norecord_s = time.perf_counter() - t0
-
-        row[engine] = {
-            "setup_s": round(setup_s, 6),
-            "record": {
+        if "record" in arms:
+            t0 = time.perf_counter()
+            traces = simulator.run_suite(stimuli, record=True)
+            record_s = time.perf_counter() - t0
+            n_statements = sum(len(t.executions) for t in traces)
+            stats["record"] = {
                 "wall_s": round(record_s, 6),
                 "cycles_per_s": round(total_cycles / record_s),
                 "statements_per_s": round(n_statements / record_s),
-            },
-            "norecord": {
+            }
+
+        if "norecord" in arms:
+            t0 = time.perf_counter()
+            simulator.run_suite(stimuli, record=False)
+            norecord_s = time.perf_counter() - t0
+            stats["norecord"] = {
                 "wall_s": round(norecord_s, 6),
                 "cycles_per_s": round(total_cycles / norecord_s),
-            },
-        }
+            }
 
-    row["speedup_record"] = round(
-        row["interpreted"]["record"]["wall_s"] / row["compiled"]["record"]["wall_s"], 2
-    )
-    row["speedup_norecord"] = round(
-        row["interpreted"]["norecord"]["wall_s"]
-        / row["compiled"]["norecord"]["wall_s"],
-        2,
-    )
+        if "record" in arms and "norecord" in arms:
+            # The recording-overhead arm: cost of columnar
+            # instrumentation relative to the uninstrumented streams.
+            stats["record_overhead"] = round(
+                stats["record"]["wall_s"] / stats["norecord"]["wall_s"], 2
+            )
+        row[engine] = stats
+
+    for arm in arms:
+        row[f"speedup_{arm}"] = round(
+            row["interpreted"][arm]["wall_s"] / row["compiled"][arm]["wall_s"], 2
+        )
     return row
 
 
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--traces", type=int, default=8, help="testbenches per design")
     parser.add_argument("--cycles", type=int, default=50, help="cycles per testbench")
     parser.add_argument(
+        "--record",
+        choices=("both", "on", "off"),
+        default="both",
+        help="recording arm: on (recorded workload), off (golden-trace "
+        "workload), or both (default; also reports recording overhead)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the recorder-vs-oracle differential check",
+    )
+    parser.add_argument(
         "--output", default=str(REPO_ROOT / "BENCH_sim.json"), help="result path"
     )
     args = parser.parse_args()
+    arms = {"both": ("record", "norecord"), "on": ("record",), "off": ("norecord",)}[
+        args.record
+    ]
 
     clear_compile_cache()
+    divergences: list[str] = []
+    if not args.no_verify:
+        for name in REGISTRY:
+            divergences.extend(verify_design(name, args.cycles))
+        for problem in divergences:
+            print(f"DIVERGENCE: {problem}", file=sys.stderr)
+
     results = {
-        "workload": {"traces_per_design": args.traces, "cycles_per_trace": args.cycles},
+        "workload": {
+            "traces_per_design": args.traces,
+            "cycles_per_trace": args.cycles,
+            "record_arm": args.record,
+        },
+        "recorder_verified": not args.no_verify and not divergences,
         "designs": {},
     }
     for name in REGISTRY:
-        row = bench_design(name, args.traces, args.cycles)
+        row = bench_design(name, args.traces, args.cycles, arms)
         results["designs"][name] = row
-        print(
-            f"{name:18s} record {row['speedup_record']:>5.2f}x "
-            f"norecord {row['speedup_norecord']:>5.2f}x "
-            f"({row['compiled']['record']['cycles_per_s']} cyc/s compiled, "
-            f"{row['interpreted']['record']['cycles_per_s']} interpreted)"
+        parts = [f"{name:18s}"]
+        for arm in arms:
+            parts.append(f"{arm} {row[f'speedup_{arm}']:>5.2f}x")
+        if "record_overhead" in row["compiled"]:
+            parts.append(f"overhead {row['compiled']['record_overhead']:>4.2f}x")
+        if "record" in arms:
+            parts.append(
+                f"({row['compiled']['record']['statements_per_s']} stmt/s compiled)"
+            )
+        print(" ".join(parts))
+
+    for arm in arms:
+        speedups = [r[f"speedup_{arm}"] for r in results["designs"].values()]
+        results[f"geomean_speedup_{arm}"] = round(
+            math.prod(speedups) ** (1 / len(speedups)), 2
+        )
+    if len(arms) == 2:
+        overheads = [
+            r["compiled"]["record_overhead"] for r in results["designs"].values()
+        ]
+        results["geomean_record_overhead"] = round(
+            math.prod(overheads) ** (1 / len(overheads)), 2
         )
 
-    speedups = [r["speedup_record"] for r in results["designs"].values()]
-    results["geomean_speedup_record"] = round(
-        __import__("math").prod(speedups) ** (1 / len(speedups)), 2
-    )
     existing = {}
     out = pathlib.Path(args.output)
     if out.exists():
         existing = json.loads(out.read_text())
     existing.update(results)
     out.write_text(json.dumps(existing, indent=2) + "\n")
-    print(f"geomean record-mode speedup: {results['geomean_speedup_record']}x")
+    if "record" in arms:
+        print(f"geomean record-mode speedup: {results['geomean_speedup_record']}x")
+    if "geomean_record_overhead" in results:
+        print(f"geomean recording overhead: {results['geomean_record_overhead']}x")
     print(f"wrote {out}")
+    if divergences:
+        print(
+            f"FAIL: {len(divergences)} recorder-vs-oracle divergence(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -21,7 +21,13 @@ from .features import (
     sample_from_execution,
     train_test_split,
 )
-from .heatmap import format_operand_scores, render_heatmap, score_bin, score_glyph
+from .heatmap import (
+    execution_coverage,
+    format_operand_scores,
+    render_heatmap,
+    score_bin,
+    score_glyph,
+)
 from .localizer import (
     BugLocalizer,
     LocalizationEngine,
@@ -65,6 +71,7 @@ __all__ = [
     "Vocabulary",
     "build_samples",
     "compute_metrics",
+    "execution_coverage",
     "format_operand_scores",
     "model_forward_fused",
     "normalized_l1_distance",

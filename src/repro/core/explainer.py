@@ -284,13 +284,15 @@ class Explainer:
         it has already been seen with.
 
         Every trace is deduplicated off its columnar execution view
-        (:meth:`Trace.columnize` — traces that crossed a process boundary
-        already carry it, in-process traces pack it once and cache it)
-        with vectorized ``np.unique`` — no per-execution Python loop —
-        while preserving the exact first-seen order and counts of the
-        record-by-record loop, so both paths produce bit-identical
-        attention maps.  The record loop remains as the fallback for
-        >63-bit operand values, which don't fit the int64 columns.
+        (:meth:`Trace.columnize` — simulator-recorded and deserialized
+        traces already carry it natively, so the packing shim only fires
+        for hand-assembled traces) with vectorized ``np.unique`` — no
+        per-execution Python loop — while preserving the exact first-seen
+        order and counts of the record-by-record loop, so both paths
+        produce bit-identical attention maps.  The record loop remains as
+        the fallback for >63-bit operand values, which don't fit the
+        int64 columns and keep Python-list columns at the recorder
+        boundary.
         """
         groups: dict[tuple[int, tuple[int, ...]], int] = {}
         samples: list[Sample] = []

@@ -201,6 +201,61 @@ def sample_from_execution(
     return Sample(context=context, operand_values=values, label=label, design=design)
 
 
+def _columnar_samples(
+    columns,
+    contexts: dict[int, StatementContext],
+    design: str,
+    restrict_to: set[int] | None,
+    samples: list[Sample],
+) -> bool:
+    """Build one trace's samples straight off its execution columns.
+
+    Per statement *slot* the operand-resolution plan (which flat-column
+    index feeds each context operand instance) is computed once; per
+    execution only a tuple gather and a label test remain — no
+    :class:`~repro.sim.trace.StatementExecution` or ``operand_map`` dict
+    is ever constructed.  Sample order and values are identical to the
+    record-by-record loop.  Returns False (caller falls back to the
+    record path) when a >63-bit value kept the columns as Python lists.
+    """
+    flat = columns.flat_values
+    lhs = columns.lhs_values
+    if not (isinstance(flat, np.ndarray) and isinstance(lhs, np.ndarray)):
+        return False
+    plans: list[tuple[StatementContext, tuple[int, ...]] | None] = []
+    for stmt_id, _target, operands, _width in columns.stmt_table:
+        context = contexts.get(stmt_id)
+        if (
+            (restrict_to is not None and stmt_id not in restrict_to)
+            or context is None
+            or context.n_operands == 0
+        ):
+            plans.append(None)
+            continue
+        value_index = {name: index for index, name in enumerate(operands)}
+        plans.append(
+            (context, tuple(value_index[op.name] for op in context.operands))
+        )
+    offsets = columns.operand_offsets().tolist()
+    flat_list = flat.tolist()
+    lhs_list = lhs.tolist()
+    for row, slot in enumerate(columns.stmt_slots.tolist()):
+        plan = plans[slot]
+        if plan is None:
+            continue
+        context, gather = plan
+        base = offsets[row]
+        samples.append(
+            Sample(
+                context=context,
+                operand_values=tuple(flat_list[base + index] for index in gather),
+                label=1 if lhs_list[row] != 0 else 0,
+                design=design,
+            )
+        )
+    return True
+
+
 def build_samples(
     contexts: dict[int, StatementContext],
     traces: list[Trace],
@@ -208,6 +263,11 @@ def build_samples(
     restrict_to: set[int] | None = None,
 ) -> list[Sample]:
     """Convert traces into model samples.
+
+    Traces that carry a columnar execution view (every simulator-recorded
+    or deserialized trace) are featurized without materializing their
+    record list; hand-assembled traces and >63-bit values take the
+    record-by-record path.
 
     Args:
         contexts: Statement contexts keyed by stmt_id.
@@ -220,6 +280,11 @@ def build_samples(
     """
     samples: list[Sample] = []
     for trace in traces:
+        columns = trace.execution_columns()
+        if columns is not None and _columnar_samples(
+            columns, contexts, design, restrict_to, samples
+        ):
+            continue
         for execution in trace.executions:
             if restrict_to is not None and execution.stmt_id not in restrict_to:
                 continue

@@ -12,12 +12,33 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.contexts import StatementContext
+from ..sim.trace import Trace
 from ..verilog.ast_nodes import Module
 from ..verilog.printer import statement_source
 from .explainer import Heatmap
 
 #: Five intensity bins over [0, 1], rendered light -> dark.
 _BINS = " ░▒▓█"
+
+
+def execution_coverage(traces: list[Trace]) -> dict[int, int]:
+    """Per-statement execution counts across a trace set.
+
+    The coverage query behind heatmap annotations: recorded traces are
+    counted straight off their columnar view (one ``np.unique`` over the
+    slot column per trace — no record objects materialize); traces
+    without columns fall back to the record loop.
+    """
+    counts: dict[int, int] = {}
+    for trace in traces:
+        columns = trace.execution_columns()
+        if columns is not None:
+            for stmt_id, count in columns.execution_counts().items():
+                counts[stmt_id] = counts.get(stmt_id, 0) + count
+        else:
+            for execution in trace.executions:
+                counts[execution.stmt_id] = counts.get(execution.stmt_id, 0) + 1
+    return counts
 
 
 def score_bin(score: float, n_bins: int = 5) -> int:
@@ -83,6 +104,7 @@ def render_heatmap(
     contexts: dict[int, StatementContext],
     bug_stmt_id: int | None = None,
     use_color: bool = False,
+    coverage: dict[int, int] | None = None,
 ) -> str:
     """Render a heatmap as a Figure-4-style text table.
 
@@ -97,6 +119,9 @@ def render_heatmap(
         contexts: Statement contexts (for operand names).
         bug_stmt_id: Ground-truth buggy statement, if known.
         use_color: Emit ANSI colors instead of glyphs.
+        coverage: Optional per-statement execution counts (see
+            :func:`execution_coverage`); when given, each entry is
+            annotated with how often it executed in the failing set.
 
     Returns:
         A multi-line string.
@@ -114,9 +139,12 @@ def render_heatmap(
             f"op{i}" for i in range(len(entry.weights))
         )
         bug_tag = "  <-- lbug" if entry.stmt_id == bug_stmt_id else ""
+        cover_tag = ""
+        if coverage is not None:
+            cover_tag = f" executed {coverage.get(entry.stmt_id, 0)}x"
         lines.append(
             f"[stmt {entry.stmt_id}] d={entry.suspiciousness:.3f} "
-            f"({entry.case}){bug_tag}"
+            f"({entry.case}){cover_tag}{bug_tag}"
         )
         lines.append(f"    {statement_source(stmt)}")
         lines.append(

@@ -129,7 +129,11 @@ def _simulate_mutant(
 
     Pure function of its arguments so it can run either inline or inside a
     worker process; returns the outcome shell plus the failing/correct
-    trace sets the localizer needs.
+    trace sets the localizer needs.  Recorded mutant runs are columnar
+    end to end: the simulator writes execution columns natively, failure
+    classification only reads outputs, and the localizer dedups off the
+    columns — no per-execution record objects exist anywhere on this
+    path, in-process or across the worker boundary.
     """
     engine = testbench_config.engine
     outcome = MutantOutcome(mutation=mutation)

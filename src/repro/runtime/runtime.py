@@ -35,6 +35,14 @@ worker pool:
   campaign context (golden design, stimuli, golden traces) by id and
   carry it as a parent-side memoized pickle blob, deserialized at most
   once per worker per campaign.
+* **Zero-repack trace wire format.**  Everything that crosses the pool
+  boundary carrying executions (mutant trace sets coming back from
+  simulation tasks, shard requests going out to localization workers)
+  is columnar end to end: the simulator records straight into
+  :class:`~repro.sim.trace.ExecutionColumns`, ``Trace.__getstate__``
+  ships those arrays as-is, and the receiving side consumes them
+  without ever materializing record objects — no per-execution packing
+  or unpacking happens on either side of the boundary.
 
 Lifecycle: the runtime is cheap to construct (no processes until the
 first parallel dispatch), reusable across campaigns/corpora, and closed

@@ -18,7 +18,11 @@ lives in the module-level :data:`_STATE` dict:
 
 Task functions return plain picklable values; localization shards also
 return the worker cache's hit/miss delta so the parent runtime can
-aggregate a fleet-wide hit rate.
+aggregate a fleet-wide hit rate.  Traces move in both directions in
+their columnar form (the simulator records struct-of-arrays natively
+and ``Trace`` serializes the same arrays), so neither the worker nor
+the parent ever materializes per-execution record objects for transport
+— the explainer dedups straight off the columns on arrival.
 """
 
 from __future__ import annotations

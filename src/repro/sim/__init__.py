@@ -15,6 +15,7 @@ from .compiler import (
     compile_module,
 )
 from .evaluator import Evaluator
+from .recorder import ExecutionRecorder
 from .simulator import ENGINES, SimulationError, Simulator
 from .testbench import (
     TestbenchConfig,
@@ -24,13 +25,15 @@ from .testbench import (
     identify_reset,
     random_value,
 )
-from .trace import StatementExecution, Trace
+from .trace import ExecutionColumns, StatementExecution, Trace
 
 __all__ = [
     "ENGINES",
     "CompiledEvaluator",
     "CompiledProgram",
     "Evaluator",
+    "ExecutionColumns",
+    "ExecutionRecorder",
     "SimulationError",
     "Simulator",
     "StatementExecution",

@@ -20,10 +20,15 @@ width-resolved instruction stream over a signal *slot table*:
 
 Each region (combinational pass, clock edge) is emitted twice: a *fast*
 stream with no instrumentation (used for settle iterations and
-``record=False`` runs) and an *instrumented* stream that additionally
-emits :class:`~repro.sim.trace.StatementExecution` records.  The compiled
-engine is trace-identical to the interpreter by construction; the
-differential property tests in ``tests/test_compiler.py`` enforce it.
+``record=False`` runs) and an *instrumented* stream whose ``RECORD``
+instructions append executed-assignment facts straight into the columnar
+recording sink (:class:`repro.sim.recorder.ExecutionRecorder`) — the
+record's statement shape is resolved at compile time
+(:attr:`CompiledProgram.shapes`; the instruction's meta index *is* the
+shape slot), so no record objects are ever constructed during
+simulation.  The compiled engine is trace-identical to the interpreter
+by construction; the differential property tests in
+``tests/test_compiler.py`` enforce it.
 
 Compiled programs are cached per module *identity* (``id``), so repeated
 testbenches and campaign mutants over the same module object never
@@ -59,7 +64,6 @@ from ..verilog.ast_nodes import (
 from ..verilog.errors import SemanticError
 from ..verilog.visitors import ExprVisitor, StatementVisitor
 from .evaluator import Evaluator
-from .trace import StatementExecution
 from .values import mask as make_mask
 from .values import truncate
 
@@ -80,7 +84,7 @@ JZ = 7  # (JZ, src, target)                 jump when regs[src] == 0
 JMP = 8  # (JMP, target)
 EQ = 9  # (EQ, dst, a, b)
 SELECT = 10  # (SELECT, dst, c, a, b)       regs[dst] = a if regs[c] else b
-RECORD = 11  # (RECORD, meta_idx, src)      append StatementExecution
+RECORD = 11  # (RECORD, meta_idx, src)      append one columnar execution row
 NBA = 12  # (NBA, writer_idx, src)          pending non-blocking update
 ADD = 13  # (ADD, dst, a, b, mask)
 SUB = 14  # (SUB, dst, a, b, mask)
@@ -155,6 +159,9 @@ class CompiledProgram:
         seq_fast / seq_rec: Clock-edge pass without / with recording.
         nba_writers: Non-blocking lvalue writer specs (commit time).
         metas: :class:`RecordMeta` table indexed by RECORD instructions.
+        shapes: Statement-shape table for the columnar recorder, one
+            ``(stmt_id, target, operands, lhs_width)`` row per meta — a
+            RECORD instruction's meta index doubles as the recorder slot.
         output_slots: ``(name, slot)`` pairs for module outputs.
         n_instructions: Total instruction count (diagnostics/benchmarks).
     """
@@ -171,6 +178,7 @@ class CompiledProgram:
     seq_rec: tuple[tuple, ...]
     nba_writers: tuple[tuple, ...]
     metas: tuple[RecordMeta, ...]
+    shapes: tuple[tuple[int, str, tuple[str, ...], int], ...]
     output_slots: tuple[tuple[str, int], ...]
     n_instructions: int
 
@@ -600,6 +608,9 @@ class _ModuleCompiler:
             seq_rec=seq_rec,
             nba_writers=tuple(self.nba_writers),
             metas=tuple(self.metas),
+            shapes=tuple(
+                (m.stmt_id, m.target, m.operands, m.width) for m in self.metas
+            ),
             output_slots=outputs,
             n_instructions=len(comb_fast) + len(seq_fast),
         )
@@ -675,17 +686,27 @@ class CompiledEvaluator:
         code: tuple[tuple, ...],
         env: list[int],
         cycle: int,
-        records: list[StatementExecution] | None,
+        sink,
         pending: list[tuple[int, int]],
     ) -> None:
         """Run one instruction stream against the slot table ``env``.
 
         Non-blocking updates are appended to ``pending`` (committed by
-        :meth:`commit`); executions are appended to ``records`` when the
-        stream is instrumented.
+        :meth:`commit`).  ``sink`` is the columnar recording sink for
+        instrumented streams — an
+        :class:`~repro.sim.recorder.ExecutionRecorder` (clock edge) or
+        its per-pass staging buffer (final comb evaluation); RECORD
+        instructions append the pre-resolved shape slot, cycle, lhs
+        value, and operand values directly to its columns.  Pass None
+        for fast streams.
         """
         regs = self.regs
         metas = self.program.metas
+        if sink is not None:
+            rec_slots = sink.stmt_slots
+            rec_cycles = sink.cycles
+            rec_lhs = sink.lhs_values
+            rec_flat = sink.flat_values
         ip = 0
         n = len(code)
         while ip < n:
@@ -717,20 +738,12 @@ class CompiledEvaluator:
             elif op == SELECT:
                 regs[ins[1]] = regs[ins[3]] if regs[ins[2]] else regs[ins[4]]
             elif op == RECORD:
-                meta = metas[ins[1]]
-                records.append(
-                    StatementExecution(
-                        meta.stmt_id,
-                        cycle,
-                        meta.target,
-                        meta.operands,
-                        tuple(
-                            env[s] & m if s >= 0 else m for s, m in meta.fetch
-                        ),
-                        regs[ins[2]],
-                        meta.width,
-                    )
-                )
+                # Columnar append: the meta index is the shape slot.
+                rec_slots.append(ins[1])
+                rec_cycles.append(cycle)
+                rec_lhs.append(regs[ins[2]])
+                for s, m in metas[ins[1]].fetch:
+                    rec_flat.append(env[s] & m if s >= 0 else m)
             elif op == NBA:
                 pending.append((ins[1], regs[ins[2]]))
             elif op == ADD:

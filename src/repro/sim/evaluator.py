@@ -29,6 +29,7 @@ from ..verilog.ast_nodes import (
     Repeat,
     Ternary,
     UnaryOp,
+    collect_identifiers,
 )
 from ..verilog.errors import SemanticError
 from . import values as V
@@ -230,6 +231,22 @@ class Evaluator:
         if name in self._params:
             return V.truncate(self._params[name], _UNSIZED_WIDTH)
         raise SemanticError(f"signal {name!r} has no value")
+
+    def statement_shape(self, stmt) -> tuple[int, str, tuple[str, ...], int]:
+        """Static recording shape of one assignment statement.
+
+        Returns ``(stmt_id, target, operands, lhs_width)`` — one row of
+        the statement-shape table the columnar
+        :class:`~repro.sim.recorder.ExecutionRecorder` indexes by slot.
+        Resolved once per design, so the interpreter's record path never
+        re-derives operand names or target widths per execution.
+        """
+        return (
+            stmt.stmt_id,
+            stmt.target.name,
+            tuple(collect_identifiers(stmt.rhs)),
+            self.lvalue_width(stmt.target),
+        )
 
     def lvalue_width(self, lv: Lvalue) -> int:
         """Width of the bits written by an assignment target."""

@@ -1,0 +1,167 @@
+"""Columnar-first execution recording shared by both simulator engines.
+
+The paper's "free supervision" (§IV-C) is one execution record per
+assignment statement per cycle.  Materializing those as
+:class:`~repro.sim.trace.StatementExecution` objects costs one frozen
+dataclass, one operand-value tuple, and several attribute stores per
+execution — easily 10^5 allocations per trace set — only for downstream
+consumers (the explainer's vectorized dedup, the shard wire format) to
+repack them into :class:`~repro.sim.trace.ExecutionColumns` anyway.
+
+:class:`ExecutionRecorder` inverts that: both engines append executed
+facts straight into growing columns (statement slot, cycle, lhs value,
+flat operand values) against a statement-shape table resolved before the
+first cycle runs — at compile time for the compiled engine
+(``CompiledProgram.shapes``; the ``RECORD`` opcode's meta index *is* the
+slot), at construction time for the interpreter oracle
+(``Evaluator.statement_shape`` per statement).  Record objects are never
+constructed during simulation; :meth:`ExecutionRecorder.finish` hands the
+columns to the trace, where they stay the source of truth and the record
+list is a lazy derived view.
+
+Combinational settle passes need dedup semantics (only the final settled
+evaluation of each statement per cycle is kept, ordered by statement id),
+so they stage into a reusable per-pass buffer that
+:meth:`ExecutionRecorder.commit_pass` folds into the main columns.
+Clock-edge records append to the main columns directly, in execution
+order — exactly the schedule the object-record path implemented.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trace import ExecutionColumns
+
+#: A statement-shape row — ``(stmt_id, target, operands, lhs_width)``,
+#: the exact layout of :attr:`ExecutionColumns.stmt_table`.
+ShapeRow = tuple[int, str, tuple[str, ...], int]
+
+
+class _PassBuffer:
+    """Reusable staging sink for one combinational settle pass.
+
+    Exposes the same four column attributes as the recorder itself, so
+    engine record paths append identically whether they target the main
+    columns (clock edge) or a pass stage (final comb evaluation).
+    """
+
+    __slots__ = ("stmt_slots", "cycles", "lhs_values", "flat_values")
+
+    def __init__(self) -> None:
+        self.stmt_slots: list[int] = []
+        self.cycles: list[int] = []
+        self.lhs_values: list[int] = []
+        self.flat_values: list[int] = []
+
+    def clear(self) -> None:
+        self.stmt_slots.clear()
+        self.cycles.clear()
+        self.lhs_values.clear()
+        self.flat_values.clear()
+
+
+class ExecutionRecorder:
+    """Appends executed-assignment facts straight into growing columns.
+
+    Args:
+        shapes: The statement-shape table (:data:`ShapeRow` per slot).
+            Engines append a pre-resolved *slot* (index into this table)
+            per execution instead of the statement's names and widths.
+
+    A record consists of one append to each of :attr:`stmt_slots`,
+    :attr:`cycles`, and :attr:`lhs_values`, plus ``len(shapes[slot][2])``
+    appends to :attr:`flat_values` (the operand values, recorded
+    *pre-store* — a self-referencing blocking assign records the value
+    its operand held before the write).
+    """
+
+    __slots__ = (
+        "shapes",
+        "stmt_slots",
+        "cycles",
+        "lhs_values",
+        "flat_values",
+        "_stage",
+    )
+
+    def __init__(self, shapes: tuple[ShapeRow, ...]):
+        self.shapes = shapes
+        self.stmt_slots: list[int] = []
+        self.cycles: list[int] = []
+        self.lhs_values: list[int] = []
+        self.flat_values: list[int] = []
+        self._stage: _PassBuffer | None = None
+
+    def __len__(self) -> int:
+        return len(self.stmt_slots)
+
+    # -- combinational settle passes -----------------------------------
+    def begin_pass(self) -> _PassBuffer:
+        """Cleared staging buffer for one instrumented comb pass."""
+        stage = self._stage
+        if stage is None:
+            stage = self._stage = _PassBuffer()
+        else:
+            stage.clear()
+        return stage
+
+    def commit_pass(self, cycle: int) -> None:
+        """Fold the staged comb pass into the main columns.
+
+        Keeps the *last* staged record per statement and appends the
+        survivors ordered by statement id — the settled-value dedup both
+        engines have always applied to combinational records.
+        """
+        stage = self._stage
+        if stage is None or not stage.stmt_slots:
+            return
+        slots = stage.stmt_slots
+        shapes = self.shapes
+        latest: dict[int, int] = {}
+        offsets = [0]
+        position = 0
+        for index, slot in enumerate(slots):
+            latest[slot] = index
+            position += len(shapes[slot][2])
+            offsets.append(position)
+        flat = stage.flat_values
+        lhs = stage.lhs_values
+        for slot in sorted(latest, key=lambda s: shapes[s][0]):
+            index = latest[slot]
+            self.stmt_slots.append(slot)
+            self.cycles.append(cycle)
+            self.lhs_values.append(lhs[index])
+            self.flat_values.extend(flat[offsets[index] : offsets[index + 1]])
+        stage.clear()
+
+    # -- finalization --------------------------------------------------
+    def finish(self) -> ExecutionColumns:
+        """Freeze the columns, compacting the shape table to first use.
+
+        The compacted table keeps only statements that actually executed,
+        in first-occurrence order — byte-equivalent to
+        :meth:`ExecutionColumns.pack` over the materialized record list,
+        so recorded and repacked traces are identical on the wire.  Value
+        columns narrow through :meth:`ExecutionColumns._column`, which is
+        where the >63-bit Python-list fallback survives.
+        """
+        shapes = self.shapes
+        if self.stmt_slots:
+            slots = np.asarray(self.stmt_slots, dtype=np.int64)
+            used_slots, first_seen = np.unique(slots, return_index=True)
+            used = used_slots[np.argsort(first_seen, kind="stable")]
+            remap = np.zeros(len(shapes), dtype=np.int64)
+            remap[used] = np.arange(used.size)
+            stmt_slots = remap[slots].astype(np.int32)
+            stmt_table = [shapes[slot] for slot in used.tolist()]
+        else:
+            stmt_slots = np.zeros(0, dtype=np.int32)
+            stmt_table = []
+        return ExecutionColumns(
+            stmt_table,
+            stmt_slots,
+            np.asarray(self.cycles, dtype=np.int32),
+            ExecutionColumns._column(self.lhs_values),
+            ExecutionColumns._column(self.flat_values),
+        )

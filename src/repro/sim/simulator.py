@@ -16,9 +16,14 @@ stimulus and the clocked block's ``if (!rst_n)`` branch performs the reset
 on the next cycle boundary, which is indistinguishable from a true async
 reset at cycle granularity.
 
-Every executed assignment is recorded as a
-:class:`repro.sim.trace.StatementExecution`; combinational statements keep
-only the record of the final (settled) evaluation pass of the cycle.
+Every executed assignment is recorded **columnar**: both engines append
+(slot, cycle, lhs value, operand values) straight into an
+:class:`repro.sim.recorder.ExecutionRecorder` against a statement-shape
+table resolved before the first cycle — no
+:class:`~repro.sim.trace.StatementExecution` objects are constructed
+during the run; the trace's record list is a lazy view over the columns.
+Combinational statements keep only the record of the final (settled)
+evaluation pass of the cycle.
 
 Two execution engines implement this schedule:
 
@@ -42,11 +47,11 @@ from ..verilog.ast_nodes import (
     If,
     Module,
     Statement,
-    collect_identifiers,
 )
 from .compiler import CompiledEvaluator, CompiledProgram, compile_module
 from .evaluator import Evaluator
-from .trace import StatementExecution, Trace
+from .recorder import ExecutionRecorder, _PassBuffer
+from .trace import Trace, _LazyExecutions
 from .values import truncate
 
 
@@ -99,10 +104,20 @@ class Simulator:
         self.seq_blocks: list[AlwaysBlock] = [
             blk for blk in module.always_blocks if blk.is_clocked
         ]
-        # Pre-compute RHS operand name tuples per statement id.
+        # Resolve the statement-shape table (operand names, target,
+        # static lvalue width) once; the record path appends a slot into
+        # it instead of re-deriving any of this per execution.
+        shapes: list[tuple[int, str, tuple[str, ...], int]] = []
+        self._slot_of_stmt: dict[int, int] = {}
         self._operands: dict[int, tuple[str, ...]] = {}
+        self._lhs_widths: dict[int, int] = {}
         for stmt in module.statements():
-            self._operands[stmt.stmt_id] = tuple(collect_identifiers(stmt.rhs))
+            shape = self.evaluator.statement_shape(stmt)
+            self._slot_of_stmt[stmt.stmt_id] = len(shapes)
+            self._operands[stmt.stmt_id] = shape[2]
+            self._lhs_widths[stmt.stmt_id] = shape[3]
+            shapes.append(shape)
+        self._shapes = tuple(shapes)
 
     def initial_env(self) -> dict[str, int]:
         """Fresh environment with every declared signal at 0."""
@@ -166,6 +181,7 @@ class Simulator:
         trace = Trace(design=self.module.name, stimulus=[dict(s) for s in stimulus])
         outputs = program.output_slots
         pending: list[tuple[int, int]] = []
+        recorder = ExecutionRecorder(program.shapes) if record else None
 
         for cycle, frame in enumerate(stimulus):
             for name, value in frame.items():
@@ -174,20 +190,17 @@ class Simulator:
                     raise SimulationError(f"stimulus drives unknown input {name!r}")
                 slots[slot] = value & masks[slot]
 
-            comb_records = self._settle_compiled(engine, slots, cycle, record, pending)
+            self._settle_compiled(engine, slots, cycle, recorder, pending)
             trace.outputs.append({name: slots[slot] for name, slot in outputs})
-            if record:
-                trace.executions.extend(comb_records)
 
-            if record:
-                seq_records: list[StatementExecution] = []
-                engine.execute(program.seq_rec, slots, cycle, seq_records, pending)
-                engine.commit(pending, slots)
-                trace.executions.extend(seq_records)
+            if recorder is not None:
+                engine.execute(program.seq_rec, slots, cycle, recorder, pending)
             else:
                 engine.execute(program.seq_fast, slots, cycle, None, pending)
-                engine.commit(pending, slots)
+            engine.commit(pending, slots)
 
+        if recorder is not None:
+            trace.executions = _LazyExecutions(recorder.finish())
         if env is not None:
             for name, slot in slot_of.items():
                 env[name] = slots[slot]
@@ -198,9 +211,9 @@ class Simulator:
         engine: CompiledEvaluator,
         slots: list[int],
         cycle: int,
-        record: bool,
+        recorder: ExecutionRecorder | None,
         pending: list[tuple[int, int]],
-    ) -> list[StatementExecution]:
+    ) -> None:
         program = self.program
         comb_fast = program.comb_fast
         for _iteration in range(self.MAX_SETTLE_ITERS):
@@ -213,16 +226,13 @@ class Simulator:
             raise SimulationError(
                 f"combinational logic did not settle in design {self.module.name!r}"
             )
-        if not record:
-            return []
-        records: list[StatementExecution] = []
-        engine.execute(program.comb_rec, slots, cycle, records, pending)
+        if recorder is None:
+            return
+        # One instrumented pass over the settled state, staged so only
+        # the last record per statement survives (ordered by stmt_id).
+        engine.execute(program.comb_rec, slots, cycle, recorder.begin_pass(), pending)
         engine.commit(pending, slots)
-        # Deduplicate: keep the last record per statement within the pass.
-        latest: dict[int, StatementExecution] = {}
-        for rec in records:
-            latest[rec.stmt_id] = rec
-        return [latest[sid] for sid in sorted(latest)]
+        recorder.commit_pass(cycle)
 
     # ------------------------------------------------------------------
     # Interpreted engine (reference oracle)
@@ -237,6 +247,7 @@ class Simulator:
         trace = Trace(design=self.module.name, stimulus=[dict(s) for s in stimulus])
         widths = {n: d.width for n, d in self.module.decls.items()}
         outputs = self.module.outputs
+        recorder = ExecutionRecorder(self._shapes) if record else None
 
         for cycle, frame in enumerate(stimulus):
             for name, value in frame.items():
@@ -244,70 +255,65 @@ class Simulator:
                     raise SimulationError(f"stimulus drives unknown input {name!r}")
                 env[name] = truncate(value, widths[name])
 
-            comb_records = self._settle(env, cycle, record)
+            self._settle(env, cycle, recorder)
             trace.outputs.append({name: env[name] for name in outputs})
-            if record:
-                trace.executions.extend(comb_records)
+            self._clock_edge(env, cycle, recorder)
 
-            seq_records = self._clock_edge(env, cycle, record)
-            if record:
-                trace.executions.extend(seq_records)
-
+        if recorder is not None:
+            trace.executions = _LazyExecutions(recorder.finish())
         return trace
 
     # ------------------------------------------------------------------
     # Scheduling phases
     # ------------------------------------------------------------------
     def _settle(
-        self, env: dict[str, int], cycle: int, record: bool
-    ) -> list[StatementExecution]:
-        """Run combinational logic to a fixpoint; return final-pass records."""
+        self, env: dict[str, int], cycle: int, recorder: ExecutionRecorder | None
+    ) -> None:
+        """Run combinational logic to a fixpoint, then record one pass."""
         for _iteration in range(self.MAX_SETTLE_ITERS):
             before = dict(env)
-            self._comb_pass(env, cycle, record=False)
+            self._comb_pass(env, cycle, sink=None)
             if env == before:
                 break
         else:
             raise SimulationError(
                 f"combinational logic did not settle in design {self.module.name!r}"
             )
-        if not record:
-            return []
-        records: list[StatementExecution] = []
-        self._comb_pass(env, cycle, record=True, records=records)
-        # Deduplicate: keep the last record per statement within the pass.
-        latest: dict[int, StatementExecution] = {}
-        for rec in records:
-            latest[rec.stmt_id] = rec
-        return [latest[sid] for sid in sorted(latest)]
+        if recorder is None:
+            return
+        # One instrumented pass over the settled state, staged so only
+        # the last record per statement survives (ordered by stmt_id).
+        self._comb_pass(env, cycle, sink=recorder.begin_pass())
+        recorder.commit_pass(cycle)
 
     def _comb_pass(
         self,
         env: dict[str, int],
         cycle: int,
-        record: bool,
-        records: list[StatementExecution] | None = None,
+        sink: "ExecutionRecorder | _PassBuffer | None",
     ) -> None:
         """One in-order evaluation pass over all combinational logic."""
         nba_updates: list[tuple[Assignment, int]] = []
         for assign in self.module.assigns:
-            self._exec_assign(assign, env, cycle, record, records, nba_updates)
+            self._exec_assign(assign, env, cycle, sink, nba_updates)
         for blk in self.comb_blocks:
-            self._exec_stmt(blk.body, env, cycle, record, records, nba_updates)
+            self._exec_stmt(blk.body, env, cycle, sink, nba_updates)
         for stmt, value in nba_updates:
             env[stmt.target.name] = self.evaluator.write_lvalue(stmt.target, value, env)
 
     def _clock_edge(
-        self, env: dict[str, int], cycle: int, record: bool
-    ) -> list[StatementExecution]:
-        """Fire all clocked blocks and commit non-blocking updates."""
-        records: list[StatementExecution] = [] if record else None  # type: ignore[assignment]
+        self, env: dict[str, int], cycle: int, recorder: ExecutionRecorder | None
+    ) -> None:
+        """Fire all clocked blocks and commit non-blocking updates.
+
+        Clock-edge records append to the recorder's main columns directly
+        in execution order (no settle-pass dedup applies here).
+        """
         nba_updates: list[tuple[Assignment, int]] = []
         for blk in self.seq_blocks:
-            self._exec_stmt(blk.body, env, cycle, record, records, nba_updates)
+            self._exec_stmt(blk.body, env, cycle, recorder, nba_updates)
         for stmt, value in nba_updates:
             env[stmt.target.name] = self.evaluator.write_lvalue(stmt.target, value, env)
-        return records or []
 
     # ------------------------------------------------------------------
     # Statement interpreter
@@ -317,22 +323,21 @@ class Simulator:
         stmt: Statement,
         env: dict[str, int],
         cycle: int,
-        record: bool,
-        records: list[StatementExecution] | None,
+        sink: "ExecutionRecorder | _PassBuffer | None",
         nba_updates: list[tuple[Assignment, int]],
     ) -> None:
         if isinstance(stmt, Block):
             for child in stmt.statements:
-                self._exec_stmt(child, env, cycle, record, records, nba_updates)
+                self._exec_stmt(child, env, cycle, sink, nba_updates)
         elif isinstance(stmt, If):
             if self.evaluator.eval(stmt.cond, env):
-                self._exec_stmt(stmt.then_stmt, env, cycle, record, records, nba_updates)
+                self._exec_stmt(stmt.then_stmt, env, cycle, sink, nba_updates)
             elif stmt.else_stmt is not None:
-                self._exec_stmt(stmt.else_stmt, env, cycle, record, records, nba_updates)
+                self._exec_stmt(stmt.else_stmt, env, cycle, sink, nba_updates)
         elif isinstance(stmt, Case):
-            self._exec_case(stmt, env, cycle, record, records, nba_updates)
+            self._exec_case(stmt, env, cycle, sink, nba_updates)
         elif isinstance(stmt, Assignment):
-            self._exec_assign(stmt, env, cycle, record, records, nba_updates)
+            self._exec_assign(stmt, env, cycle, sink, nba_updates)
         else:
             raise SimulationError(f"cannot execute statement {type(stmt).__name__}")
 
@@ -341,8 +346,7 @@ class Simulator:
         stmt: Case,
         env: dict[str, int],
         cycle: int,
-        record: bool,
-        records: list[StatementExecution] | None,
+        sink: "ExecutionRecorder | _PassBuffer | None",
         nba_updates: list[tuple[Assignment, int]],
     ) -> None:
         subject = self.evaluator.eval(stmt.subject, env)
@@ -353,42 +357,35 @@ class Simulator:
                 continue
             for label in item.labels:
                 if self.evaluator.eval(label, env) == subject:
-                    self._exec_stmt(item.body, env, cycle, record, records, nba_updates)
+                    self._exec_stmt(item.body, env, cycle, sink, nba_updates)
                     return
         if default_body is not None:
-            self._exec_stmt(default_body, env, cycle, record, records, nba_updates)
+            self._exec_stmt(default_body, env, cycle, sink, nba_updates)
 
     def _exec_assign(
         self,
         stmt: "Assignment | ContinuousAssign",
         env: dict[str, int],
         cycle: int,
-        record: bool,
-        records: list[StatementExecution] | None,
+        sink: "ExecutionRecorder | _PassBuffer | None",
         nba_updates: list[tuple[Assignment, int]],
     ) -> None:
-        operand_names = self._operands[stmt.stmt_id]
-        if record and records is not None:
-            operand_values = tuple(
-                self.evaluator.eval_identifier_value(name, env) for name in operand_names
-            )
+        if sink is not None:
+            # Operand values are recorded *pre-store*: a self-referencing
+            # blocking assign must see the value its operand held before
+            # the write below.
+            eval_identifier = self.evaluator.eval_identifier_value
+            flat = sink.flat_values
+            for name in self._operands[stmt.stmt_id]:
+                flat.append(eval_identifier(name, env))
         value = self.evaluator.eval(stmt.rhs, env)
-        width = self.evaluator.lvalue_width(stmt.target)
-        value = truncate(value, width)
+        value = truncate(value, self._lhs_widths[stmt.stmt_id])
         blocking = not isinstance(stmt, Assignment) or stmt.blocking
         if blocking:
             env[stmt.target.name] = self.evaluator.write_lvalue(stmt.target, value, env)
         else:
             nba_updates.append((stmt, value))
-        if record and records is not None:
-            records.append(
-                StatementExecution(
-                    stmt_id=stmt.stmt_id,
-                    cycle=cycle,
-                    target=stmt.target.name,
-                    operands=operand_names,
-                    operand_values=operand_values,
-                    lhs_value=value,
-                    lhs_width=width,
-                )
-            )
+        if sink is not None:
+            sink.stmt_slots.append(self._slot_of_stmt[stmt.stmt_id])
+            sink.cycles.append(cycle)
+            sink.lhs_values.append(value)

@@ -1,10 +1,20 @@
 """Trace containers produced by the simulator.
 
 A :class:`Trace` is the unit of data VeriBug learns from: per-cycle input
-stimulus, per-cycle output values, and — crucially — one
-:class:`StatementExecution` record for every assignment statement that
-actually executed in a cycle, with the values its operands held at
-evaluation time.  This is the "free supervision" of paper §IV-C.
+stimulus, per-cycle output values, and — crucially — one execution record
+for every assignment statement that actually executed in a cycle, with
+the values its operands held at evaluation time.  This is the "free
+supervision" of paper §IV-C.
+
+The executions are **columnar-first**: both simulator engines record
+straight into :class:`ExecutionColumns` (via
+:class:`repro.sim.recorder.ExecutionRecorder`), and a recorded trace's
+``executions`` attribute is a :class:`_LazyExecutions` view over those
+columns.  :class:`StatementExecution` objects are a *derived*
+representation, materialized only when something actually indexes or
+iterates the record list; column-aware consumers (the explainer's
+vectorized dedup, :meth:`Trace.executions_of`,
+:meth:`Trace.executed_stmt_ids`, serialization) never pay for them.
 """
 
 from __future__ import annotations
@@ -12,6 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+#: Pseudo-signal name reported by :meth:`Trace.first_divergence` when the
+#: two traces disagree on cycle count before any common-cycle output
+#: mismatch.  The angle brackets keep it disjoint from every legal
+#: Verilog identifier.
+LENGTH_DIVERGENCE = "<n_cycles>"
 
 
 @dataclass(frozen=True)
@@ -55,6 +71,12 @@ class ExecutionColumns:
     common case — they pickle as flat buffers and feed the explainer's
     vectorized dedup without conversion) and plain Python lists when a
     >63-bit simulator value forces arbitrary precision.
+
+    Since the simulator records columnar natively
+    (:class:`repro.sim.recorder.ExecutionRecorder`), this is the source
+    of truth for a recorded trace in-process and on the wire;
+    :meth:`pack` remains for manually assembled record lists and
+    round-trip testing.
     """
 
     __slots__ = ("stmt_table", "stmt_slots", "cycles", "lhs_values", "flat_values")
@@ -147,13 +169,90 @@ class ExecutionColumns:
             position = end
         return executions
 
+    def operand_offsets(self) -> np.ndarray:
+        """Start offset of each execution's span in ``flat_values``.
+
+        Length ``len(self) + 1``; execution ``i`` owns
+        ``flat_values[offsets[i]:offsets[i + 1]]``.
+        """
+        offsets = np.zeros(len(self.stmt_slots) + 1, dtype=np.int64)
+        if len(self.stmt_slots):
+            widths = np.fromiter(
+                (len(row[2]) for row in self.stmt_table),
+                dtype=np.int64,
+                count=len(self.stmt_table),
+            )
+            np.cumsum(widths[self.stmt_slots], out=offsets[1:])
+        return offsets
+
+    def executed_stmt_ids(self) -> set[int]:
+        """Ids of statements with at least one execution (no unpack)."""
+        if not len(self.stmt_slots):
+            return set()
+        table = self.stmt_table
+        return {table[slot][0] for slot in np.unique(self.stmt_slots).tolist()}
+
+    def execution_counts(self) -> dict[int, int]:
+        """Per-statement execution counts — the coverage query.
+
+        One ``np.unique`` over the slot column; no records materialize.
+        """
+        if not len(self.stmt_slots):
+            return {}
+        slots, counts = np.unique(self.stmt_slots, return_counts=True)
+        table = self.stmt_table
+        return {
+            table[slot][0]: count
+            for slot, count in zip(slots.tolist(), counts.tolist())
+        }
+
+    def executions_of(self, stmt_id: int) -> list[StatementExecution]:
+        """Records of one statement only, gathered straight off the columns.
+
+        Materializes just the matching rows — a trace-wide unpack is never
+        paid for a single-statement query.
+        """
+        wanted = [
+            slot for slot, row in enumerate(self.stmt_table) if row[0] == stmt_id
+        ]
+        if not wanted:
+            return []
+        rows = np.flatnonzero(np.isin(self.stmt_slots, wanted))
+        if not rows.size:
+            return []
+        offsets = self.operand_offsets()
+        flat = self.flat_values
+        if isinstance(flat, np.ndarray):
+            flat = flat.tolist()
+        lhs_column = self.lhs_values
+        new = object.__new__
+        executions: list[StatementExecution] = []
+        for row in rows.tolist():
+            stmt_id_, target, operands, lhs_width = self.stmt_table[
+                int(self.stmt_slots[row])
+            ]
+            start = int(offsets[row])
+            execution = new(StatementExecution)
+            execution.__dict__.update(
+                stmt_id=stmt_id_,
+                cycle=int(self.cycles[row]),
+                target=target,
+                operands=operands,
+                operand_values=tuple(flat[start : start + len(operands)]),
+                lhs_value=int(lhs_column[row]),
+                lhs_width=lhs_width,
+            )
+            executions.append(execution)
+        return executions
+
 
 class _LazyExecutions:
     """Sequence facade over :class:`ExecutionColumns`.
 
-    Deserialized traces hold one of these instead of a materialized
-    record list: column-aware consumers (the explainer's execution dedup)
-    read :attr:`columns` directly and never pay for object construction;
+    Recorded and deserialized traces both hold one of these instead of a
+    materialized record list: column-aware consumers (the explainer's
+    execution dedup, coverage queries, serialization) read
+    :attr:`columns` directly and never pay for object construction;
     everything else transparently materializes on first access.
     """
 
@@ -177,23 +276,33 @@ class _LazyExecutions:
     def __getitem__(self, index):
         return self._materialized()[index]
 
-    def __eq__(self, other) -> bool:
-        return list(self) == list(other)
+    def __eq__(self, other):
+        if isinstance(other, _LazyExecutions):
+            return self._materialized() == other._materialized()
+        try:
+            other = list(other)
+        except TypeError:
+            # Non-iterable comparand (e.g. ``trace.executions == None``):
+            # defer instead of raising, like any well-behaved sequence.
+            return NotImplemented
+        return self._materialized() == other
 
 
 @dataclass
 class Trace:
     """A full simulation run of one design under one stimulus.
 
-    Traces cross process boundaries constantly (campaign workers return
-    them, localization shards receive them), and a recorded trace holds
-    one :class:`StatementExecution` per statement per cycle — easily
-    10^5 small objects per shard.  Pickling that many dataclasses would
-    dominate worker dispatch cost, so traces serialize via
-    :class:`ExecutionColumns`, and a deserialized trace keeps its
-    executions columnar (:class:`_LazyExecutions`) until something
-    actually indexes them — the inference fast path dedups straight off
-    the columns and never does.
+    Recorded traces are columnar end to end: the simulator writes
+    :class:`ExecutionColumns` natively (never constructing a
+    :class:`StatementExecution` during the run), ``executions`` is a
+    :class:`_LazyExecutions` view over those columns, and serialization
+    ships the arrays as-is — zero repacking on either side of a process
+    boundary (campaign workers return traces, localization shards receive
+    them; a recorded trace holds easily 10^5 executions per shard).  The
+    record list materializes only when something explicitly indexes or
+    iterates it; the inference fast path dedups straight off the columns
+    and never does.  ``executions`` is a plain (possibly empty) record
+    list only for unrecorded runs and manually assembled traces.
     """
 
     design: str
@@ -203,7 +312,12 @@ class Trace:
     is_failure: bool = False
 
     def execution_columns(self) -> ExecutionColumns | None:
-        """The columnar execution view, when this trace was deserialized."""
+        """The columnar execution view, when this trace carries one.
+
+        Recorded and deserialized traces always do; manually assembled
+        traces (tests, dynamic slices) return None until
+        :meth:`columnize` packs them.
+        """
         executions = self.executions
         if isinstance(executions, _LazyExecutions):
             return executions.columns
@@ -212,12 +326,13 @@ class Trace:
     def columnize(self) -> ExecutionColumns:
         """The columnar execution view, packing (once) if necessary.
 
-        In-process traces hold materialized record lists; vectorized
-        consumers (the explainer's execution dedup) call this to get the
-        same struct-of-arrays view deserialized traces already carry.
-        The packed columns are cached on the trace — the record list is
-        kept, so nothing later re-pays :meth:`ExecutionColumns.unpack` —
-        and serialization reuses them via ``__getstate__``.
+        Simulator-recorded and deserialized traces already carry their
+        columns, so this is a plain attribute read for them; the packing
+        shim survives only for traces assembled from record objects by
+        hand (tests, dynamic slices).  Packed columns are cached on the
+        trace — the record list is kept, so nothing later re-pays
+        :meth:`ExecutionColumns.unpack` — and serialization reuses them
+        via ``__getstate__``.
         """
         executions = self.executions
         if isinstance(executions, _LazyExecutions):
@@ -246,12 +361,23 @@ class Trace:
         return len(self.outputs)
 
     def executions_of(self, stmt_id: int) -> list[StatementExecution]:
-        """All executions of one statement across the trace."""
-        return [e for e in self.executions if e.stmt_id == stmt_id]
+        """All executions of one statement across the trace.
+
+        On a columnar trace whose record view has not materialized, the
+        matching rows are gathered straight off the columns; otherwise
+        the (already paid-for) record list is scanned.
+        """
+        executions = self.executions
+        if isinstance(executions, _LazyExecutions) and executions._records is None:
+            return executions.columns.executions_of(stmt_id)
+        return [e for e in executions if e.stmt_id == stmt_id]
 
     def executed_stmt_ids(self) -> set[int]:
-        """Ids of statements that executed at least once."""
-        return {e.stmt_id for e in self.executions}
+        """Ids of statements that executed at least once (column-aware)."""
+        executions = self.executions
+        if isinstance(executions, _LazyExecutions) and executions._records is None:
+            return executions.columns.executed_stmt_ids()
+        return {e.stmt_id for e in executions}
 
     def output_series(self, name: str) -> list[int]:
         """Per-cycle values of one output signal."""
@@ -277,12 +403,21 @@ class Trace:
     def first_divergence(
         self, other: "Trace", signals: list[str] | None = None
     ) -> tuple[int, str] | None:
-        """Return (cycle, signal) of the first output mismatch, or None."""
+        """Return (cycle, signal) of the first output mismatch, or None.
+
+        Consistent with :meth:`diverges_from`: when one trace is a strict
+        cycle-prefix of the other and every common cycle matches, the
+        divergence is reported at the length-mismatch boundary — the
+        first cycle present in only one trace — with
+        :data:`LENGTH_DIVERGENCE` as the signal name.
+        """
         names = signals if signals is not None else sorted(
             set(self.outputs[0]) & set(other.outputs[0])
-        ) if self.outputs else []
+        ) if self.outputs and other.outputs else []
         for cycle, (mine, theirs) in enumerate(zip(self.outputs, other.outputs)):
             for name in names:
                 if mine.get(name) != theirs.get(name):
                     return cycle, name
+        if self.n_cycles != other.n_cycles:
+            return min(self.n_cycles, other.n_cycles), LENGTH_DIVERGENCE
         return None

@@ -280,3 +280,38 @@ class TestHeatmapRendering:
         )
         text = render_heatmap(arbiter, heatmap, contexts, use_color=True)
         assert "\x1b[48;5;" in text
+
+    def test_execution_coverage_counts_columns(self, arbiter):
+        from repro.core import execution_coverage
+
+        stimuli = generate_testbench_suite(
+            arbiter, 3, TestbenchConfig(n_cycles=10), seed=4
+        )
+        traces = Simulator(arbiter).run_suite(stimuli)
+        coverage = execution_coverage(traces)
+        assert coverage
+        # The coverage tally must match the per-trace record counts and
+        # run straight off the columns (no record materialization).
+        oracle: dict[int, int] = {}
+        for trace in traces:
+            for stmt_id in trace.executed_stmt_ids():
+                oracle[stmt_id] = oracle.get(stmt_id, 0) + len(
+                    trace.executions_of(stmt_id)
+                )
+            assert trace.executions._records is None
+        assert coverage == oracle
+
+    def test_render_heatmap_with_coverage(self, arbiter):
+        from repro.core import Heatmap, HeatmapEntry, execution_coverage
+
+        contexts = extract_module_contexts(arbiter.statements())
+        heatmap = Heatmap(target="gnt1")
+        heatmap.entries[2] = HeatmapEntry(
+            stmt_id=2, weights=np.array([0.8, 0.2]), suspiciousness=0.4, case="both"
+        )
+        stimuli = generate_testbench_suite(
+            arbiter, 1, TestbenchConfig(n_cycles=5), seed=4
+        )
+        coverage = execution_coverage(Simulator(arbiter).run_suite(stimuli))
+        text = render_heatmap(arbiter, heatmap, contexts, coverage=coverage)
+        assert f" executed {coverage.get(2, 0)}x" in text

@@ -10,7 +10,7 @@ from repro.sim import (
     identify_reset,
     random_value,
 )
-from repro.sim.trace import StatementExecution
+from repro.sim.trace import LENGTH_DIVERGENCE, StatementExecution
 from repro.verilog import parse_module
 
 import random
@@ -43,6 +43,33 @@ class TestTrace:
         a = make_trace("d", [{"y": 0}])
         b = make_trace("d", [{"y": 0}, {"y": 0}])
         assert a.diverges_from(b)
+
+    def test_length_mismatch_first_divergence_reports_boundary(self):
+        # A strict cycle-prefix trace diverges at the length boundary;
+        # first_divergence must agree with diverges_from rather than
+        # silently returning None.
+        a = make_trace("d", [{"y": 0}])
+        b = make_trace("d", [{"y": 0}, {"y": 0}])
+        assert a.first_divergence(b) == (1, LENGTH_DIVERGENCE)
+        assert b.first_divergence(a) == (1, LENGTH_DIVERGENCE)
+
+    def test_value_divergence_wins_over_length(self):
+        a = make_trace("d", [{"y": 0}])
+        b = make_trace("d", [{"y": 1}, {"y": 0}])
+        assert a.first_divergence(b) == (0, "y")
+
+    def test_executions_eq_non_iterable_does_not_raise(self):
+        # Recorded traces hold a lazy columnar view; comparing it against
+        # a non-iterable must fall back to NotImplemented, not raise.
+        module = parse_module(
+            "module t(a, y); input a; output reg y;"
+            " always @(*) y = a; endmodule"
+        )
+        trace = Simulator(module).run([{"a": 1}])
+        assert not (trace.executions == None)  # noqa: E711
+        assert trace.executions != None  # noqa: E711
+        assert not (trace.executions == 5)
+        assert trace.executions != 5
 
     def test_executions_of(self):
         e0 = StatementExecution(0, 0, "y", ("a",), (1,), 1, 1)
