@@ -1,0 +1,33 @@
+// Accumulate 4 serial inputs, then pulse valid with the sum.
+module accu (clk, rst_n, data_in, valid_in, valid_out, data_out);
+    input clk, rst_n;
+    input [7:0] data_in;
+    input valid_in;
+    output reg valid_out;
+    output reg [9:0] data_out;
+
+    reg [1:0] count;
+    reg [9:0] sum;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            count <= 2'd0;
+            sum <= 10'd0;
+            valid_out <= 1'b0;
+            data_out <= 10'd0;
+        end else if (valid_in) begin
+            if (count == 2'd3) begin
+                data_out <= sum + data_in;
+                valid_out <= 1'b1;
+                sum <= 10'd0;
+                count <= 2'd0;
+            end else begin
+                sum <= sum + data_in;
+                count <= count + 2'd1;
+                valid_out <= 1'b0;
+            end
+        end else begin
+            valid_out <= 1'b0;
+        end
+    end
+endmodule

@@ -1,0 +1,20 @@
+`timescale 1ns/1ps
+module testbench;
+    reg clk, rst_n, valid_in;
+    reg [7:0] data_in;
+    wire valid_out;
+    wire [9:0] data_out;
+    accu dut (.clk(clk), .rst_n(rst_n), .data_in(data_in),
+              .valid_in(valid_in), .valid_out(valid_out), .data_out(data_out));
+    always #5 clk = ~clk;
+    initial begin
+        clk = 0; rst_n = 0; valid_in = 0; data_in = 0;
+        #12 rst_n = 1;
+        repeat (8) begin
+            @(posedge clk);
+            valid_in <= 1;
+            data_in <= $random;
+        end
+        $finish;
+    end
+endmodule

@@ -1,0 +1,12 @@
+// Ripple-style 8-bit adder with carry in/out.
+module adder_8bit (a, b, cin, sum, cout);
+    input [7:0] a, b;
+    input cin;
+    output [7:0] sum;
+    output cout;
+
+    wire [8:0] total;
+    assign total = {1'b0, a} + {1'b0, b} + {8'b0, cin};
+    assign sum = total[7:0];
+    assign cout = total[8];
+endmodule

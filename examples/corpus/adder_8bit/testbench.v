@@ -1,0 +1,12 @@
+module testbench;
+    reg [7:0] a, b;
+    reg cin;
+    wire [7:0] sum;
+    wire cout;
+    adder_8bit dut (.a(a), .b(b), .cin(cin), .sum(sum), .cout(cout));
+    initial begin
+        a = 0; b = 0; cin = 0;
+        repeat (32) #10 begin a = $random; b = $random; cin = $random; end
+        $finish;
+    end
+endmodule

@@ -1,0 +1,18 @@
+// Four-operation ALU: add, sub, and, xor; zero flag.
+module alu (op, a, b, y, zero);
+    input [1:0] op;
+    input [7:0] a, b;
+    output reg [7:0] y;
+    output zero;
+
+    always @(*) begin
+        case (op)
+            2'b00: y = a + b;
+            2'b01: y = a - b;
+            2'b10: y = a & b;
+            default: y = a ^ b;
+        endcase
+    end
+
+    assign zero = (y == 8'h00);
+endmodule

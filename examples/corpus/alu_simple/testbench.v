@@ -1,0 +1,11 @@
+module testbench;
+    reg [1:0] op;
+    reg [7:0] a, b;
+    wire [7:0] y;
+    wire zero;
+    alu dut (.op(op), .a(a), .b(b), .y(y), .zero(zero));
+    initial begin
+        repeat (64) #5 begin op = $random; a = $random; b = $random; end
+        $finish;
+    end
+endmodule

@@ -1,0 +1,19 @@
+// Modulo-12 up counter with enable and terminal-count strobe.
+module counter_12 (clk, rst_n, en, count, tc);
+    input clk, rst_n, en;
+    output reg [3:0] count;
+    output tc;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            count <= 4'd0;
+        else if (en) begin
+            if (count == 4'd11)
+                count <= 4'd0;
+            else
+                count <= count + 4'd1;
+        end
+    end
+
+    assign tc = en & (count == 4'd11);
+endmodule

@@ -1,0 +1,12 @@
+module testbench;
+    reg clk, rst_n, en;
+    wire [3:0] count;
+    wire tc;
+    counter_12 dut (.clk(clk), .rst_n(rst_n), .en(en), .count(count), .tc(tc));
+    always #5 clk = ~clk;
+    initial begin
+        clk = 0; rst_n = 0; en = 0;
+        #12 rst_n = 1; en = 1;
+        #400 $finish;
+    end
+endmodule

@@ -1,0 +1,19 @@
+// Rising/falling edge detector on a slow input.
+module edge_detect (clk, rst_n, a, rise, down);
+    input clk, rst_n, a;
+    output reg rise, down;
+
+    reg a_prev;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            a_prev <= 1'b0;
+            rise <= 1'b0;
+            down <= 1'b0;
+        end else begin
+            a_prev <= a;
+            rise <= a & ~a_prev;
+            down <= ~a & a_prev;
+        end
+    end
+endmodule

@@ -1,0 +1,12 @@
+module testbench;
+    reg clk, rst_n, a;
+    wire rise, down;
+    edge_detect dut (.clk(clk), .rst_n(rst_n), .a(a), .rise(rise), .down(down));
+    always #5 clk = ~clk;
+    initial begin
+        clk = 0; rst_n = 0; a = 0;
+        #12 rst_n = 1;
+        repeat (30) #20 a = ~a;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,7 @@
+// Absolute difference of two unsigned bytes.
+module abs_diff (a, b, y);
+    input [7:0] a, b;
+    output [7:0] y;
+
+    assign y = (a >= b) ? (a - b) : (b - a);
+endmodule

@@ -1,0 +1,19 @@
+// 8-bit barrel rotate-left by a 3-bit amount.
+module barrel_rotl (x, amt, y);
+    input [7:0] x;
+    input [2:0] amt;
+    output reg [7:0] y;
+
+    always @(*) begin
+        case (amt)
+            3'd0: y = x;
+            3'd1: y = {x[6:0], x[7]};
+            3'd2: y = {x[5:0], x[7:6]};
+            3'd3: y = {x[4:0], x[7:5]};
+            3'd4: y = {x[3:0], x[7:4]};
+            3'd5: y = {x[2:0], x[7:3]};
+            3'd6: y = {x[1:0], x[7:2]};
+            default: y = {x[0], x[7:1]};
+        endcase
+    end
+endmodule

@@ -1,0 +1,16 @@
+// Single-digit BCD incrementer with carry out.
+module bcd_incr (d, q, carry);
+    input [3:0] d;
+    output reg [3:0] q;
+    output reg carry;
+
+    always @(*) begin
+        if (d == 4'd9) begin
+            q = 4'd0;
+            carry = 1'b1;
+        end else begin
+            q = d + 4'd1;
+            carry = 1'b0;
+        end
+    end
+endmodule

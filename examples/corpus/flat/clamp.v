@@ -1,0 +1,9 @@
+// Clamp a byte into a parameterized [LO, HI] window.
+module clamp (x, y);
+    parameter LO = 8'h20;
+    parameter HI = 8'hE0;
+    input [7:0] x;
+    output [7:0] y;
+
+    assign y = (x < LO) ? LO : ((x > HI) ? HI : x);
+endmodule

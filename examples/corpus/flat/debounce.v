@@ -1,0 +1,27 @@
+// Two-flop synchronizer plus 3-cycle stability filter.
+module debounce (clk, rst_n, noisy, clean);
+    input clk, rst_n, noisy;
+    output reg clean;
+
+    reg sync0, sync1;
+    reg [1:0] stable_cnt;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            sync0 <= 1'b0;
+            sync1 <= 1'b0;
+            stable_cnt <= 2'd0;
+            clean <= 1'b0;
+        end else begin
+            sync0 <= noisy;
+            sync1 <= sync0;
+            if (sync1 == clean)
+                stable_cnt <= 2'd0;
+            else if (stable_cnt == 2'd2) begin
+                clean <= sync1;
+                stable_cnt <= 2'd0;
+            end else
+                stable_cnt <= stable_cnt + 2'd1;
+        end
+    end
+endmodule

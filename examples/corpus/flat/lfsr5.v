@@ -1,0 +1,19 @@
+// 5-bit maximal-length LFSR (taps 5,3); seed mask exercises a
+// size-and-base literal split across a line break.
+module lfsr5 (clk, rst_n, q);
+    input clk, rst_n;
+    output reg [4:0] q;
+
+    wire feedback;
+    wire [4:0] seed;
+    assign seed = 5
+'b00001;
+    assign feedback = q[4] ^ q[2];
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            q <= seed;
+        else
+            q <= {q[3:0], feedback};
+    end
+endmodule

@@ -1,0 +1,18 @@
+// Running min/max over a streamed byte sequence.
+module min_max (clk, rst_n, d, load, min_val, max_val);
+    input clk, rst_n, load;
+    input [7:0] d;
+    output reg [7:0] min_val, max_val;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            min_val <= 8'hFF;
+            max_val <= 8'h00;
+        end else if (load) begin
+            if (d < min_val)
+                min_val <= d;
+            if (d > max_val)
+                max_val <= d;
+        end
+    end
+endmodule

@@ -1,0 +1,16 @@
+// Combinational 4x4 multiplier with registered output stage.
+module mult4x4 (clk, rst_n, a, b, p);
+    input clk, rst_n;
+    input [3:0] a, b;
+    output reg [7:0] p;
+
+    wire [7:0] product;
+    assign product = a * b;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            p <= 8'h00;
+        else
+            p <= product;
+    end
+endmodule

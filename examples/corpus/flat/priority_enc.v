@@ -1,0 +1,19 @@
+// 8-line priority encoder, highest bit wins.
+module priority_enc (req, grant_idx, any);
+    input [7:0] req;
+    output reg [2:0] grant_idx;
+    output any;
+
+    always @(*) begin
+        if (req[7]) grant_idx = 3'd7;
+        else if (req[6]) grant_idx = 3'd6;
+        else if (req[5]) grant_idx = 3'd5;
+        else if (req[4]) grant_idx = 3'd4;
+        else if (req[3]) grant_idx = 3'd3;
+        else if (req[2]) grant_idx = 3'd2;
+        else if (req[1]) grant_idx = 3'd1;
+        else grant_idx = 3'd0;
+    end
+
+    assign any = |req;
+endmodule

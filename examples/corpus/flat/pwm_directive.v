@@ -1,0 +1,19 @@
+`timescale 1ns / 1ps
+`default_nettype wire
+// PWM generator; the directives above are reported and skipped.
+module pwm_directive (clk, rst_n, duty, pwm_out);
+    input clk, rst_n;
+    input [3:0] duty;
+    output pwm_out;
+
+    reg [3:0] phase;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            phase <= 4'd0;
+        else
+            phase <= phase + 4'd1;
+    end
+
+    assign pwm_out = (phase < duty);
+endmodule

@@ -1,0 +1,31 @@
+// Overlapping "1011" sequence detector (Mealy FSM).
+module seq_detect (clk, rst_n, din, found);
+    input clk, rst_n, din;
+    output found;
+
+    localparam S0 = 2'd0;
+    localparam S1 = 2'd1;
+    localparam S10 = 2'd2;
+    localparam S101 = 2'd3;
+
+    reg [1:0] state;
+    reg [1:0] next_state;
+
+    always @(*) begin
+        case (state)
+            S0: next_state = din ? S1 : S0;
+            S1: next_state = din ? S1 : S10;
+            S10: next_state = din ? S101 : S0;
+            default: next_state = din ? S1 : S10;
+        endcase
+    end
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            state <= S0;
+        else
+            state <= next_state;
+    end
+
+    assign found = (state == S101) & din;
+endmodule

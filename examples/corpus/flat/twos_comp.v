@@ -1,0 +1,9 @@
+// Two's complement negation with overflow flag (for 8'h80).
+module twos_comp (x, y, ovf);
+    input [7:0] x;
+    output [7:0] y;
+    output ovf;
+
+    assign y = ~x + 8'd1;
+    assign ovf = (x == 8'h80);
+endmodule

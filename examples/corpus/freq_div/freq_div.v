@@ -1,0 +1,21 @@
+// Divide-by-N clock enable generator (parameterized).
+module freq_div (clk, rst_n, tick);
+    parameter DIV = 6;
+    input clk, rst_n;
+    output reg tick;
+
+    reg [3:0] count;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            count <= 4'd0;
+            tick <= 1'b0;
+        end else if (count == DIV - 1) begin
+            count <= 4'd0;
+            tick <= 1'b1;
+        end else begin
+            count <= count + 4'd1;
+            tick <= 1'b0;
+        end
+    end
+endmodule

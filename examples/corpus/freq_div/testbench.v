@@ -1,0 +1,11 @@
+module testbench;
+    reg clk, rst_n;
+    wire tick;
+    freq_div dut (.clk(clk), .rst_n(rst_n), .tick(tick));
+    always #5 clk = ~clk;
+    initial begin
+        clk = 0; rst_n = 0;
+        #12 rst_n = 1;
+        #600 $finish;
+    end
+endmodule

@@ -1,0 +1,26 @@
+// Parallel-to-serial converter, MSB first, reloading every 4 cycles.
+module parallel2serial (clk, rst_n, d, valid_out, dout);
+    input clk, rst_n;
+    input [3:0] d;
+    output valid_out;
+    output dout;
+
+    reg [3:0] data;
+    reg [1:0] cnt;
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            cnt <= 2'd0;
+            data <= 4'd0;
+        end else if (cnt == 2'd3) begin
+            cnt <= 2'd0;
+            data <= d;
+        end else begin
+            cnt <= cnt + 2'd1;
+            data <= {data[2:0], 1'b0};
+        end
+    end
+
+    assign dout = data[3];
+    assign valid_out = (cnt == 2'd0);
+endmodule

@@ -1,0 +1,14 @@
+module testbench;
+    reg clk, rst_n;
+    reg [3:0] d;
+    wire valid_out, dout;
+    parallel2serial dut (.clk(clk), .rst_n(rst_n), .d(d),
+                         .valid_out(valid_out), .dout(dout));
+    always #5 clk = ~clk;
+    initial begin
+        clk = 0; rst_n = 0; d = 4'b1010;
+        #12 rst_n = 1;
+        repeat (16) @(posedge clk) d = $random;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,20 @@
+// CRC step written with a function: rejected (functions unsupported).
+module crc_func (clk, rst_n, din, crc);
+    input clk, rst_n, din;
+    output reg [7:0] crc;
+
+    function [7:0] crc_next;
+        input [7:0] c;
+        input b;
+        begin
+            crc_next = {c[6:0], 1'b0} ^ (c[7] ^ b ? 8'h07 : 8'h00);
+        end
+    endfunction
+
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            crc <= 8'h00;
+        else
+            crc <= crc_next(crc, din);
+    end
+endmodule

@@ -1,0 +1,11 @@
+// Hierarchical top that instantiates children: rejected (no hierarchy).
+module hier_top (clk, rst_n, a, b, y);
+    input clk, rst_n;
+    input [3:0] a, b;
+    output [4:0] y;
+
+    wire [4:0] stage1;
+
+    adder_core u_add (.a(a), .b(b), .sum(stage1));
+    out_reg #(.WIDTH(5)) u_reg (.clk(clk), .rst_n(rst_n), .d(stage1), .q(y));
+endmodule

@@ -1,0 +1,12 @@
+// Serial-in right shifter with 8-bit window.
+module right_shifter (clk, rst, d, q);
+    input clk, rst, d;
+    output reg [7:0] q;
+
+    always @(posedge clk) begin
+        if (rst)
+            q <= 8'h00;
+        else
+            q <= {d, q[7:1]};
+    end
+endmodule

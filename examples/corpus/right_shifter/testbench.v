@@ -1,0 +1,12 @@
+module testbench;
+    reg clk, rst, d;
+    wire [7:0] q;
+    right_shifter dut (.clk(clk), .rst(rst), .d(d), .q(q));
+    always #5 clk = ~clk;
+    initial begin
+        clk = 0; rst = 1; d = 0;
+        #12 rst = 0;
+        repeat (24) @(posedge clk) d = $random;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,9 @@
+module gray2bin_test;
+    reg [3:0] gray;
+    wire [3:0] bin;
+    gray2bin dut (.gray(gray), .bin(bin));
+    initial begin
+        repeat (16) #5 gray = $random;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,8 @@
+// Majority vote of three redundant inputs plus disagreement flag.
+module majority (a, b, c, y, fault);
+    input a, b, c;
+    output y, fault;
+
+    assign y = (a & b) | (a & c) | (b & c);
+    assign fault = (a ^ b) | (a ^ c);
+endmodule

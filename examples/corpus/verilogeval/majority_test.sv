@@ -1,0 +1,9 @@
+module majority_test;
+    reg a, b, c;
+    wire y, fault;
+    majority dut (.a(a), .b(b), .c(c), .y(y), .fault(fault));
+    initial begin
+        repeat (16) #5 {a, b, c} = $random;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,15 @@
+// 4-to-1 multiplexer over byte lanes.
+module mux4 (sel, d0, d1, d2, d3, y);
+    input [1:0] sel;
+    input [7:0] d0, d1, d2, d3;
+    output reg [7:0] y;
+
+    always @(*) begin
+        case (sel)
+            2'b00: y = d0;
+            2'b01: y = d1;
+            2'b10: y = d2;
+            default: y = d3;
+        endcase
+    end
+endmodule

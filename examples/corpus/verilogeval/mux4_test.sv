@@ -1,0 +1,13 @@
+module mux4_test;
+    reg [1:0] sel;
+    reg [7:0] d0, d1, d2, d3;
+    wire [7:0] y;
+    mux4 dut (.sel(sel), .d0(d0), .d1(d1), .d2(d2), .d3(d3), .y(y));
+    initial begin
+        repeat (32) #5 begin
+            sel = $random; d0 = $random; d1 = $random;
+            d2 = $random; d3 = $random;
+        end
+        $finish;
+    end
+endmodule

@@ -1,0 +1,22 @@
+// One-hot to binary encoder with validity check.
+module onehot_enc (onehot, idx, valid);
+    input [7:0] onehot;
+    output reg [2:0] idx;
+    output valid;
+
+    always @(*) begin
+        case (onehot)
+            8'b00000001: idx = 3'd0;
+            8'b00000010: idx = 3'd1;
+            8'b00000100: idx = 3'd2;
+            8'b00001000: idx = 3'd3;
+            8'b00010000: idx = 3'd4;
+            8'b00100000: idx = 3'd5;
+            8'b01000000: idx = 3'd6;
+            8'b10000000: idx = 3'd7;
+            default: idx = 3'd0;
+        endcase
+    end
+
+    assign valid = (onehot != 8'd0) & ((onehot & (onehot - 8'd1)) == 8'd0);
+endmodule

@@ -1,0 +1,10 @@
+module onehot_enc_test;
+    reg [7:0] onehot;
+    wire [2:0] idx;
+    wire valid;
+    onehot_enc dut (.onehot(onehot), .idx(idx), .valid(valid));
+    initial begin
+        repeat (32) #5 onehot = $random;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,8 @@
+// Even/odd parity generator over a byte.
+module parity (data, even, odd);
+    input [7:0] data;
+    output even, odd;
+
+    assign odd = ^data;
+    assign even = ~odd;
+endmodule

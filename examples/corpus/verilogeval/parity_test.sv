@@ -1,0 +1,9 @@
+module parity_test;
+    reg [7:0] data;
+    wire even, odd;
+    parity dut (.data(data), .even(even), .odd(odd));
+    initial begin
+        repeat (16) #5 data = $random;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,10 @@
+// Population count of a nibble via pairwise adds.
+module popcount (x, count);
+    input [3:0] x;
+    output [2:0] count;
+
+    wire [1:0] lo, hi;
+    assign lo = {1'b0, x[0]} + {1'b0, x[1]};
+    assign hi = {1'b0, x[2]} + {1'b0, x[3]};
+    assign count = {1'b0, lo} + {1'b0, hi};
+endmodule

@@ -1,0 +1,9 @@
+module popcount_test;
+    reg [3:0] x;
+    wire [2:0] count;
+    popcount dut (.x(x), .count(count));
+    initial begin
+        repeat (16) #5 x = $random;
+        $finish;
+    end
+endmodule

@@ -1,0 +1,14 @@
+// Self-correcting 4-bit ring counter.
+module ring_counter (clk, rst, q);
+    input clk, rst;
+    output reg [3:0] q;
+
+    always @(posedge clk) begin
+        if (rst)
+            q <= 4'b0001;
+        else if (q == 4'b0000)
+            q <= 4'b0001;
+        else
+            q <= {q[2:0], q[3]};
+    end
+endmodule

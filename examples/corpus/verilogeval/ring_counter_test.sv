@@ -1,0 +1,11 @@
+module ring_counter_test;
+    reg clk, rst;
+    wire [3:0] q;
+    ring_counter dut (.clk(clk), .rst(rst), .q(q));
+    always #5 clk = ~clk;
+    initial begin
+        clk = 0; rst = 1;
+        #12 rst = 0;
+        #300 $finish;
+    end
+endmodule

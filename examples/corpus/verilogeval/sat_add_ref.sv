@@ -1,0 +1,11 @@
+// Unsigned saturating adder: clamps at 8'hFF instead of wrapping.
+module sat_add (a, b, sum, sat);
+    input [7:0] a, b;
+    output [7:0] sum;
+    output sat;
+
+    wire [8:0] wide;
+    assign wide = {1'b0, a} + {1'b0, b};
+    assign sat = wide[8];
+    assign sum = sat ? 8'hFF : wide[7:0];
+endmodule

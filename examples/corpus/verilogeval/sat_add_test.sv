@@ -1,0 +1,10 @@
+module sat_add_test;
+    reg [7:0] a, b;
+    wire [7:0] sum;
+    wire sat;
+    sat_add dut (.a(a), .b(b), .sum(sum), .sat(sat));
+    initial begin
+        repeat (32) #5 begin a = $random; b = $random; end
+        $finish;
+    end
+endmodule

@@ -1,10 +1,18 @@
 """``python -m repro`` — the session facade as a command line.
 
-Three subcommands drive :class:`repro.api.VeriBugSession`:
+Four subcommands drive :class:`repro.api.VeriBugSession`:
 
-* ``train`` — train on an RVDG synthetic corpus and save a checkpoint::
+* ``train`` — train on an RVDG synthetic corpus (or, with ``--corpus``,
+  on designs ingested from disk) and save a checkpoint::
 
       python -m repro train --designs 20 --epochs 30 --output model.npz
+      python -m repro train --corpus examples/corpus --output model.npz
+
+* ``ingest`` — walk a directory of real Verilog, classify every design
+  against the supported subset, and report per-construct diagnostics::
+
+      python -m repro ingest examples/corpus
+      python -m repro ingest examples/corpus --json
 
 * ``campaign`` — run a bug-injection campaign, streaming per-mutant
   outcomes and incremental heatmap rankings as they complete::
@@ -64,9 +72,30 @@ def _build_config(args: argparse.Namespace) -> SessionConfig:
             config = config.with_cache("off")
         if getattr(args, "epochs", None) is not None:
             config = config.with_model(epochs=args.epochs)
+        if getattr(args, "corpus", None) is not None:
+            config = config.with_corpus(args.corpus)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
     return config
+
+
+def _parse_verilog_file(path_str: str):
+    """Parse a Verilog file for the CLI, turning frontend errors into
+    ``file:line:col: message`` exits instead of tracebacks."""
+    from ..verilog.errors import VerilogError
+    from ..verilog.parser import parse_module
+
+    path = pathlib.Path(path_str)
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}") from exc
+    try:
+        return parse_module(source)
+    except VerilogError as exc:
+        raise SystemExit(
+            f"{path}:{exc.line or 1}:{exc.col or 1}: {exc.message}"
+        ) from exc
 
 
 def _load_session(args: argparse.Namespace, config: SessionConfig) -> VeriBugSession:
@@ -117,15 +146,26 @@ def cmd_train(args: argparse.Namespace) -> int:
     from ..pipeline import CorpusSpec
 
     config = _build_config(args)
+    if args.designs is None:
+        # Corpus mode defaults to every usable ingested design (0 = all).
+        n_designs = 0 if args.corpus else 20
+    else:
+        n_designs = args.designs
     corpus = CorpusSpec(
-        n_designs=args.designs,
+        n_designs=n_designs,
         n_traces_per_design=args.traces,
         n_cycles=args.cycles,
         engine=config.engine,
         n_workers=config.n_workers,
+        source_dir=args.corpus,
     )
     t0 = time.perf_counter()
-    session = VeriBugSession.train(config, corpus, log=not args.quiet)
+    try:
+        session = VeriBugSession.train(config, corpus, log=not args.quiet)
+    except (NotADirectoryError, ValueError) as exc:
+        # Bad corpus directory / nothing usable ingested: user error,
+        # not a traceback.
+        raise SystemExit(str(exc)) from exc
     wall = time.perf_counter() - t0
     if session.train_metrics:
         print(f"train accuracy: {session.train_metrics.accuracy:.3f}")
@@ -194,29 +234,53 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         config = config.with_campaign_defaults(n_traces=8)
 
     # Validate the workload *before* the potentially slow model load.
+    corpus = None
+    if args.corpus:
+        from ..ingest import ingest_directory
+
+        try:
+            corpus = ingest_directory(args.corpus)
+        except NotADirectoryError as exc:
+            raise SystemExit(str(exc)) from exc
+        if not corpus.designs:
+            raise SystemExit(
+                f"no usable designs ingested from {args.corpus!r}"
+            )
+
+    def campaign_targets(name: str) -> list[str]:
+        """All campaign targets of a design (paper targets or outputs)."""
+        if name in REGISTRY:
+            return list(design_info(name).targets)
+        return list(corpus.module(name).outputs)
+
     if args.design:
-        if args.design not in REGISTRY:
+        if args.design in REGISTRY:
+            outputs = load_design(args.design).outputs
+        elif corpus is not None and args.design in corpus:
+            outputs = corpus.module(args.design).outputs
+        else:
+            available = list(REGISTRY) + (corpus.names() if corpus else [])
             raise SystemExit(
                 f"unknown design {args.design!r};"
-                f" available: {', '.join(REGISTRY)}"
+                f" available: {', '.join(available)}"
             )
         designs = [args.design]
-        if args.target and args.target not in load_design(args.design).outputs:
+        if args.target and args.target not in outputs:
             raise SystemExit(
                 f"design {args.design!r} has no output {args.target!r};"
-                f" paper targets: {', '.join(design_info(args.design).targets)}"
+                f" available targets: {', '.join(campaign_targets(args.design))}"
             )
     else:
-        designs = list(REGISTRY)
+        designs = corpus.names() if corpus is not None else list(REGISTRY)
         if args.target:
             # A bare --target only applies to designs that define it.
             designs = [
                 name for name in designs
-                if args.target in design_info(name).targets
+                if args.target in campaign_targets(name)
             ]
             if not designs:
                 raise SystemExit(
-                    f"no registered design has target {args.target!r}"
+                    f"no available design has target {args.target!r}"
                 )
     if args.smoke:
         designs = designs[:1]
@@ -227,8 +291,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
     results = {}
     for name in designs:
-        info = design_info(name)
-        targets = [args.target] if args.target else list(info.targets)
+        targets = [args.target] if args.target else campaign_targets(name)
         if args.smoke:
             targets = targets[:1]
         for target in targets:
@@ -292,7 +355,6 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 def cmd_localize(args: argparse.Namespace) -> int:
     from ..core import render_heatmap
     from ..sim import Simulator, TestbenchConfig, generate_testbench_suite
-    from ..verilog import parse_module
     from ..verilog.printer import statement_source
 
     config = _build_config(args)
@@ -319,8 +381,8 @@ def cmd_localize(args: argparse.Namespace) -> int:
 
     if args.source:
         # Bring-your-own-bug mode: golden + buggy sources, shared stimuli.
-        golden = parse_module(pathlib.Path(args.golden).read_text())
-        buggy = parse_module(pathlib.Path(args.source).read_text())
+        golden = _parse_verilog_file(args.golden)
+        buggy = _parse_verilog_file(args.source)
         testbench = TestbenchConfig(n_cycles=args.cycles, engine=config.engine)
         stimuli = generate_testbench_suite(
             golden, args.traces, testbench, seed=args.seed
@@ -379,6 +441,52 @@ def cmd_localize(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# ingest
+# ----------------------------------------------------------------------
+#: Human-readable status column of the ingest report.
+_STATUS_LABELS = {
+    "supported": "ok",
+    "partial": "partial",
+    "rejected": "REJECTED",
+}
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from ..ingest import ingest_directory
+
+    try:
+        corpus = ingest_directory(args.directory)
+    except NotADirectoryError as exc:
+        raise SystemExit(str(exc)) from exc
+    manifest = corpus.manifest
+
+    if args.output:
+        manifest.save(args.output)
+    if args.json:
+        print(json.dumps(manifest.to_dict(), indent=2))
+    else:
+        for rec in manifest.designs:
+            testbench = rec.testbench_path or "derived"
+            print(
+                f"{rec.name:<28} {_STATUS_LABELS[rec.status]:<9}"
+                f" {rec.layout:<12} {rec.source_path}  [tb: {testbench}]"
+            )
+            for diag in rec.diagnostics:
+                print(f"    {diag.render()}")
+        counts = manifest.counts()
+        print(
+            f"\n{counts['designs']} design(s):"
+            f" {counts['supported']} supported,"
+            f" {counts['partial']} partial,"
+            f" {counts['rejected']} rejected"
+            f" ({len(corpus)} usable)"
+        )
+        if args.output:
+            print(f"manifest written to {args.output}")
+    return 0 if corpus.designs else 1
+
+
+# ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
@@ -406,16 +514,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cycles per testbench")
 
     train = sub.add_parser("train", help="train a model, save a checkpoint")
-    train.add_argument("--designs", type=int, default=20, help="RVDG corpus size")
+    train.add_argument("--designs", type=int, default=None,
+                       help="corpus size (default 20 RVDG designs;"
+                            " with --corpus, all usable designs)")
     train.add_argument("--traces", type=int, default=4, help="testbenches per design")
     train.add_argument("--cycles", type=int, default=25)
     train.add_argument("--epochs", type=int, default=30)
     train.add_argument("--seed", type=int, default=1)
     train.add_argument("--engine", choices=("compiled", "interpreted"))
     train.add_argument("--workers", type=int)
+    train.add_argument("--corpus",
+                       help="train on designs ingested from this directory"
+                            " instead of RVDG synthetics")
     train.add_argument("--output", default="model.npz", help="checkpoint path")
     train.add_argument("--quiet", action="store_true", help="no per-epoch losses")
     train.set_defaults(func=cmd_train)
+
+    ingest = sub.add_parser(
+        "ingest", help="classify a directory of Verilog against the subset"
+    )
+    ingest.add_argument("directory", help="corpus root to walk")
+    ingest.add_argument("--json", action="store_true",
+                        help="print the manifest as JSON instead of a report")
+    ingest.add_argument("--output", help="also write the manifest JSON here")
+    ingest.set_defaults(func=cmd_ingest)
 
     campaign = sub.add_parser(
         "campaign", help="run bug-injection campaigns with streaming heatmaps"
@@ -425,6 +547,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--plan", help="e.g. negation=2,operation=2,misuse=3")
     campaign.add_argument("--smoke", action="store_true",
                           help="tiny CI workload: one design/target, 3 mutants")
+    campaign.add_argument("--corpus",
+                          help="resolve designs from this ingested directory"
+                               " (default designs: all usable in it)")
     campaign.add_argument("--json", help="write a JSON summary here")
     common(campaign, cycles=10)
     campaign.set_defaults(func=cmd_campaign)

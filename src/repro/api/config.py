@@ -59,6 +59,11 @@ class SessionConfig:
         n_traces: Testbenches per campaign batch.
         min_correct_traces / max_extra_batches: Correct-trace top-up
             policy for campaigns.
+        corpus_dir: Directory of an on-disk Verilog corpus (see
+            :mod:`repro.ingest`).  When set, the session lazily ingests
+            it: training defaults to the ingested designs instead of
+            RVDG synthetics, and design references resolve against the
+            corpus by name (after the built-in registry).
     """
 
     model: VeriBugConfig = field(default_factory=VeriBugConfig)
@@ -73,6 +78,7 @@ class SessionConfig:
     n_traces: int = 12
     min_correct_traces: int = 4
     max_extra_batches: int = 4
+    corpus_dir: str | None = None
 
     def __post_init__(self):
         if self.sim_engine is not None and self.sim_engine not in ENGINES:
@@ -153,6 +159,16 @@ class SessionConfig:
     def with_seed(self, seed: int) -> SessionConfig:
         """Set the data seed (corpus, testbenches, mutation sampling)."""
         return dataclasses.replace(self, seed=seed)
+
+    def with_corpus(self, corpus_dir) -> SessionConfig:
+        """Bind the session to an on-disk Verilog corpus directory.
+
+        Training defaults to the ingested designs, and design names
+        resolve against the corpus (see :mod:`repro.ingest`).
+        """
+        return dataclasses.replace(
+            self, corpus_dir=None if corpus_dir is None else str(corpus_dir)
+        )
 
     def with_campaign_defaults(
         self,

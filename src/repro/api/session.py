@@ -55,6 +55,7 @@ from .campaign import DEFAULT_PLAN, CampaignHandle
 from .config import SessionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline -> api)
+    from ..ingest import IngestedCorpus
     from ..pipeline import CorpusSpec, TrainedPipeline
 
 
@@ -71,6 +72,25 @@ def generate_corpus(
     from ..pipeline import CorpusSpec, _generate_corpus_samples
 
     return _generate_corpus_samples(spec or CorpusSpec(), seed=seed)
+
+
+def _default_corpus_spec(config: SessionConfig, n_workers: int) -> "CorpusSpec":
+    """The corpus a session trains on when no explicit spec is given.
+
+    Inherits the session's engine and worker pool; with ``corpus_dir``
+    set, sources every usable ingested design (``n_designs=0`` = all)
+    instead of RVDG synthetics.
+    """
+    from ..pipeline import CorpusSpec
+
+    if config.corpus_dir is not None:
+        return CorpusSpec(
+            n_designs=0,
+            engine=config.engine,
+            n_workers=n_workers,
+            source_dir=config.corpus_dir,
+        )
+    return CorpusSpec(engine=config.engine, n_workers=n_workers)
 
 
 class VeriBugSession:
@@ -152,6 +172,7 @@ class VeriBugSession:
             runtime=self._runtime,
         )
         self._trainer: Trainer | None = None
+        self._corpus: "IngestedCorpus | None" = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -165,23 +186,22 @@ class VeriBugSession:
         evaluate: bool = True,
         log: bool = False,
     ) -> "VeriBugSession":
-        """Train a fresh model on an RVDG synthetic corpus.
+        """Train a fresh model on a corpus (RVDG synthetic or ingested).
 
         Args:
             config: Session configuration (model hyper-parameters, data
-                seed, engine/worker knobs).
+                seed, engine/worker knobs).  With ``corpus_dir`` set the
+                default corpus is the designs ingested from that
+                directory rather than RVDG synthetics.
             corpus: Corpus size spec; defaults to a spec inheriting the
-                session's engine and worker-pool settings.
+                session's engine, worker-pool, and corpus-directory
+                settings.
             evaluate: Compute train/test metrics on the design-level
                 corpus split.
             log: Print per-epoch training losses.
         """
-        from ..pipeline import CorpusSpec
-
         config = config or SessionConfig()
-        corpus = corpus or CorpusSpec(
-            engine=config.engine, n_workers=config.n_workers
-        )
+        corpus = corpus or _default_corpus_spec(config, config.n_workers)
         vocab = Vocabulary()
         model = VeriBugModel(config.model, vocab)
         encoder = BatchEncoder(vocab)
@@ -300,6 +320,16 @@ class VeriBugSession:
             if isinstance(design, str) and design in REGISTRY:
                 testbench = design_testbench(design, n_cycles=n_cycles)
                 testbench.engine = self.config.engine
+            elif (
+                isinstance(design, str)
+                and self.corpus is not None
+                and design in self.corpus
+            ):
+                # Ingested designs get stimulus derived from their own
+                # text (bit-density biases for wide compares) — the same
+                # treatment the hand-ported registry designs receive.
+                testbench = self.corpus.design(design).testbench(n_cycles)
+                testbench.engine = self.config.engine
             else:
                 testbench = TestbenchConfig(
                     n_cycles=n_cycles, engine=self.config.engine
@@ -350,17 +380,17 @@ class VeriBugSession:
     def generate_corpus(
         self, spec: "CorpusSpec | None" = None, seed: int | None = None
     ) -> list[Sample]:
-        """Simulate an RVDG corpus into training samples.
+        """Simulate a corpus into training samples.
 
-        Defaults inherit the session's engine, worker pool, and seed.
+        Defaults inherit the session's engine, worker pool, seed, and —
+        when ``config.corpus_dir`` is set — the ingested corpus
+        directory (all usable designs) in place of RVDG synthetics.
         """
-        from ..pipeline import CorpusSpec, _generate_corpus_samples
+        from ..pipeline import _generate_corpus_samples
 
         # Post-close sessions resolve to sequential, like campaign().
         session_workers = 0 if self._closed else self.config.n_workers
-        spec = spec or CorpusSpec(
-            engine=self.config.engine, n_workers=session_workers
-        )
+        spec = spec or _default_corpus_spec(self.config, session_workers)
         # A spec that doesn't ask for workers of its own inherits the
         # session pool (results are bit-identical either way, so the
         # default is never a silent de-parallelization); an explicit
@@ -435,24 +465,46 @@ class VeriBugSession:
     # ------------------------------------------------------------------
     # Introspection / interop
     # ------------------------------------------------------------------
+    @property
+    def corpus(self) -> "IngestedCorpus | None":
+        """The session's ingested corpus (None without ``corpus_dir``).
+
+        Ingestion runs lazily on first access and is cached for the
+        session's lifetime; re-ingest explicitly with
+        :func:`repro.ingest.ingest_directory` if the directory changes.
+        """
+        if self._corpus is None and self.config.corpus_dir is not None:
+            from ..ingest import ingest_directory
+
+            self._corpus = ingest_directory(self.config.corpus_dir)
+        return self._corpus
+
     def resolve_design(self, design: Module | str) -> Module:
         """Normalize a design reference into a parsed module.
 
         Accepts a parsed :class:`Module` (returned as-is), the name of a
-        registered evaluation design, or raw Verilog source text.
+        registered evaluation design, the name of a usable design in the
+        session's ingested corpus, or raw Verilog source text.
         """
         if isinstance(design, Module):
             return design
         if design in REGISTRY:
             return load_design(design)
+        corpus = self.corpus
+        if corpus is not None and design in corpus:
+            return corpus.module(design)
         # Verilog source opens a line with the `module` keyword (possibly
         # after comments/blank lines); a mistyped registry name merely
         # *containing* the substring must not hit the parser.
         if re.search(r"(?m)^\s*module\b", design):
             return parse_module(design)
+        available = list(REGISTRY)
+        if corpus is not None:
+            available += corpus.names()
         raise KeyError(
-            f"unknown design {design!r}: not a registered design name"
-            f" (available: {', '.join(REGISTRY)}) and not Verilog source"
+            f"unknown design {design!r}: not a registered or ingested design"
+            f" name (available: {', '.join(available)}) and not Verilog"
+            " source"
         )
 
     def cache_stats(self) -> dict[str, float]:

@@ -14,7 +14,7 @@ from .mutation import (
     enumerate_mutations,
     sample_mutations,
 )
-from .rvdg import RandomVerilogDesignGenerator, RVDGConfig
+from .rvdg import RandomVerilogDesignGenerator, RVDGConfig, derive_testbench
 
 __all__ = [
     "BugInjectionCampaign",
@@ -27,6 +27,7 @@ __all__ = [
     "SUBSTITUTION_GROUPS",
     "apply_mutation",
     "creates_combinational_cycle",
+    "derive_testbench",
     "enumerate_mutations",
     "sample_mutations",
 ]

@@ -15,6 +15,10 @@ flows), and bounds the number of operands and Boolean operators per
 statement.  Because ``NC`` only reads inputs, state registers, and
 *earlier* temporaries, the generated combinational logic is loop-free by
 construction.
+
+This module also hosts :func:`derive_testbench`, the stimulus deriver
+the ingestion pipeline uses for designs that arrive from disk without a
+runnable testbench.
 """
 
 from __future__ import annotations
@@ -22,7 +26,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..verilog.ast_nodes import Module
+from ..sim.testbench import TestbenchConfig
+from ..verilog.ast_nodes import BinaryOp, Identifier, Module, Number
 from ..verilog.parser import parse_module
 
 
@@ -51,6 +56,55 @@ class RVDGConfig:
 
 #: Boolean connectives used in generated expressions.
 _OPERATORS = ("&", "|", "^")
+
+
+def derive_testbench(module: Module, n_cycles: int = 30) -> TestbenchConfig:
+    """Derive a random-stimulus testbench config for an ingested design.
+
+    Designs ingested from disk often arrive without a usable testbench
+    (or with an ``initial``-block one the subset cannot execute), so the
+    ingestion pipeline derives constrained-random stimulus instead:
+    clock and reset are recognized by the simulator's naming
+    conventions, and per-input bit-density biases are derived from the
+    design text itself — an input compared for equality against a wide
+    constant (an address match, an opcode decode) gets its one-density
+    steered toward that constant's bit density so the rare branch is
+    actually reachable under random stimulus, the same trick the
+    hand-ported paper designs apply via
+    :func:`repro.designs.design_testbench`.
+
+    Args:
+        module: The parsed design.
+        n_cycles: Cycles per generated trace.
+
+    Returns:
+        A :class:`~repro.sim.testbench.TestbenchConfig` ready for
+        :func:`~repro.sim.testbench.generate_testbench_suite`.
+    """
+    inputs = set(module.inputs)
+    densities: dict[str, list[float]] = {}
+    for root in module.children():
+        for node in root.walk():
+            if not isinstance(node, BinaryOp) or node.op not in ("==", "!="):
+                continue
+            sides = (node.left, node.right), (node.right, node.left)
+            for ident, const in sides:
+                if not isinstance(ident, Identifier) or not isinstance(const, Number):
+                    continue
+                if ident.name not in inputs:
+                    continue
+                width = module.decls[ident.name].width
+                if width < 4:
+                    # Narrow inputs hit their compare values often enough
+                    # under unbiased stimulus.
+                    continue
+                ones = bin(const.value & ((1 << width) - 1)).count("1")
+                densities.setdefault(ident.name, []).append(ones / width)
+    biases = {
+        name: min(0.95, max(0.05, sum(vals) / len(vals)))
+        for name, vals in densities.items()
+    }
+    return TestbenchConfig(n_cycles=n_cycles, biases=biases)
 
 
 class RandomVerilogDesignGenerator:

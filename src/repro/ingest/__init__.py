@@ -1,0 +1,34 @@
+"""Design ingestion: parse real Verilog corpora from disk.
+
+Layers, bottom to top:
+
+* :mod:`~repro.ingest.walker` — discover design candidates in
+  RTLLM-style, VerilogEval-style, and flat directory layouts.
+* :mod:`~repro.ingest.detector` — classify each file against the
+  supported Verilog subset, degrading gracefully: per-construct
+  ``file:line:col`` diagnostics with a skip-or-reject decision instead
+  of a hard ParseError.
+* :mod:`~repro.ingest.manifest` — the corpus manifest (design records,
+  statuses, diagnostics) with JSON persistence.
+* :mod:`~repro.ingest.corpus` — the pipeline tying them together;
+  :func:`ingest_directory` is the main entry point.
+"""
+
+from .corpus import IngestedCorpus, IngestedDesign, ingest_directory
+from .detector import REJECT_WORDS, DetectedModule, detect_modules
+from .manifest import CorpusManifest, DesignRecord, Diagnostic
+from .walker import CorpusFile, discover_designs
+
+__all__ = [
+    "CorpusFile",
+    "CorpusManifest",
+    "DesignRecord",
+    "DetectedModule",
+    "Diagnostic",
+    "IngestedCorpus",
+    "IngestedDesign",
+    "REJECT_WORDS",
+    "detect_modules",
+    "discover_designs",
+    "ingest_directory",
+]

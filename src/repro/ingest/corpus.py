@@ -1,0 +1,235 @@
+"""The ingestion pipeline: walk, detect, validate, manifest.
+
+:func:`ingest_directory` ties the layers together — the walker finds
+design candidates, the detector classifies each against the supported
+subset, and ingestion policy checks (simulability, outputs, duplicate
+names) demote designs that parse but cannot drive a campaign.  The
+result is an :class:`IngestedCorpus`: the usable designs as parsed
+modules plus the full :class:`~repro.ingest.manifest.CorpusManifest`
+covering rejected ones too.
+
+Usable designs carry their *canonical* source (the printer's output for
+the sanitized parse), which is what the parallel corpus layer ships to
+worker processes — canonical text always re-parses cleanly, no matter
+what was skipped on the way in.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+
+from ..datagen.rvdg import derive_testbench
+from ..sim.simulator import Simulator
+from ..sim.testbench import generate_stimulus
+from ..verilog.ast_nodes import Module
+from ..verilog.printer import format_module
+from .detector import detect_modules
+from .manifest import CorpusManifest, DesignRecord, Diagnostic
+from .walker import discover_designs
+
+#: Cycles used for the ingest-time smoke simulation of each design.
+SMOKE_CYCLES = 4
+
+
+@dataclass
+class IngestedDesign:
+    """One usable design from an ingested corpus.
+
+    Attributes:
+        name: Module name (unique within the corpus).
+        module: The parsed module.
+        source: Canonical (printer) source — stable under re-parsing and
+            cheap to ship to worker processes.
+        source_path: Original file, relative to the corpus root.
+        status: "supported" or "partial".
+        testbench_path: Provided testbench file (relative), or None.
+    """
+
+    name: str
+    module: Module
+    source: str
+    source_path: str
+    status: str
+    testbench_path: str | None = None
+
+    def testbench(self, n_cycles: int = 30):
+        """Derived random-stimulus config for this design."""
+        return derive_testbench(self.module, n_cycles=n_cycles)
+
+
+@dataclass
+class IngestedCorpus:
+    """Usable designs of a corpus directory plus the full manifest."""
+
+    root: str
+    designs: dict[str, IngestedDesign] = field(default_factory=dict)
+    manifest: CorpusManifest = None  # type: ignore[assignment]
+
+    @classmethod
+    def load(cls, root) -> "IngestedCorpus":
+        """Ingest (or re-ingest) the corpus at ``root``.
+
+        Ingestion is deterministic and fast relative to simulation, so
+        loading always re-runs the pipeline rather than trusting a
+        possibly-stale committed manifest.
+        """
+        return ingest_directory(root)
+
+    def names(self) -> list[str]:
+        """Usable design names, walker order."""
+        return list(self.designs)
+
+    def design(self, name: str) -> IngestedDesign:
+        if name not in self.designs:
+            raise KeyError(
+                f"no ingested design named {name!r};"
+                f" available: {', '.join(self.designs) or '(none)'}"
+            )
+        return self.designs[name]
+
+    def module(self, name: str) -> Module:
+        """The parsed module of a usable design."""
+        return self.design(name).module
+
+    def design_sources(self) -> list[tuple[str, str]]:
+        """``(name, canonical_source)`` pairs for the training pipeline."""
+        return [(d.name, d.source) for d in self.designs.values()]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.designs
+
+    def __len__(self) -> int:
+        return len(self.designs)
+
+
+def ingest_directory(root) -> IngestedCorpus:
+    """Ingest every Verilog design under ``root``.
+
+    Never raises on malformed Verilog — parse and simulation failures
+    become per-design diagnostics in the manifest.  Raises only for a
+    missing/invalid root directory (``NotADirectoryError``).
+    """
+    root = pathlib.Path(root)
+    candidates = discover_designs(root)
+
+    corpus = IngestedCorpus(root=str(root))
+    records: list[DesignRecord] = []
+    for candidate in candidates:
+        try:
+            source = candidate.path.read_text()
+        except OSError as exc:
+            records.append(
+                DesignRecord(
+                    name=candidate.path.stem,
+                    source_path=candidate.rel_path,
+                    layout=candidate.layout,
+                    status="rejected",
+                    diagnostics=[
+                        Diagnostic(
+                            candidate.rel_path, 1, 1, "io", "reject", str(exc)
+                        )
+                    ],
+                )
+            )
+            continue
+        testbench_rel = (
+            candidate.testbench_path.relative_to(root).as_posix()
+            if candidate.testbench_path is not None
+            else None
+        )
+        for detected in detect_modules(source, file=candidate.rel_path):
+            name = detected.name
+            if name == "<unknown>":
+                name = candidate.path.stem
+            status = detected.status
+            diagnostics = list(detected.diagnostics)
+            module = detected.module
+
+            if module is not None:
+                status = _apply_policy_checks(
+                    name, module, corpus, candidate.rel_path, status, diagnostics
+                )
+                if status == "rejected":
+                    module = None
+
+            record = DesignRecord(
+                name=name,
+                source_path=candidate.rel_path,
+                layout=candidate.layout,
+                status=status,
+                testbench="provided" if testbench_rel else "derived",
+                testbench_path=testbench_rel,
+                ports=_port_summary(module),
+                n_statements=len(module.statements()) if module else 0,
+                diagnostics=diagnostics,
+            )
+            records.append(record)
+            if module is not None:
+                corpus.designs[name] = IngestedDesign(
+                    name=name,
+                    module=module,
+                    source=format_module(module),
+                    source_path=candidate.rel_path,
+                    status=status,
+                    testbench_path=testbench_rel,
+                )
+
+    corpus.manifest = CorpusManifest(root=str(root), designs=records)
+    return corpus
+
+
+def _apply_policy_checks(
+    name: str,
+    module: Module,
+    corpus: IngestedCorpus,
+    rel_path: str,
+    status: str,
+    diagnostics: list[Diagnostic],
+) -> str:
+    """Demote parsed-but-unusable designs to rejected; return the status."""
+
+    def reject(construct: str, message: str) -> str:
+        diagnostics.append(
+            Diagnostic(
+                rel_path,
+                module.line or 1,
+                module.col or 1,
+                construct,
+                "reject",
+                message,
+            )
+        )
+        return "rejected"
+
+    if name in corpus.designs:
+        return reject(
+            "duplicate design",
+            f"module {name!r} already ingested from"
+            f" {corpus.designs[name].source_path}",
+        )
+    if not module.outputs:
+        return reject("no outputs", "design has no output ports to observe")
+    if not module.statements():
+        return reject(
+            "no assignments", "design has no assignment statements to localize"
+        )
+    # Smoke simulation: a design that cannot execute a short random
+    # trace cannot serve training or campaigns, whatever it parsed as.
+    try:
+        stimulus = generate_stimulus(
+            module, derive_testbench(module, n_cycles=SMOKE_CYCLES), seed=0
+        )
+        Simulator(module).run(stimulus, record=False)
+    except Exception as exc:  # noqa: BLE001 - any failure is a verdict
+        return reject("simulation", f"smoke simulation failed: {exc}")
+    return status
+
+
+def _port_summary(module: Module | None) -> dict:
+    if module is None:
+        return {}
+    return {
+        "inputs": {name: module.decls[name].width for name in module.inputs},
+        "outputs": {name: module.decls[name].width for name in module.outputs},
+    }

@@ -1,0 +1,394 @@
+"""Graceful subset detection for real-world Verilog sources.
+
+The strict frontend (:func:`repro.verilog.parse_module`) raises on the
+first unsupported token, which makes it useless for triaging a corpus:
+one ``initial`` block in an otherwise-synthesizable file would hide
+every later problem.  The detector instead:
+
+1. tokenizes tolerantly (lexical problems become diagnostics, not
+   exceptions — string literals and system tasks are skipped),
+2. splits the file into ``module``/``endmodule`` chunks (multi-module
+   files yield one candidate per module),
+3. scans each chunk for known out-of-subset constructs, classifying
+   every hit as **skip** (construct removed, design still usable:
+   initial blocks, delay controls, compiler directives) or **reject**
+   (semantics can't be preserved: instantiation, functions, loops,
+   SystemVerilog types, memories),
+4. parses the sanitized token stream with the strict parser, converting
+   any residual ``ParseError``/``SemanticError`` into a reject
+   diagnostic carrying ``file:line:col``.
+
+A design is "supported" when it parsed with zero diagnostics, "partial"
+when it parsed after skips, and "rejected" otherwise.  The detector
+never raises on malformed input — every failure mode becomes a
+diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..verilog.ast_nodes import Module
+from ..verilog.errors import VerilogError
+from ..verilog.lexer import Lexer
+from ..verilog.parser import Parser
+from ..verilog.tokens import Directive, Token, TokenKind
+from .manifest import Diagnostic
+
+#: Out-of-subset words (lexed as identifiers — they are not subset
+#: keywords) that make a design unusable, mapped to construct names.
+REJECT_WORDS: dict[str, str] = {
+    "function": "function definition",
+    "endfunction": "function definition",
+    "task": "task definition",
+    "endtask": "task definition",
+    "generate": "generate block",
+    "endgenerate": "generate block",
+    "genvar": "generate block",
+    "for": "for loop",
+    "while": "while loop",
+    "repeat": "repeat loop",
+    "forever": "forever loop",
+    "fork": "fork/join block",
+    "join": "fork/join block",
+    "specify": "specify block",
+    "endspecify": "specify block",
+    "primitive": "UDP primitive",
+    "endprimitive": "UDP primitive",
+    "defparam": "defparam override",
+    "real": "real-valued declaration",
+    "event": "named event",
+    "wait": "wait statement",
+    "force": "procedural force",
+    "release": "procedural release",
+    "deassign": "procedural deassign",
+    "logic": "SystemVerilog type",
+    "bit": "SystemVerilog type",
+    "byte": "SystemVerilog type",
+    "typedef": "SystemVerilog typedef",
+    "enum": "SystemVerilog enum",
+    "struct": "SystemVerilog struct",
+    "union": "SystemVerilog union",
+    "interface": "SystemVerilog interface",
+    "endinterface": "SystemVerilog interface",
+    "package": "SystemVerilog package",
+    "endpackage": "SystemVerilog package",
+    "always_ff": "SystemVerilog always_ff",
+    "always_comb": "SystemVerilog always_comb",
+    "always_latch": "SystemVerilog always_latch",
+}
+
+
+@dataclass
+class DetectedModule:
+    """Detector verdict for one module chunk of a source file.
+
+    Attributes:
+        name: Module name ("<unknown>" when unparseable that early).
+        status: "supported" | "partial" | "rejected".
+        module: The parsed module for usable designs, else None.
+        diagnostics: Per-construct diagnostics, source order.
+    """
+
+    name: str
+    status: str
+    module: Module | None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+
+def detect_modules(source: str, file: str = "<source>") -> list[DetectedModule]:
+    """Classify every module in ``source`` against the supported subset.
+
+    Args:
+        source: Verilog source text (any number of modules).
+        file: Path used in diagnostics (``file:line:col``).
+
+    Returns:
+        One :class:`DetectedModule` per ``module`` chunk, source order.
+        An input with no ``module`` keyword at all yields a single
+        rejected placeholder entry.
+    """
+    lexer = Lexer(source)
+    tokens, lex_errors = lexer.tokenize_tolerant()
+
+    chunks = _split_modules(tokens)
+    if not chunks:
+        diags = [
+            Diagnostic(file, 1, 1, "module", "reject", "no module found in file")
+        ]
+        diags += _lexical_diagnostics(lex_errors, file)
+        diags += _directive_diagnostics(lexer.directives, file)
+        return [DetectedModule("<unknown>", "rejected", None, diags)]
+
+    results = []
+    for index, chunk in enumerate(chunks):
+        first_line = chunk[0].line
+        last_line = chunk[-1].line
+        # File-level trivia (directives, lexical skips) is attributed to
+        # the module chunk it falls inside; leading trivia goes to the
+        # first chunk, trailing trivia to the last.
+        in_range = lambda line: (  # noqa: E731
+            (index == 0 or line >= first_line)
+            and (index == len(chunks) - 1 or line <= last_line)
+        )
+        diags = _directive_diagnostics(
+            [d for d in lexer.directives if in_range(d.line)], file
+        )
+        diags += _lexical_diagnostics(
+            [e for e in lex_errors if in_range(e.line or 1)], file
+        )
+        results.append(_detect_chunk(chunk, diags, file))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Per-chunk detection
+# ----------------------------------------------------------------------
+def _detect_chunk(
+    chunk: list[Token], diags: list[Diagnostic], file: str
+) -> DetectedModule:
+    name = "<unknown>"
+    if len(chunk) > 1 and chunk[1].kind is TokenKind.IDENT:
+        name = chunk[1].value
+
+    diags = list(diags)
+    _scan_rejects(chunk, diags, file)
+    rejected = any(d.decision == "reject" for d in diags)
+
+    module = None
+    if not rejected:
+        sanitized = _strip_skippable(chunk, diags, file)
+        eof_at = chunk[-1]
+        sanitized.append(Token(TokenKind.EOF, "", eof_at.line, eof_at.col))
+        try:
+            module = Parser("", tokens=sanitized, directives=[]).parse()
+        except VerilogError as exc:
+            construct = type(exc).__name__.replace("Error", "").lower()
+            diags.append(
+                Diagnostic(
+                    file,
+                    exc.line or chunk[0].line,
+                    exc.col or chunk[0].col,
+                    f"{construct} error",
+                    "reject",
+                    exc.message,
+                )
+            )
+            rejected = True
+        else:
+            name = module.name
+
+    if rejected:
+        status = "rejected"
+    elif diags:
+        status = "partial"
+    else:
+        status = "supported"
+    return DetectedModule(name, status, module, diags)
+
+
+def _scan_rejects(
+    chunk: list[Token], diags: list[Diagnostic], file: str
+) -> None:
+    """Find constructs the subset cannot represent; one diagnostic each.
+
+    Occurrences are deduplicated by construct name so a file full of
+    instantiations reports each construct once, at its first location.
+    """
+    seen: set[str] = set()
+
+    def add(tok: Token, construct: str, message: str) -> None:
+        if construct in seen:
+            return
+        seen.add(construct)
+        diags.append(
+            Diagnostic(file, tok.line, tok.col, construct, "reject", message)
+        )
+
+    for i, tok in enumerate(chunk):
+        nxt = chunk[i + 1] if i + 1 < len(chunk) else None
+        nxt2 = chunk[i + 2] if i + 2 < len(chunk) else None
+        if tok.kind is TokenKind.IDENT:
+            construct = REJECT_WORDS.get(tok.value)
+            if construct is not None and tok.value != "initial":
+                add(tok, construct, f"{tok.value!r} is outside the supported subset")
+                continue
+            # Module instantiation: IDENT IDENT ( ...  or IDENT #( ... .
+            # Two consecutive identifiers never occur in subset grammar.
+            if (
+                tok.value != "initial"
+                and nxt is not None
+                and nxt.kind is TokenKind.IDENT
+                and nxt2 is not None
+                and nxt2.is_punct("(")
+            ):
+                add(
+                    tok,
+                    "module instantiation",
+                    f"instantiation of {tok.value!r} (hierarchy is not supported)",
+                )
+            elif (
+                nxt is not None
+                and nxt.is_punct("#")
+                and nxt2 is not None
+                and nxt2.is_punct("(")
+            ):
+                add(
+                    tok,
+                    "module instantiation",
+                    f"parameterized instantiation of {tok.value!r}"
+                    " (hierarchy is not supported)",
+                )
+        # Memory declaration: a range-closing "]" directly followed by
+        # IDENT "[" (e.g. "reg [7:0] mem [0:255]").
+        if (
+            tok.is_punct("]")
+            and nxt is not None
+            and nxt.kind is TokenKind.IDENT
+            and nxt2 is not None
+            and nxt2.is_punct("[")
+        ):
+            add(
+                nxt,
+                "memory declaration",
+                f"unpacked array {nxt.value!r} (memories are not supported)",
+            )
+
+
+def _strip_skippable(
+    chunk: list[Token], diags: list[Diagnostic], file: str
+) -> list[Token]:
+    """Remove skippable constructs, recording one diagnostic per removal."""
+    out: list[Token] = []
+    i = 0
+    while i < len(chunk):
+        tok = chunk[i]
+        if tok.kind is TokenKind.IDENT and tok.value == "initial":
+            end = _skip_statement(chunk, i + 1)
+            diags.append(
+                Diagnostic(
+                    file,
+                    tok.line,
+                    tok.col,
+                    "initial block",
+                    "skip",
+                    "initial blocks are testbench-only; random stimulus"
+                    " is derived instead",
+                )
+            )
+            i = end
+            continue
+        if tok.is_punct("#"):
+            end = _skip_delay(chunk, i)
+            if end > i:
+                diags.append(
+                    Diagnostic(
+                        file,
+                        tok.line,
+                        tok.col,
+                        "delay control",
+                        "skip",
+                        "delays are ignored by the cycle-based simulator",
+                    )
+                )
+                i = end
+                continue
+        out.append(tok)
+        i += 1
+    return out
+
+
+def _skip_statement(chunk: list[Token], i: int) -> int:
+    """Index just past one statement starting at ``i`` (begin/end aware)."""
+    if i >= len(chunk):
+        return i
+    if chunk[i].is_keyword("begin"):
+        depth = 0
+        while i < len(chunk):
+            if chunk[i].is_keyword("begin"):
+                depth += 1
+            elif chunk[i].is_keyword("end"):
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            i += 1
+        return i
+    while i < len(chunk) and not chunk[i].is_punct(";"):
+        i += 1
+    return min(i + 1, len(chunk))
+
+
+def _skip_delay(chunk: list[Token], i: int) -> int:
+    """Index past a ``#number`` / ``#(expr)`` delay, or ``i`` if not one."""
+    nxt = chunk[i + 1] if i + 1 < len(chunk) else None
+    if nxt is None:
+        return i
+    if nxt.kind is TokenKind.NUMBER:
+        return i + 2
+    if nxt.is_punct("("):
+        depth = 0
+        j = i + 1
+        while j < len(chunk):
+            if chunk[j].is_punct("("):
+                depth += 1
+            elif chunk[j].is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            j += 1
+        return j
+    return i
+
+
+# ----------------------------------------------------------------------
+# Trivia -> diagnostics
+# ----------------------------------------------------------------------
+def _split_modules(tokens: list[Token]) -> list[list[Token]]:
+    """Group tokens into ``module``..``endmodule`` chunks (inclusive)."""
+    chunks: list[list[Token]] = []
+    current: list[Token] | None = None
+    for tok in tokens:
+        if tok.is_keyword("module"):
+            if current is not None:
+                chunks.append(current)
+            current = [tok]
+        elif current is not None:
+            current.append(tok)
+            if tok.is_keyword("endmodule"):
+                chunks.append(current)
+                current = None
+    if current is not None:
+        # Unterminated module: keep it so the parser reports the EOF.
+        chunks.append(current)
+    return chunks
+
+
+def _directive_diagnostics(
+    directives: list[Directive], file: str
+) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            file,
+            d.line,
+            d.col,
+            f"directive `{d.name}" if d.name else "directive",
+            "skip",
+            f"compiler directive {d.text!r} skipped (no preprocessor"
+            " in the supported subset)",
+        )
+        for d in directives
+    ]
+
+
+def _lexical_diagnostics(errors, file: str) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            file,
+            exc.line or 1,
+            exc.col or 1,
+            "lexical",
+            "skip",
+            exc.message,
+        )
+        for exc in errors
+    ]

@@ -1,0 +1,210 @@
+"""Corpus manifest: what was ingested, what was skipped, and why.
+
+The manifest is the durable record of an ingestion run.  Every design
+found by the walker gets a :class:`DesignRecord` — including rejected
+ones — with per-construct :class:`Diagnostic` entries pointing at the
+exact ``file:line:col`` of each construct that was skipped or caused a
+rejection.  The manifest round-trips through JSON so it can be committed
+next to the corpus (``examples/corpus/manifest.json``) and compared in
+CI to catch rejected-design regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+#: Design ingestion outcomes.
+STATUSES = ("supported", "partial", "rejected")
+
+#: Diagnostic decisions: the construct was skipped (design still usable)
+#: or caused the whole design to be rejected.
+DECISIONS = ("skip", "reject")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One per-construct ingestion diagnostic.
+
+    Attributes:
+        file: Source path, relative to the corpus root.
+        line / col: 1-based location of the construct.
+        construct: Canonical construct name (e.g. "initial block",
+            "module instantiation", "directive `timescale").
+        decision: "skip" (construct dropped, design still usable) or
+            "reject" (design unusable because of this construct).
+        message: Human-readable detail.
+    """
+
+    file: str
+    line: int
+    col: int
+    construct: str
+    decision: str
+    message: str
+
+    def render(self) -> str:
+        """``file:line:col: construct: message [skipped|rejected]``."""
+        word = "skipped" if self.decision == "skip" else "rejected"
+        return (
+            f"{self.file}:{self.line}:{self.col}:"
+            f" {self.construct}: {self.message} [{word}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "construct": self.construct,
+            "decision": self.decision,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        return cls(
+            file=data["file"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            construct=data["construct"],
+            decision=data["decision"],
+            message=data["message"],
+        )
+
+
+@dataclass
+class DesignRecord:
+    """Manifest entry for one ingested (or rejected) design.
+
+    Attributes:
+        name: Module name (file stem when the module name is unknown).
+        source_path: Design file, relative to the corpus root.
+        layout: Corpus layout the walker matched ("rtllm",
+            "verilogeval", or "flat").
+        status: "supported" (parses clean), "partial" (parses after
+            skipping constructs), or "rejected".
+        testbench: "provided" when the layout shipped a testbench file,
+            "derived" when stimulus comes from the random-testbench
+            deriver.
+        testbench_path: The provided testbench file (relative), or None.
+        ports: ``{"inputs": {name: width}, "outputs": {name: width}}``.
+        n_statements: Assignment statements in the parsed module (0 for
+            rejected designs).
+        diagnostics: Per-construct skip/reject diagnostics.
+    """
+
+    name: str
+    source_path: str
+    layout: str
+    status: str
+    testbench: str = "derived"
+    testbench_path: str | None = None
+    ports: dict = field(default_factory=dict)
+    n_statements: int = 0
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def usable(self) -> bool:
+        """True when the design can be simulated (not rejected)."""
+        return self.status in ("supported", "partial")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "source_path": self.source_path,
+            "layout": self.layout,
+            "status": self.status,
+            "testbench": self.testbench,
+            "testbench_path": self.testbench_path,
+            "ports": self.ports,
+            "n_statements": self.n_statements,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DesignRecord":
+        return cls(
+            name=data["name"],
+            source_path=data["source_path"],
+            layout=data["layout"],
+            status=data["status"],
+            testbench=data.get("testbench", "derived"),
+            testbench_path=data.get("testbench_path"),
+            ports=dict(data.get("ports", {})),
+            n_statements=int(data.get("n_statements", 0)),
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in data.get("diagnostics", ())
+            ],
+        )
+
+
+@dataclass
+class CorpusManifest:
+    """The full record of one ingestion run over a corpus directory."""
+
+    root: str
+    designs: list[DesignRecord] = field(default_factory=list)
+
+    def by_status(self, status: str) -> list[DesignRecord]:
+        """Records with the given status, walker order."""
+        if status not in STATUSES:
+            raise ValueError(
+                f"unknown status {status!r}; available: {', '.join(STATUSES)}"
+            )
+        return [rec for rec in self.designs if rec.status == status]
+
+    @property
+    def supported(self) -> list[DesignRecord]:
+        return self.by_status("supported")
+
+    @property
+    def partial(self) -> list[DesignRecord]:
+        return self.by_status("partial")
+
+    @property
+    def rejected(self) -> list[DesignRecord]:
+        return self.by_status("rejected")
+
+    @property
+    def usable(self) -> list[DesignRecord]:
+        """Supported + partial records (the ingestable corpus)."""
+        return [rec for rec in self.designs if rec.usable]
+
+    def counts(self) -> dict[str, int]:
+        """Designs per status plus the total."""
+        result = {"designs": len(self.designs)}
+        for status in STATUSES:
+            result[status] = len(self.by_status(status))
+        return result
+
+    def record(self, name: str) -> DesignRecord:
+        """Look up a record by design name."""
+        for rec in self.designs:
+            if rec.name == name:
+                return rec
+        raise KeyError(f"no ingested design named {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "counts": self.counts(),
+            "designs": [rec.to_dict() for rec in self.designs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CorpusManifest":
+        return cls(
+            root=data["root"],
+            designs=[DesignRecord.from_dict(d) for d in data["designs"]],
+        )
+
+    def save(self, path) -> None:
+        """Write the manifest as JSON (stable key order, trailing newline)."""
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=False)
+        pathlib.Path(path).write_text(text + "\n")
+
+    @classmethod
+    def load(cls, path) -> "CorpusManifest":
+        return cls.from_dict(json.loads(pathlib.Path(path).read_text()))

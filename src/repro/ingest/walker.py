@@ -1,0 +1,121 @@
+"""Directory walker for on-disk Verilog corpora.
+
+Understands the two benchmark-suite conventions plus plain files:
+
+* **RTLLM layout** — one directory per design holding the design file(s)
+  and a ``testbench.v``; every non-testbench ``.v``/``.sv`` file in such
+  a directory is a design candidate sharing that testbench.
+* **VerilogEval layout** — flat ``<design>_ref.sv`` / ``<design>_test.sv``
+  pairs (``.v`` variants accepted); the ``_ref`` file is the design, the
+  ``_test`` file its testbench.
+* **Flat layout** — any other ``.v``/``.sv`` file is a standalone design
+  with no testbench (stimulus is derived at ingest time).
+
+The walker only classifies files; it never parses them.  Results are
+sorted by relative path so ingestion runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+#: File suffixes considered Verilog sources.
+VERILOG_SUFFIXES = (".v", ".sv")
+
+#: File names treated as an RTLLM-style shared testbench for their
+#: directory.
+TESTBENCH_FILENAMES = frozenset({"testbench.v", "testbench.sv", "tb.v"})
+
+#: Stem suffixes marking a file as a testbench rather than a design.
+TESTBENCH_STEM_SUFFIXES = ("_test", "_tb")
+
+#: Stem suffix of a VerilogEval reference (design) file.
+REFERENCE_STEM_SUFFIX = "_ref"
+
+#: Corpus layout labels.
+LAYOUTS = ("rtllm", "verilogeval", "flat")
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """One design candidate discovered by the walker.
+
+    Attributes:
+        path: Absolute path of the design file.
+        rel_path: Path relative to the corpus root (POSIX separators).
+        layout: Which convention matched ("rtllm", "verilogeval", "flat").
+        testbench_path: Absolute path of the associated testbench file,
+            or None when the design arrives without one.
+    """
+
+    path: pathlib.Path
+    rel_path: str
+    layout: str
+    testbench_path: pathlib.Path | None
+
+
+def _is_testbench_file(path: pathlib.Path) -> bool:
+    if path.name.lower() in TESTBENCH_FILENAMES:
+        return True
+    return any(path.stem.endswith(sfx) for sfx in TESTBENCH_STEM_SUFFIXES)
+
+
+def _verilogeval_testbench(path: pathlib.Path) -> pathlib.Path | None:
+    """The ``<base>_test`` partner of a ``<base>_ref`` file, if present."""
+    if not path.stem.endswith(REFERENCE_STEM_SUFFIX):
+        return None
+    base = path.stem[: -len(REFERENCE_STEM_SUFFIX)]
+    for suffix in VERILOG_SUFFIXES:
+        candidate = path.with_name(f"{base}_test{suffix}")
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def discover_designs(root) -> list[CorpusFile]:
+    """Walk ``root`` recursively and classify every Verilog file.
+
+    Returns design candidates sorted by relative path.  Testbench files
+    themselves are never returned as designs.
+
+    Raises:
+        NotADirectoryError: When ``root`` does not exist or is a file.
+    """
+    root = pathlib.Path(root)
+    if not root.is_dir():
+        raise NotADirectoryError(f"corpus root is not a directory: {root}")
+
+    sources = sorted(
+        p
+        for p in root.rglob("*")
+        if p.is_file() and p.suffix.lower() in VERILOG_SUFFIXES
+    )
+
+    # Directory-level testbenches (RTLLM convention).
+    dir_testbench: dict[pathlib.Path, pathlib.Path] = {}
+    for path in sources:
+        if path.name.lower() in TESTBENCH_FILENAMES:
+            dir_testbench.setdefault(path.parent, path)
+
+    designs: list[CorpusFile] = []
+    for path in sources:
+        if _is_testbench_file(path):
+            continue
+        rel_path = path.relative_to(root).as_posix()
+        ve_testbench = _verilogeval_testbench(path)
+        if ve_testbench is not None:
+            layout, testbench = "verilogeval", ve_testbench
+        elif path.parent in dir_testbench:
+            layout, testbench = "rtllm", dir_testbench[path.parent]
+        else:
+            layout, testbench = "flat", None
+        designs.append(
+            CorpusFile(
+                path=path,
+                rel_path=rel_path,
+                layout=layout,
+                testbench_path=testbench,
+            )
+        )
+    return designs

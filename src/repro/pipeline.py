@@ -56,18 +56,23 @@ class TrainedPipeline:
 
 @dataclass
 class CorpusSpec:
-    """How much synthetic training data to generate.
+    """What training data to generate (synthetic or ingested).
 
     Attributes:
-        n_designs: RVDG designs in the corpus.
+        n_designs: RVDG designs in the corpus.  With ``source_dir`` set,
+            the number of ingested designs to train on (0 = all usable).
         n_traces_per_design: Random testbenches per design.
         n_cycles: Cycles per testbench.
         test_fraction: Held-out fraction for Table-II-style evaluation.
-        rvdg: Generator shape knobs.
+        rvdg: Generator shape knobs (unused with ``source_dir``).
         engine: Simulation engine ("compiled" or "interpreted").
         n_workers: When > 0, simulate designs on a process pool of this
             size; results are bit-identical to the sequential path because
             every design's testbench seed is derived from its index.
+        source_dir: When set, train on the Verilog corpus ingested from
+            this directory (see :mod:`repro.ingest`) instead of RVDG
+            synthetics.  Usable designs ship to workers as canonical
+            printed sources, so parallel runs match sequential ones.
     """
 
     n_designs: int = 16
@@ -77,6 +82,7 @@ class CorpusSpec:
     rvdg: RVDGConfig = field(default_factory=RVDGConfig)
     engine: str = "compiled"
     n_workers: int = 0
+    source_dir: str | None = None
 
 
 def _design_samples(
@@ -119,23 +125,43 @@ def generate_corpus_samples(spec: CorpusSpec, seed: int = 0) -> list[Sample]:
     return _generate_corpus_samples(spec, seed)
 
 
+def _corpus_design_sources(spec: CorpusSpec, seed: int) -> list[str]:
+    """The corpus design sources: RVDG synthetics or an ingested directory."""
+    if spec.source_dir is not None:
+        from .ingest import ingest_directory
+
+        corpus = ingest_directory(spec.source_dir)
+        sources = [source for _name, source in corpus.design_sources()]
+        if not sources:
+            raise ValueError(
+                f"no usable designs ingested from {spec.source_dir!r}"
+            )
+        if spec.n_designs > 0:
+            sources = sources[: spec.n_designs]
+        return sources
+    generator = RandomVerilogDesignGenerator(spec.rvdg, seed=seed)
+    return [
+        source
+        for _name, source in generator.generate_corpus_sources(spec.n_designs)
+    ]
+
+
 def _generate_corpus_samples(
     spec: CorpusSpec, seed: int = 0, runtime=None
 ) -> list[Sample]:
-    """Simulate an RVDG corpus and convert traces to training samples.
+    """Simulate a corpus and convert traces to training samples.
 
-    Design sources are generated sequentially (the RVDG RNG stream is a
-    single sequence), then each design is simulated and featurized either
-    inline or — when ``spec.n_workers > 0`` — fanned out across an
+    Design sources come from :func:`_corpus_design_sources` (RVDG
+    synthetics, or an ingested directory when ``spec.source_dir`` is
+    set), then each design is simulated and featurized either inline
+    or — when ``spec.n_workers > 0`` — fanned out across an
     :class:`~repro.runtime.ExecutionRuntime` worker pool (the caller's
     ``runtime`` when given, e.g. the owning session's persistent pool;
     an ephemeral one otherwise).  All paths yield samples in design
     order, so the execution strategy never changes the corpus.
     """
-    generator = RandomVerilogDesignGenerator(spec.rvdg, seed=seed)
-    sources = generator.generate_corpus_sources(spec.n_designs)
-    design_sources = [source for _name, source in sources]
-    if spec.n_workers > 0 and spec.n_designs > 1:
+    design_sources = _corpus_design_sources(spec, seed)
+    if spec.n_workers > 0 and len(design_sources) > 1:
         from .runtime import ExecutionRuntime
 
         if runtime is not None:

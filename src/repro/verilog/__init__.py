@@ -35,6 +35,7 @@ from .errors import LexerError, ParseError, SemanticError, VerilogError
 from .lexer import Lexer
 from .parser import parse_module
 from .printer import format_expr, format_module, format_statement, statement_source
+from .tokens import Directive
 from .visitors import ExprVisitor, StatementVisitor
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "CaseItem",
     "Concat",
     "ContinuousAssign",
+    "Directive",
     "Expr",
     "ExprVisitor",
     "Identifier",

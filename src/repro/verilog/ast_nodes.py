@@ -462,7 +462,12 @@ class AlwaysBlock(Node):
 
 @dataclass
 class Module(Node):
-    """A parsed Verilog module."""
+    """A parsed Verilog module.
+
+    ``directives`` records the backtick compiler directives the lexer
+    skipped while tokenizing the module's source (the subset has no
+    preprocessor); ingestion reports surface them as diagnostics.
+    """
 
     name: str = ""
     ports: list[str] = field(default_factory=list)
@@ -470,6 +475,7 @@ class Module(Node):
     params: dict[str, ParamDecl] = field(default_factory=dict)
     assigns: list[ContinuousAssign] = field(default_factory=list)
     always_blocks: list[AlwaysBlock] = field(default_factory=list)
+    directives: list = field(default_factory=list)
 
     def children(self) -> Iterator[Node]:
         yield from self.assigns

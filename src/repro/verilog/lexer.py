@@ -4,7 +4,9 @@ The lexer is a straightforward hand-rolled scanner.  It understands
 identifiers (including escaped identifiers), sized and unsized numeric
 literals (``8'hFF``, ``4'b10_10``, ``'d5``, ``42``), all operators used by
 the parser, line and block comments, and compiler directives (which are
-skipped, as the subset does not support macros).
+skipped, as the subset does not support macros — each skipped directive
+is recorded in :attr:`Lexer.directives` so ingestion reports can surface
+``include``/``ifdef`` usage instead of dropping it silently).
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from .tokens import (
     MULTI_CHAR_OPERATORS,
     PUNCTUATION,
     SINGLE_CHAR_OPERATORS,
+    Directive,
     Token,
     TokenKind,
 )
@@ -39,6 +42,8 @@ class Lexer:
         self.pos = 0
         self.line = 1
         self.col = 1
+        #: Compiler directives skipped by :meth:`_skip_trivia`, in order.
+        self.directives: list[Directive] = []
 
     def tokenize(self) -> list[Token]:
         """Scan the full input and return the token list (EOF-terminated)."""
@@ -49,6 +54,47 @@ class Lexer:
                 tokens.append(Token(TokenKind.EOF, "", self.line, self.col))
                 return tokens
             tokens.append(self._next_token())
+
+    def tokenize_tolerant(self) -> tuple[list[Token], list[LexerError]]:
+        """Scan the full input, collecting lexical errors instead of raising.
+
+        The ingestion subset detector uses this to diagnose files that
+        contain constructs outside the supported subset (string literals,
+        system tasks) without giving up on the rest of the file: each
+        offending character/string is skipped and recorded, and scanning
+        continues with the next token.
+        """
+        tokens: list[Token] = []
+        errors: list[LexerError] = []
+        while True:
+            try:
+                self._skip_trivia()
+            except LexerError as exc:  # unterminated block comment
+                errors.append(exc)
+                self.pos = len(self.source)
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenKind.EOF, "", self.line, self.col))
+                return tokens, errors
+            if self._peek() == '"':
+                errors.append(self._skip_string_literal())
+                continue
+            try:
+                tokens.append(self._next_token())
+            except LexerError as exc:
+                errors.append(exc)
+                self._advance()
+
+    def _skip_string_literal(self) -> LexerError:
+        """Skip a double-quoted string, returning the diagnostic for it."""
+        line, col = self.line, self.col
+        self._advance()  # opening quote
+        while self.pos < len(self.source) and self._peek() not in '"\n':
+            if self._peek() == "\\":
+                self._advance()
+            self._advance()
+        if self._peek() == '"':
+            self._advance()
+        return LexerError("string literal is not in the supported subset", line, col)
 
     # ------------------------------------------------------------------
     # Internals
@@ -79,9 +125,19 @@ class Lexer:
             elif ch == "/" and self._peek(1) == "*":
                 self._skip_block_comment()
             elif ch == "`":
-                # Compiler directives (`timescale, `define-free subset): skip line.
+                # Compiler directives (`timescale, `include, `ifdef): the
+                # subset has no preprocessor, so the line is skipped — but
+                # recorded, so ingestion can report what was dropped.
+                line, col, start = self.line, self.col, self.pos
+                self._advance()  # backtick
+                name_start = self.pos
+                while self.pos < len(self.source) and self._peek() in _IDENT_CONT:
+                    self._advance()
+                name = self.source[name_start : self.pos]
                 while self.pos < len(self.source) and self._peek() != "\n":
                     self._advance()
+                text = self.source[start : self.pos].rstrip()
+                self.directives.append(Directive(name, text, line, col))
             else:
                 return
 
@@ -150,10 +206,22 @@ class Lexer:
         return Token(TokenKind.NUMBER, size_text, line, col)
 
     def _skip_trivia_within_number(self) -> None:
-        # Verilog allows whitespace between size and base: "8 'hFF".
+        # Verilog allows any whitespace — including newlines — and comments
+        # between size and base: "8 'hFF", "8\n'hFF", "8 /* w */ 'hFF".
+        # Restricted to whitespace/comments (no directive handling): a
+        # directive between size and base is not something to paper over.
         save = self.pos, self.line, self.col
-        while self.pos < len(self.source) and self._peek() in " \t":
-            self._advance()
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            else:
+                break
         if self._peek() != "'":
             self.pos, self.line, self.col = save
 

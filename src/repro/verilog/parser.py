@@ -45,7 +45,7 @@ from .ast_nodes import (
 )
 from .errors import ParseError, SemanticError
 from .lexer import Lexer
-from .tokens import Token, TokenKind
+from .tokens import Directive, Token, TokenKind
 
 # Binary operator precedence levels, lowest binds loosest.
 _BINARY_PRECEDENCE = [
@@ -83,8 +83,19 @@ def parse_module(source: str) -> Module:
 class Parser:
     """Single-module recursive-descent parser."""
 
-    def __init__(self, source: str):
-        self.tokens = Lexer(source).tokenize()
+    def __init__(
+        self,
+        source: str,
+        *,
+        tokens: list[Token] | None = None,
+        directives: list[Directive] | None = None,
+    ):
+        if tokens is None:
+            lexer = Lexer(source)
+            tokens = lexer.tokenize()
+            directives = lexer.directives
+        self.tokens = tokens
+        self.directives = list(directives or [])
         self.pos = 0
         self.module = Module()
         self._next_stmt_id = 0
@@ -146,11 +157,15 @@ class Parser:
         tok = self._expect_keyword("module")
         self.module.line, self.module.col = tok.line, tok.col
         self.module.name = self._expect_ident().value
+        self.module.directives = self.directives
         self._parse_port_list()
         self._expect_punct(";")
         while not self._peek().is_keyword("endmodule"):
             if self._peek().kind is TokenKind.EOF:
-                raise ParseError("unexpected end of file inside module", self._peek().line)
+                eof = self._peek()
+                raise ParseError(
+                    "unexpected end of file inside module", eof.line, eof.col
+                )
             self._parse_module_item()
         self._expect_keyword("endmodule")
         self._check_module()
@@ -543,7 +558,9 @@ class Parser:
                 "!": lambda v: int(v == 0),
             }
             if expr.op not in table:
-                raise SemanticError(f"operator {expr.op!r} not allowed in constants", expr.line)
+                raise SemanticError(
+                    f"operator {expr.op!r} not allowed in constants", expr.line, expr.col
+                )
             return table[expr.op](val)
         if isinstance(expr, BinaryOp):
             lhs = self._const_eval(expr.left)
@@ -561,7 +578,9 @@ class Parser:
                 "^": lambda a, b: a ^ b,
             }
             if expr.op not in table:
-                raise SemanticError(f"operator {expr.op!r} not allowed in constants", expr.line)
+                raise SemanticError(
+                    f"operator {expr.op!r} not allowed in constants", expr.line, expr.col
+                )
             return table[expr.op](lhs, rhs)
         raise SemanticError("expression is not constant", expr.line, expr.col)
 

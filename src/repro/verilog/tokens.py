@@ -76,6 +76,28 @@ PUNCTUATION = "()[]{},;:@#."
 
 
 @dataclass(frozen=True)
+class Directive:
+    """A backtick compiler directive the lexer skipped.
+
+    The subset does not expand macros, but silently dropping
+    ``include``/``ifdef`` blocks would hide real preprocessing from the
+    ingestion report, so every skipped directive is recorded with its
+    location and full line text.
+
+    Attributes:
+        name: Directive name without the backtick (e.g. ``timescale``).
+        text: The skipped source text, backtick included.
+        line: 1-based source line.
+        col: 1-based source column of the backtick.
+    """
+
+    name: str
+    text: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
 class Token:
     """A single lexical token.
 

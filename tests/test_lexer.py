@@ -85,6 +85,27 @@ class TestNumbers:
         assert tok.kind is TokenKind.NUMBER
         assert tok.value == "8'hFF"
 
+    def test_size_newline_base(self):
+        # A line break between size and base is legal Verilog whitespace.
+        (tok,) = lex("8\n'hFF")[:-1]
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.value == "8'hFF"
+
+    def test_size_comment_base(self):
+        (tok,) = lex("8 /* width */ 'hFF")[:-1]
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.value == "8'hFF"
+
+    def test_size_line_comment_base(self):
+        (tok,) = lex("8 // width\n'hFF")[:-1]
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.value == "8'hFF"
+
+    def test_plain_number_before_comment_stays_separate(self):
+        # No base follows, so the size stays its own NUMBER token.
+        tokens = lex("8 /* note */ foo")[:-1]
+        assert [t.value for t in tokens] == ["8", "foo"]
+
     def test_signed_base(self):
         (tok,) = lex("8'sb101")[:-1]
         assert tok.value == "8'sb101"
@@ -118,6 +139,40 @@ class TestTrivia:
 
     def test_whitespace_variants(self):
         assert values("a\tb\r\nc") == ["a", "b", "c"]
+
+
+class TestDirectives:
+    def test_directives_collected_with_positions(self):
+        lexer = Lexer("`timescale 1ns/1ps\nmodule\n  `define FOO 1\n")
+        lexer.tokenize()
+        assert [(d.name, d.line, d.col) for d in lexer.directives] == [
+            ("timescale", 1, 1),
+            ("define", 3, 3),
+        ]
+        assert lexer.directives[0].text == "`timescale 1ns/1ps"
+
+    def test_no_directives_means_empty_list(self):
+        lexer = Lexer("module m; endmodule")
+        lexer.tokenize()
+        assert lexer.directives == []
+
+
+class TestTolerantMode:
+    def test_lexical_errors_become_diagnostics(self):
+        tokens, errors = Lexer('a "string" b').tokenize_tolerant()
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+        assert len(errors) == 1
+        assert "string literal" in errors[0].message
+
+    def test_unterminated_block_comment_recovered(self):
+        tokens, errors = Lexer("a /* never ends").tokenize_tolerant()
+        assert [t.value for t in tokens[:-1]] == ["a"]
+        assert len(errors) == 1
+
+    def test_clean_input_has_no_errors(self):
+        tokens, errors = Lexer("module m; endmodule").tokenize_tolerant()
+        assert errors == []
+        assert [t.value for t in tokens[:-1]] == ["module", "m", ";", "endmodule"]
 
 
 class TestPositions:

@@ -290,3 +290,32 @@ class TestExpressions:
         with pytest.raises(ParseError) as excinfo:
             parse_module("module t(a);\ninput a;\nassign = a;\nendmodule")
         assert excinfo.value.line == 3
+
+    def test_eof_error_carries_line_and_col(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_module("module t(a);\n  input a;")
+        assert excinfo.value.line == 2
+        assert excinfo.value.col is not None
+        assert excinfo.value.col >= 1
+
+    def test_const_eval_error_carries_line_and_col(self):
+        with pytest.raises(SemanticError) as excinfo:
+            parse_module(
+                "module t(y);\n  output y;\n"
+                "  wire [WIDTH-1:0] y;\nendmodule"
+            )
+        assert excinfo.value.line == 3
+        assert excinfo.value.col is not None
+        assert excinfo.value.col >= 1
+
+    def test_const_eval_operator_error_carries_line_and_col(self):
+        # "===" parses as a BinaryOp but is not a constant operator.
+        with pytest.raises(SemanticError) as excinfo:
+            parse_module(
+                "module t(y);\n  output y;\n"
+                "  wire [(2 === 2):0] y;\nendmodule"
+            )
+        assert "not allowed in constants" in excinfo.value.message
+        assert excinfo.value.line == 3
+        assert excinfo.value.col is not None
+        assert excinfo.value.col >= 1

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) on core invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -53,6 +54,27 @@ def test_rvdg_roundtrip_is_stable(seed):
     source = gen.generate_source("d")
     printed = format_module(parse_module(source))
     assert format_module(parse_module(printed)) == printed
+
+
+def _ingested_corpus_designs():
+    """Every usable design ingested from the committed corpus."""
+    import pathlib
+
+    from repro.ingest import ingest_directory
+
+    corpus_dir = pathlib.Path(__file__).resolve().parents[1] / "examples" / "corpus"
+    corpus = ingest_directory(corpus_dir)
+    return sorted(corpus.designs.values(), key=lambda d: d.name)
+
+
+@pytest.mark.parametrize(
+    "design", _ingested_corpus_designs(), ids=lambda d: d.name
+)
+def test_ingested_corpus_roundtrip_is_stable(design):
+    """parse -> print -> parse is a fixed point on every real corpus file."""
+    printed = format_module(parse_module(design.source))
+    assert format_module(parse_module(printed)) == printed
+    assert parse_module(printed).name == design.name
 
 
 @given(st.integers(min_value=0, max_value=10_000))
