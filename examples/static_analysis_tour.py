@@ -5,7 +5,8 @@ Parses the Ibex controller re-implementation and shows every artifact
 the VeriBug pipeline consumes: the VDG with its dependency cone, the
 CDFG, the cone of influence over a 3-cycle unrolling, design slices, and
 the AST operand contexts — plus the structural fingerprint that keys the
-session's cross-mutant context-embedding cache.
+session's cross-mutant context-embedding cache, and the semantic lint
+report built on top of the same graphs.
 
 This is the layer *below* `repro.api.VeriBugSession` (see "API layering"
 in docs/architecture.md); designs are loaded through the API facade.
@@ -23,6 +24,7 @@ from repro.analysis import (
     slice_statements,
 )
 from repro.api import load_design
+from repro.lint import lint_module
 from repro.verilog.printer import statement_source
 
 TARGET = "stall"
@@ -76,6 +78,18 @@ def main() -> None:
     # fingerprint and therefore one cached PathRNN embedding.
     for op_index, operand in enumerate(context.operands):
         print(f"  {operand.name}: {context.structural_key(op_index)}")
+
+    print("\n== Semantic lint (repro.lint over the same graphs) ==")
+    # The lint engine reuses the VDG and output dependency cones built
+    # above: driver analysis, combinational-cycle detection, latch
+    # inference, race checks, width diagnostics, and dead-code analysis
+    # all run without ever simulating the design.
+    report = lint_module(module, file="ibex_controller.v")
+    counts = report.counts()
+    print(f"{counts['findings']} finding(s): {counts['error']} error(s), "
+          f"{counts['warning']} warning(s), {counts['info']} info")
+    for diag in report.findings:
+        print(f"  {diag.render()}")
 
 
 if __name__ == "__main__":

@@ -98,9 +98,17 @@ def cone_of_influence(
 
     Returns:
         The set of ``(signal, cycle)`` pairs, including the target itself.
+
+    Raises:
+        ValueError: If ``target`` is not a declared variable; the message
+            names the missing signal and lists the available ones.
     """
     if target not in module.decls:
-        raise KeyError(f"target {target!r} is not a design variable")
+        available = ", ".join(module.decls) or "(none)"
+        raise ValueError(
+            f"unknown cone-of-influence target {target!r}: not a declared"
+            f" variable of module {module.name!r} (available: {available})"
+        )
     graph = build_coi_graph(module, n_cycles)
     goal = (target, n_cycles - 1)
     ancestors = nx.ancestors(graph, goal)

@@ -102,10 +102,15 @@ def dependency_cone(vdg: nx.DiGraph, target: str) -> set[str]:
     target itself is included in the returned set.
 
     Raises:
-        KeyError: If ``target`` is not a node of the VDG.
+        ValueError: If ``target`` is not a node of the VDG; the message
+            names the missing signal and lists the available ones.
     """
     if target not in vdg:
-        raise KeyError(f"target {target!r} is not a design variable")
+        available = ", ".join(sorted(map(str, vdg.nodes))) or "(none)"
+        raise ValueError(
+            f"unknown dependency-cone target {target!r}: not a design"
+            f" variable of this VDG (available: {available})"
+        )
     reversed_vdg = vdg.reverse(copy=False)
     visited = {target}
     stack = [target]

@@ -1,6 +1,6 @@
 """``python -m repro`` — the session facade as a command line.
 
-Four subcommands drive :class:`repro.api.VeriBugSession`:
+Five subcommands drive :class:`repro.api.VeriBugSession`:
 
 * ``train`` — train on an RVDG synthetic corpus (or, with ``--corpus``,
   on designs ingested from disk) and save a checkpoint::
@@ -13,6 +13,13 @@ Four subcommands drive :class:`repro.api.VeriBugSession`:
 
       python -m repro ingest examples/corpus
       python -m repro ingest examples/corpus --json
+
+* ``lint`` — run the semantic lint rules (:mod:`repro.lint`) over one
+  Verilog file or a whole corpus directory; exits nonzero when findings
+  at or above ``--fail-on`` (default: error) are present::
+
+      python -m repro lint examples/corpus
+      python -m repro lint design.v --json --min-severity warning
 
 * ``campaign`` — run a bug-injection campaign, streaming per-mutant
   outcomes and incremental heatmap rankings as they complete::
@@ -455,7 +462,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     from ..ingest import ingest_directory
 
     try:
-        corpus = ingest_directory(args.directory)
+        corpus = ingest_directory(args.directory, lint_policy=args.lint_policy)
     except NotADirectoryError as exc:
         raise SystemExit(str(exc)) from exc
     manifest = corpus.manifest
@@ -465,6 +472,7 @@ def cmd_ingest(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(manifest.to_dict(), indent=2))
     else:
+        n_lint = 0
         for rec in manifest.designs:
             testbench = rec.testbench_path or "derived"
             print(
@@ -473,17 +481,147 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             )
             for diag in rec.diagnostics:
                 print(f"    {diag.render()}")
+            for diag in rec.lint:
+                print(f"    {diag.render()}")
+                n_lint += 1
         counts = manifest.counts()
+        lint_note = f", {n_lint} lint finding(s)" if n_lint else ""
         print(
             f"\n{counts['designs']} design(s):"
             f" {counts['supported']} supported,"
             f" {counts['partial']} partial,"
             f" {counts['rejected']} rejected"
-            f" ({len(corpus)} usable)"
+            f" ({len(corpus)} usable{lint_note})"
         )
         if args.output:
             print(f"manifest written to {args.output}")
     return 0 if corpus.designs else 1
+
+
+# ----------------------------------------------------------------------
+# lint
+# ----------------------------------------------------------------------
+def _lint_reports(path: pathlib.Path):
+    """Lint a file or corpus directory.
+
+    Returns:
+        ``(reports, not_linted)`` — one :class:`repro.lint.LintReport`
+        per linted design, plus ``(name, diagnostics)`` pairs for
+        designs that never reached the lint engine (parse/policy
+        rejections).
+    """
+    from ..lint import LintReport, lint_module
+
+    reports: list = []
+    not_linted: list = []
+    if path.is_dir():
+        from ..ingest import ingest_directory
+
+        corpus = ingest_directory(path, lint_policy="record")
+        for rec in corpus.manifest.designs:
+            if rec.name in corpus.designs:
+                # Ingestion already ran the engine; reuse its findings.
+                reports.append(
+                    LintReport(
+                        design=rec.name,
+                        file=rec.source_path,
+                        findings=list(rec.lint),
+                    )
+                )
+            else:
+                not_linted.append((rec.name, list(rec.diagnostics)))
+    elif path.is_file():
+        from ..ingest import detect_modules
+
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {path}: {exc}") from exc
+        for detected in detect_modules(source, file=str(path)):
+            if detected.module is not None:
+                report = lint_module(detected.module, file=str(path))
+                report.design = detected.name
+                reports.append(report)
+            else:
+                not_linted.append((detected.name, list(detected.diagnostics)))
+    else:
+        raise SystemExit(f"no such file or directory: {path}")
+    return reports, not_linted
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from ..diagnostics import SEVERITIES
+
+    path = pathlib.Path(args.path)
+    try:
+        reports, not_linted = _lint_reports(path)
+    except NotADirectoryError as exc:
+        raise SystemExit(str(exc)) from exc
+
+    totals = {severity: 0 for severity in SEVERITIES}
+    for report in reports:
+        for diag in report.findings:
+            totals[diag.severity] = totals.get(diag.severity, 0) + 1
+
+    if args.json:
+        payload = {
+            "path": str(path),
+            "designs": [r.to_dict() for r in reports],
+            "not_linted": [
+                {"design": name, "diagnostics": [d.to_dict() for d in diags]}
+                for name, diags in not_linted
+            ],
+            "counts": {**totals, "designs": len(reports)},
+        }
+        text = json.dumps(payload, indent=2)
+        if args.output:
+            pathlib.Path(args.output).write_text(text + "\n")
+        else:
+            print(text)
+    else:
+        for report in reports:
+            shown = report.at_least(args.min_severity)
+            if not shown:
+                continue
+            print(f"== {report.design} ({report.file}) ==")
+            for diag in shown:
+                print(f"  {diag.render()}")
+        for name, diags in not_linted:
+            print(f"== {name}: not linted (rejected before lint) ==")
+            for diag in diags:
+                print(f"  {diag.render()}")
+        print(
+            f"{len(reports)} design(s) linted:"
+            f" {totals['error']} error(s),"
+            f" {totals['warning']} warning(s),"
+            f" {totals['info']} info"
+            + (f"; {len(not_linted)} not linted" if not_linted else "")
+        )
+        if args.output:
+            pathlib.Path(args.output).write_text(
+                json.dumps(
+                    {
+                        "path": str(path),
+                        "designs": [r.to_dict() for r in reports],
+                        "counts": {**totals, "designs": len(reports)},
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+            print(f"findings written to {args.output}")
+
+    # A file the user explicitly named but that could not be linted at
+    # all is a failure in its own right.
+    if path.is_file() and not reports:
+        return 2
+    if args.fail_on == "never":
+        return 0
+    cutoff = SEVERITIES.index(args.fail_on)
+    failing = sum(
+        totals[severity] for severity in SEVERITIES[: cutoff + 1]
+    )
+    return 1 if failing else 0
 
 
 # ----------------------------------------------------------------------
@@ -537,7 +675,29 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--json", action="store_true",
                         help="print the manifest as JSON instead of a report")
     ingest.add_argument("--output", help="also write the manifest JSON here")
+    from ..ingest import LINT_POLICIES
+
+    ingest.add_argument("--lint-policy", dest="lint_policy",
+                        choices=LINT_POLICIES, default="record",
+                        help="ingest-time lint policy (default: record)")
     ingest.set_defaults(func=cmd_ingest)
+
+    lint = sub.add_parser(
+        "lint", help="run the semantic lint rules over a file or corpus"
+    )
+    lint.add_argument("path", help="Verilog file or corpus directory")
+    lint.add_argument("--json", action="store_true",
+                      help="print findings as JSON instead of a report")
+    lint.add_argument("--output", help="also write the findings JSON here")
+    lint.add_argument("--min-severity", dest="min_severity",
+                      choices=("error", "warning", "info"), default="info",
+                      help="hide findings below this severity (default: info)")
+    lint.add_argument("--fail-on", dest="fail_on",
+                      choices=("error", "warning", "info", "never"),
+                      default="error",
+                      help="exit nonzero on findings at or above this"
+                           " severity (default: error)")
+    lint.set_defaults(func=cmd_lint)
 
     campaign = sub.add_parser(
         "campaign", help="run bug-injection campaigns with streaming heatmaps"

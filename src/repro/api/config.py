@@ -15,6 +15,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from ..core.config import VeriBugConfig
+from ..ingest.corpus import LINT_POLICIES
 from ..sim.simulator import ENGINES
 
 #: Valid context-embedding cache policies.
@@ -64,6 +65,10 @@ class SessionConfig:
             it: training defaults to the ingested designs instead of
             RVDG synthetics, and design references resolve against the
             corpus by name (after the built-in registry).
+        lint_policy: Ingest-time lint policy (:mod:`repro.lint`) —
+            "record" lints every usable design into its manifest record,
+            "reject-errors" also demotes designs with lint errors
+            (multi-driven nets, combinational cycles), "off" skips lint.
     """
 
     model: VeriBugConfig = field(default_factory=VeriBugConfig)
@@ -79,6 +84,7 @@ class SessionConfig:
     min_correct_traces: int = 4
     max_extra_batches: int = 4
     corpus_dir: str | None = None
+    lint_policy: str = "record"
 
     def __post_init__(self):
         if self.sim_engine is not None and self.sim_engine not in ENGINES:
@@ -95,6 +101,11 @@ class SessionConfig:
             raise ValueError(
                 f"unknown pool_policy {self.pool_policy!r};"
                 f" available: {', '.join(POOL_POLICIES)}"
+            )
+        if self.lint_policy not in LINT_POLICIES:
+            raise ValueError(
+                f"unknown lint_policy {self.lint_policy!r};"
+                f" available: {', '.join(LINT_POLICIES)}"
             )
         if self.localize_batch < 1:
             raise ValueError("localize_batch must be >= 1")
@@ -169,6 +180,15 @@ class SessionConfig:
         return dataclasses.replace(
             self, corpus_dir=None if corpus_dir is None else str(corpus_dir)
         )
+
+    def with_lint(self, lint_policy: str) -> SessionConfig:
+        """Select the ingest-time lint policy.
+
+        "record" (default) stores per-design lint findings in the
+        ingested manifest; "reject-errors" additionally demotes designs
+        with lint errors; "off" disables ingest-time lint.
+        """
+        return dataclasses.replace(self, lint_policy=lint_policy)
 
     def with_campaign_defaults(
         self,

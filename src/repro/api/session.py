@@ -336,12 +336,16 @@ class VeriBugSession:
                 )
         if mutations is None:
             cone = compute_static_slice(module, target).stmt_ids
+            # exclude_dead is provably redundant here (dead statements
+            # are disjoint from any output's cone) but keeps campaign
+            # sampling honest if the cone restriction ever loosens.
             mutations = sample_mutations(
                 module,
                 dict(plan or DEFAULT_PLAN),
                 seed=seed,
                 restrict_to=cone,
                 min_operands=2,
+                exclude_dead=True,
             )
         # Per-campaign n_workers overrides that differ from the session
         # pool's size fall back to an ephemeral pool for that campaign;
@@ -476,7 +480,9 @@ class VeriBugSession:
         if self._corpus is None and self.config.corpus_dir is not None:
             from ..ingest import ingest_directory
 
-            self._corpus = ingest_directory(self.config.corpus_dir)
+            self._corpus = ingest_directory(
+                self.config.corpus_dir, lint_policy=self.config.lint_policy
+            )
         return self._corpus
 
     def resolve_design(self, design: Module | str) -> Module:

@@ -16,7 +16,6 @@ import numpy as np
 
 from ..analysis.contexts import StatementContext
 from ..sim.trace import StatementExecution, Trace
-from .config import VeriBugConfig
 from .vocab import Vocabulary
 
 

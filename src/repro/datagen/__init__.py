@@ -11,6 +11,7 @@ from .mutation import (
     Mutation,
     apply_mutation,
     creates_combinational_cycle,
+    dead_statement_ids,
     enumerate_mutations,
     sample_mutations,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "SUBSTITUTION_GROUPS",
     "apply_mutation",
     "creates_combinational_cycle",
+    "dead_statement_ids",
     "derive_testbench",
     "enumerate_mutations",
     "sample_mutations",

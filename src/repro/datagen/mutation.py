@@ -23,9 +23,7 @@ from dataclasses import dataclass
 import networkx as nx
 
 from ..verilog.ast_nodes import (
-    Assignment,
     BinaryOp,
-    ContinuousAssign,
     Identifier,
     Module,
     Node,
@@ -258,80 +256,14 @@ def creates_combinational_cycle(module: Module) -> bool:
     blocking-assignment semantics).  A cycle among cross-pass dependences
     means the fixpoint may not exist; we reject such mutants, matching
     real simulators rejecting oscillating netlists.
+
+    The dependence structure is built by the lint layer's
+    :func:`repro.lint.comb_feedback`; the ``cycle.comb`` lint rule and
+    this rejection check share one analysis by construction.
     """
-    from ..verilog.ast_nodes import Block, Case, If, collect_identifiers
+    from ..lint.cycles import comb_feedback
 
-    comb_driven: set[str] = {a.target.name for a in module.assigns}
-    for blk in module.always_blocks:
-        if blk.is_clocked:
-            continue
-        for node in blk.body.walk():
-            if isinstance(node, Assignment):
-                comb_driven.add(node.target.name)
-
-    graph = nx.DiGraph()
-    cross_edges: set[tuple[str, str]] = set()
-
-    def read_edges(names: list[str], targets: set[str], assigned: set[str]) -> None:
-        for src in names:
-            if src not in comb_driven:
-                continue
-            cross_pass = src not in assigned
-            for dst in targets:
-                graph.add_edge(src, dst)
-                if cross_pass:
-                    cross_edges.add((src, dst))
-
-    def targets_of(stmt: Statement) -> set[str]:
-        found: set[str] = set()
-        for node in stmt.walk():
-            if isinstance(node, Assignment):
-                found.add(node.target.name)
-        return found
-
-    def walk(stmt: Statement, assigned: set[str]) -> set[str]:
-        """Process a statement; return vars unconditionally assigned by it."""
-        if isinstance(stmt, Block):
-            newly: set[str] = set()
-            for child in stmt.statements:
-                newly |= walk(child, assigned | newly)
-            return newly
-        if isinstance(stmt, If):
-            read_edges(
-                collect_identifiers(stmt.cond), targets_of(stmt), assigned
-            )
-            then_assigned = walk(stmt.then_stmt, set(assigned))
-            if stmt.else_stmt is not None:
-                else_assigned = walk(stmt.else_stmt, set(assigned))
-                return then_assigned & else_assigned
-            return set()
-        if isinstance(stmt, Case):
-            names = collect_identifiers(stmt.subject)
-            for item in stmt.items:
-                for label in item.labels:
-                    names.extend(collect_identifiers(label))
-            read_edges(names, targets_of(stmt), assigned)
-            branch_sets = [walk(item.body, set(assigned)) for item in stmt.items]
-            has_default = any(not item.labels for item in stmt.items)
-            if branch_sets and has_default:
-                common = branch_sets[0]
-                for bs in branch_sets[1:]:
-                    common = common & bs
-                return common
-            return set()
-        if isinstance(stmt, Assignment):
-            read_edges(collect_identifiers(stmt.rhs), {stmt.target.name}, assigned)
-            return {stmt.target.name}
-        return set()
-
-    for assign in module.assigns:
-        read_edges(
-            collect_identifiers(assign.rhs), {assign.target.name}, assigned=set()
-        )
-    for blk in module.always_blocks:
-        if not blk.is_clocked:
-            walk(blk.body, set())
-
+    graph, cross_edges = comb_feedback(module)
     # Oscillation requires a feedback loop whose state crosses evaluation
     # passes: a cycle in the full read graph containing a cross-pass edge.
     component_of: dict[str, int] = {}
@@ -344,12 +276,27 @@ def creates_combinational_cycle(module: Module) -> bool:
     return False
 
 
+def dead_statement_ids(module: Module) -> set[int]:
+    """Statement ids whose target is outside every output's cone.
+
+    Delegates to the lint layer's dead-code analysis
+    (:func:`repro.lint.unobservable_statement_ids`).  A bug injected into
+    such a statement can never symptomatize at any output, so campaigns
+    skip those sites (``sample_mutations(..., exclude_dead=True)``).
+    Empty for designs without outputs.
+    """
+    from ..lint.deadcode import unobservable_statement_ids
+
+    return unobservable_statement_ids(module)
+
+
 def sample_mutations(
     module: Module,
     counts: dict[str, int],
     seed: int = 0,
     restrict_to: set[int] | None = None,
     min_operands: int = 0,
+    exclude_dead: bool = False,
 ) -> list[Mutation]:
     """Sample a bug-injection campaign plan.
 
@@ -362,6 +309,11 @@ def sample_mutations(
             dependency cone mirrors the paper's per-target campaigns.
         min_operands: Forwarded to :func:`enumerate_mutations`; use 2
             for data-centric campaigns (see there).
+        exclude_dead: Skip statements outside every output's dependency
+            cone (:func:`dead_statement_ids`) — bugs there are
+            unobservable.  A no-op when ``restrict_to`` is an output's
+            cone, since dead statements are disjoint from it; sampling
+            order (and thus the drawn plan) is unchanged in that case.
 
     Returns:
         The sampled mutations (cycle-inducing misuse mutants excluded).
@@ -375,6 +327,10 @@ def sample_mutations(
     )
     if restrict_to is not None:
         all_mutations = [m for m in all_mutations if m.stmt_id in restrict_to]
+    if exclude_dead:
+        dead = dead_statement_ids(module)
+        if dead:
+            all_mutations = [m for m in all_mutations if m.stmt_id not in dead]
     for kind, count in counts.items():
         pool = [m for m in all_mutations if m.kind == kind]
         rng.shuffle(pool)

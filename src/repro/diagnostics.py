@@ -1,0 +1,130 @@
+"""The shared diagnostic type: one ``file:line:col`` finding shape.
+
+Every layer that reports on source code — the tolerant lexer, the
+ingest subset detector, and the semantic lint engine
+(:mod:`repro.lint`) — emits the same :class:`Diagnostic` record, so
+reports sort, render, and serialize identically no matter which pass
+produced them.
+
+A diagnostic carries a *rule* (what was found: a lint rule id such as
+``"width.truncation"``, or an ingest construct name such as
+``"initial block"``) and a *severity*.  Lint severities are
+``error`` > ``warning`` > ``info``; the ingest pipeline's historical
+decisions ``reject``/``skip`` rank alongside ``error``/``warning``, so
+mixed reports interleave sensibly.  The historical field names
+(``construct``, ``decision``) remain available as read aliases, and
+:meth:`Diagnostic.from_dict` accepts JSON written under either naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Lint severities, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+#: Ingest decisions (see :mod:`repro.ingest.manifest`): a "reject" ends
+#: the design like an error, a "skip" is advisory like a warning.
+DECISIONS = ("skip", "reject")
+
+#: Rank used for the stable sort order; lower sorts first at a location.
+_SEVERITY_RANK = {
+    "error": 0,
+    "reject": 0,
+    "warning": 1,
+    "skip": 1,
+    "info": 2,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One ``file:line:col`` finding from any analysis pass.
+
+    Attributes:
+        file: Source path (relative to the corpus root for ingest runs).
+        line / col: 1-based location of the finding.
+        rule: What was found — a lint rule id ("driver.multi",
+            "width.truncation", …) or an ingest construct name
+            ("initial block", "module instantiation", …).
+        severity: "error" | "warning" | "info" for lint findings;
+            "reject" | "skip" for ingest decisions.
+        message: Human-readable detail.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    # -- Historical ingest field names (read aliases) -------------------
+    @property
+    def construct(self) -> str:
+        """Alias of :attr:`rule` (the ingest-era field name)."""
+        return self.rule
+
+    @property
+    def decision(self) -> str:
+        """Alias of :attr:`severity` (the ingest-era field name)."""
+        return self.severity
+
+    @property
+    def severity_rank(self) -> int:
+        """Lower ranks are more severe (error/reject = 0, info = 2)."""
+        return _SEVERITY_RANK.get(self.severity, len(SEVERITIES))
+
+    def sort_key(self) -> tuple:
+        """Stable ``(file, line, col, severity, rule)`` ordering key."""
+        return (self.file, self.line, self.col, self.severity_rank, self.rule)
+
+    def render(self) -> str:
+        """One-line report form.
+
+        Ingest decisions keep their historical rendering
+        (``file:line:col: construct: message [skipped|rejected]``);
+        lint severities render as
+        ``file:line:col: severity: message [rule]``.
+        """
+        if self.severity in DECISIONS:
+            word = "skipped" if self.severity == "skip" else "rejected"
+            return (
+                f"{self.file}:{self.line}:{self.col}:"
+                f" {self.rule}: {self.message} [{word}]"
+            )
+        return (
+            f"{self.file}:{self.line}:{self.col}:"
+            f" {self.severity}: {self.message} [{self.rule}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        """Load from JSON written under either naming generation."""
+        rule = data.get("rule", data.get("construct"))
+        severity = data.get("severity", data.get("decision"))
+        if rule is None or severity is None:
+            raise KeyError("diagnostic needs rule/severity (or construct/decision)")
+        return cls(
+            file=data["file"],
+            line=int(data["line"]),
+            col=int(data["col"]),
+            rule=rule,
+            severity=severity,
+            message=data["message"],
+        )
+
+
+def sort_diagnostics(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Diagnostics in the stable report order (see :meth:`sort_key`)."""
+    return sorted(diagnostics, key=Diagnostic.sort_key)

@@ -14,7 +14,7 @@ Layers, bottom to top:
   :func:`ingest_directory` is the main entry point.
 """
 
-from .corpus import IngestedCorpus, IngestedDesign, ingest_directory
+from .corpus import LINT_POLICIES, IngestedCorpus, IngestedDesign, ingest_directory
 from .detector import REJECT_WORDS, DetectedModule, detect_modules
 from .manifest import CorpusManifest, DesignRecord, Diagnostic
 from .walker import CorpusFile, discover_designs
@@ -27,6 +27,7 @@ __all__ = [
     "Diagnostic",
     "IngestedCorpus",
     "IngestedDesign",
+    "LINT_POLICIES",
     "REJECT_WORDS",
     "detect_modules",
     "discover_designs",

@@ -20,6 +20,7 @@ import pathlib
 from dataclasses import dataclass, field
 
 from ..datagen.rvdg import derive_testbench
+from ..lint import lint_module
 from ..sim.simulator import Simulator
 from ..sim.testbench import generate_stimulus
 from ..verilog.ast_nodes import Module
@@ -30,6 +31,13 @@ from .walker import discover_designs
 
 #: Cycles used for the ingest-time smoke simulation of each design.
 SMOKE_CYCLES = 4
+
+#: Valid ingest-time lint policies: "record" runs the lint engine on
+#: every usable design and stores the findings in its manifest record;
+#: "reject-errors" additionally demotes designs with lint *errors*
+#: (multi-driven nets, combinational cycles) to rejected; "off" skips
+#: lint entirely.
+LINT_POLICIES = ("record", "reject-errors", "off")
 
 
 @dataclass
@@ -67,14 +75,14 @@ class IngestedCorpus:
     manifest: CorpusManifest = None  # type: ignore[assignment]
 
     @classmethod
-    def load(cls, root) -> "IngestedCorpus":
+    def load(cls, root, lint_policy: str = "record") -> "IngestedCorpus":
         """Ingest (or re-ingest) the corpus at ``root``.
 
         Ingestion is deterministic and fast relative to simulation, so
         loading always re-runs the pipeline rather than trusting a
         possibly-stale committed manifest.
         """
-        return ingest_directory(root)
+        return ingest_directory(root, lint_policy=lint_policy)
 
     def names(self) -> list[str]:
         """Usable design names, walker order."""
@@ -103,13 +111,26 @@ class IngestedCorpus:
         return len(self.designs)
 
 
-def ingest_directory(root) -> IngestedCorpus:
+def ingest_directory(root, lint_policy: str = "record") -> IngestedCorpus:
     """Ingest every Verilog design under ``root``.
 
     Never raises on malformed Verilog — parse and simulation failures
     become per-design diagnostics in the manifest.  Raises only for a
-    missing/invalid root directory (``NotADirectoryError``).
+    missing/invalid root directory (``NotADirectoryError``) or an
+    unknown ``lint_policy`` (``ValueError``).
+
+    Args:
+        root: Corpus directory.
+        lint_policy: One of :data:`LINT_POLICIES` — "record" (default)
+            lints every usable design into its record's ``lint`` list,
+            "reject-errors" also demotes designs with lint errors, and
+            "off" skips lint.
     """
+    if lint_policy not in LINT_POLICIES:
+        raise ValueError(
+            f"unknown lint_policy {lint_policy!r};"
+            f" available: {', '.join(LINT_POLICIES)}"
+        )
     root = pathlib.Path(root)
     candidates = discover_designs(root)
 
@@ -153,6 +174,29 @@ def ingest_directory(root) -> IngestedCorpus:
                 if status == "rejected":
                     module = None
 
+            lint_findings: list[Diagnostic] = []
+            if module is not None and lint_policy != "off":
+                lint_findings = list(
+                    lint_module(module, file=candidate.rel_path).findings
+                )
+                lint_errors = [
+                    d for d in lint_findings if d.severity == "error"
+                ]
+                if lint_policy == "reject-errors" and lint_errors:
+                    diagnostics.append(
+                        Diagnostic(
+                            candidate.rel_path,
+                            lint_errors[0].line,
+                            lint_errors[0].col,
+                            "lint errors",
+                            "reject",
+                            f"{len(lint_errors)} lint error(s), e.g."
+                            f" [{lint_errors[0].rule}] {lint_errors[0].message}",
+                        )
+                    )
+                    status = "rejected"
+                    module = None
+
             record = DesignRecord(
                 name=name,
                 source_path=candidate.rel_path,
@@ -163,6 +207,7 @@ def ingest_directory(root) -> IngestedCorpus:
                 ports=_port_summary(module),
                 n_statements=len(module.statements()) if module else 0,
                 diagnostics=diagnostics,
+                lint=lint_findings,
             )
             records.append(record)
             if module is not None:

@@ -15,63 +15,21 @@ import json
 import pathlib
 from dataclasses import dataclass, field
 
+# The diagnostic type is shared with the lint engine; it lives in
+# repro.diagnostics and is re-exported here for backward compatibility
+# (ingest code historically imported it from this module).
+from ..diagnostics import DECISIONS, Diagnostic
+
+__all__ = [
+    "CorpusManifest",
+    "DECISIONS",
+    "DesignRecord",
+    "Diagnostic",
+    "STATUSES",
+]
+
 #: Design ingestion outcomes.
 STATUSES = ("supported", "partial", "rejected")
-
-#: Diagnostic decisions: the construct was skipped (design still usable)
-#: or caused the whole design to be rejected.
-DECISIONS = ("skip", "reject")
-
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One per-construct ingestion diagnostic.
-
-    Attributes:
-        file: Source path, relative to the corpus root.
-        line / col: 1-based location of the construct.
-        construct: Canonical construct name (e.g. "initial block",
-            "module instantiation", "directive `timescale").
-        decision: "skip" (construct dropped, design still usable) or
-            "reject" (design unusable because of this construct).
-        message: Human-readable detail.
-    """
-
-    file: str
-    line: int
-    col: int
-    construct: str
-    decision: str
-    message: str
-
-    def render(self) -> str:
-        """``file:line:col: construct: message [skipped|rejected]``."""
-        word = "skipped" if self.decision == "skip" else "rejected"
-        return (
-            f"{self.file}:{self.line}:{self.col}:"
-            f" {self.construct}: {self.message} [{word}]"
-        )
-
-    def to_dict(self) -> dict:
-        return {
-            "file": self.file,
-            "line": self.line,
-            "col": self.col,
-            "construct": self.construct,
-            "decision": self.decision,
-            "message": self.message,
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "Diagnostic":
-        return cls(
-            file=data["file"],
-            line=int(data["line"]),
-            col=int(data["col"]),
-            construct=data["construct"],
-            decision=data["decision"],
-            message=data["message"],
-        )
 
 
 @dataclass
@@ -93,6 +51,9 @@ class DesignRecord:
         n_statements: Assignment statements in the parsed module (0 for
             rejected designs).
         diagnostics: Per-construct skip/reject diagnostics.
+        lint: Semantic lint findings (:mod:`repro.lint`) for designs
+            that parsed; empty for rejected designs and for ingestion
+            runs with linting off.
     """
 
     name: str
@@ -104,6 +65,7 @@ class DesignRecord:
     ports: dict = field(default_factory=dict)
     n_statements: int = 0
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    lint: list[Diagnostic] = field(default_factory=list)
 
     @property
     def usable(self) -> bool:
@@ -121,6 +83,7 @@ class DesignRecord:
             "ports": self.ports,
             "n_statements": self.n_statements,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "lint": [d.to_dict() for d in self.lint],
         }
 
     @classmethod
@@ -137,6 +100,7 @@ class DesignRecord:
             diagnostics=[
                 Diagnostic.from_dict(d) for d in data.get("diagnostics", ())
             ],
+            lint=[Diagnostic.from_dict(d) for d in data.get("lint", ())],
         )
 
 

@@ -1,0 +1,138 @@
+"""Driver-analysis rules: who writes each signal, and who never does.
+
+Three rules over the :class:`~repro.lint.engine.LintContext` driver and
+read maps:
+
+* ``driver.multi-driven`` (error) — a signal written by more than one
+  process with overlapping bit ranges.  Continuous assigns to disjoint
+  constant bit/part selects of the same net are legal and not flagged;
+  any overlap (or any write whose range cannot be resolved statically)
+  across two processes is.
+* ``driver.undriven`` (warning) — a non-input signal that is read but
+  never written; the two-state simulator evaluates it as constant 0.
+* ``driver.unused`` (warning) — a declared signal (or input port) that
+  is never read and does not drive an output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..diagnostics import Diagnostic
+from .engine import DriverSite, LintContext, Rule
+
+
+def _driven_bits(ctx: LintContext, site: DriverSite, width: int) -> int | None:
+    """Bit mask a driver site writes, or None when not statically known."""
+    target = site.stmt.target
+    if target.index is not None:
+        index = ctx.const_value(target.index)
+        if index is None:
+            return None
+        return 1 << index
+    if target.msb is not None and target.lsb is not None:
+        msb = ctx.const_value(target.msb)
+        lsb = ctx.const_value(target.lsb)
+        if msb is None or lsb is None:
+            return None
+        lo, hi = min(msb, lsb), max(msb, lsb)
+        return ((1 << (hi - lo + 1)) - 1) << lo
+    return (1 << width) - 1
+
+
+class MultiDrivenRule(Rule):
+    id = "driver.multi-driven"
+    severity = "error"
+    description = (
+        "signal written by more than one process with overlapping bits"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        for signal, sites in ctx.drivers.items():
+            decl = ctx.module.decls.get(signal)
+            if decl is None:
+                continue
+            processes = sorted({site.process for site in sites})
+            if len(processes) < 2:
+                continue
+            # Per-process union of written bits; None = statically unknown
+            # (dynamic select), treated as the full range.
+            full = (1 << decl.width) - 1
+            masks: dict[tuple[str, int], int] = {}
+            for site in sites:
+                bits = _driven_bits(ctx, site, decl.width)
+                masks[site.process] = masks.get(site.process, 0) | (
+                    full if bits is None else bits
+                )
+            overlap = False
+            seen = 0
+            for process in processes:
+                if seen & masks[process]:
+                    overlap = True
+                    break
+                seen |= masks[process]
+            if not overlap:
+                continue
+            # Report at the second process's first write of this signal.
+            second = next(s for s in sites if s.process == processes[1])
+            first = next(s for s in sites if s.process == processes[0])
+            yield self.finding(
+                ctx,
+                second.stmt.line,
+                second.stmt.col,
+                f"signal {signal!r} is driven by {len(processes)} processes"
+                f" (first driver at line {first.stmt.line})",
+            )
+
+
+class UndrivenRule(Rule):
+    id = "driver.undriven"
+    severity = "warning"
+    description = "signal read but never driven (simulates as constant 0)"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        for signal, (line, col) in sorted(ctx.reads.items()):
+            decl = ctx.module.decls.get(signal)
+            if decl is None or decl.is_input:
+                continue
+            if signal in ctx.drivers:
+                continue
+            yield self.finding(
+                ctx,
+                line,
+                col,
+                f"signal {signal!r} is read but never driven"
+                " (simulates as constant 0)",
+            )
+
+
+class UnusedRule(Rule):
+    id = "driver.unused"
+    severity = "warning"
+    description = "signal (or input port) that nothing ever reads"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        for signal, decl in ctx.module.decls.items():
+            if decl.is_output or signal in ctx.reads:
+                continue
+            if decl.is_input:
+                yield self.finding(
+                    ctx,
+                    decl.line,
+                    decl.col,
+                    f"input port {signal!r} is never read",
+                )
+            elif signal in ctx.drivers:
+                yield self.finding(
+                    ctx,
+                    decl.line,
+                    decl.col,
+                    f"signal {signal!r} is driven but never read",
+                )
+            else:
+                yield self.finding(
+                    ctx,
+                    decl.line,
+                    decl.col,
+                    f"signal {signal!r} is declared but never used",
+                )

@@ -1,0 +1,75 @@
+"""Latch-inference rule: incomplete assignment in combinational blocks.
+
+A combinational ``always`` block must assign each of its targets on
+*every* path through the block; a target skipped on some path keeps its
+previous value, which synthesizes to a level-sensitive latch the author
+almost never intended.  ``latch.inferred`` recomputes the same
+unconditional-assignment sets the simulator's fixpoint reasoning uses:
+an ``if`` without ``else`` contributes nothing unconditionally, a
+``case`` contributes the intersection of its arms only when a
+``default`` arm exists (full-but-defaultless cases are flagged too,
+matching conventional lint practice).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..diagnostics import Diagnostic
+from ..verilog.ast_nodes import Assignment, Block, Case, If, Statement
+from .engine import LintContext, Rule
+
+
+def unconditional_assigns(stmt: Statement) -> set[str]:
+    """Variables assigned on every path through ``stmt``."""
+    if isinstance(stmt, Block):
+        assigned: set[str] = set()
+        for child in stmt.statements:
+            assigned |= unconditional_assigns(child)
+        return assigned
+    if isinstance(stmt, If):
+        if stmt.else_stmt is None:
+            return set()
+        return unconditional_assigns(stmt.then_stmt) & unconditional_assigns(
+            stmt.else_stmt
+        )
+    if isinstance(stmt, Case):
+        if not any(not item.labels for item in stmt.items):
+            return set()  # no default arm: the subject may match nothing
+        common: set[str] | None = None
+        for item in stmt.items:
+            arm = unconditional_assigns(item.body)
+            common = arm if common is None else common & arm
+        return common or set()
+    if isinstance(stmt, Assignment):
+        return {stmt.target.name}
+    return set()
+
+
+class LatchInferenceRule(Rule):
+    id = "latch.inferred"
+    severity = "warning"
+    description = (
+        "combinational block target not assigned on every path"
+        " (synthesizes to a latch)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        for blk in ctx.module.always_blocks:
+            if blk.is_clocked:
+                continue
+            covered = unconditional_assigns(blk.body)
+            first_write: dict[str, Assignment] = {}
+            for node in blk.body.walk():
+                if isinstance(node, Assignment):
+                    first_write.setdefault(node.target.name, node)
+            for signal, stmt in first_write.items():
+                if signal in covered:
+                    continue
+                yield self.finding(
+                    ctx,
+                    stmt.line,
+                    stmt.col,
+                    f"{signal!r} is not assigned on every path of this"
+                    " combinational block (latch inferred)",
+                )

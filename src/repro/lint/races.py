@@ -1,0 +1,110 @@
+"""Blocking/nonblocking style races across and inside always blocks.
+
+Three rules enforcing the standard scheduling discipline (nonblocking in
+sequential logic, blocking in combinational logic):
+
+* ``race.nonblocking-in-comb`` — a ``<=`` assignment in a level-
+  sensitive block defers its update past the current settle pass, so
+  later reads in the same pass see the stale value.
+* ``race.blocking-in-seq`` — a ``=`` assignment in a clocked block
+  updates immediately, making same-edge readers in *other* blocks see
+  before/after values depending on process evaluation order.
+* ``race.cross-block-blocking`` — the observable consequence of the
+  previous rule: a signal blocking-written in one clocked block and read
+  in a different clocked block; the read's result depends on scheduler
+  order, which real simulators do not guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..diagnostics import Diagnostic
+from ..verilog.ast_nodes import Assignment, Identifier
+from .engine import LintContext, Rule
+
+
+class NonblockingInCombRule(Rule):
+    id = "race.nonblocking-in-comb"
+    severity = "warning"
+    description = "nonblocking assignment inside a combinational block"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        for blk in ctx.module.always_blocks:
+            if blk.is_clocked:
+                continue
+            for node in blk.body.walk():
+                if isinstance(node, Assignment) and not node.blocking:
+                    yield self.finding(
+                        ctx,
+                        node.line,
+                        node.col,
+                        f"nonblocking assignment to {node.target.name!r} in a"
+                        " combinational block (use blocking '=')",
+                    )
+
+
+class BlockingInSeqRule(Rule):
+    id = "race.blocking-in-seq"
+    severity = "warning"
+    description = "blocking assignment inside a clocked block"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        for blk in ctx.module.always_blocks:
+            if not blk.is_clocked:
+                continue
+            for node in blk.body.walk():
+                if isinstance(node, Assignment) and node.blocking:
+                    yield self.finding(
+                        ctx,
+                        node.line,
+                        node.col,
+                        f"blocking assignment to {node.target.name!r} in a"
+                        " clocked block (use nonblocking '<=')",
+                    )
+
+
+class CrossBlockBlockingRule(Rule):
+    id = "race.cross-block-blocking"
+    severity = "warning"
+    description = (
+        "signal blocking-written in one clocked block and read in another"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        # Clocked processes that blocking-write each signal.
+        writers: dict[str, list[tuple[int, Assignment]]] = {}
+        for index, blk in enumerate(ctx.module.always_blocks):
+            if not blk.is_clocked:
+                continue
+            for node in blk.body.walk():
+                if isinstance(node, Assignment) and node.blocking:
+                    writers.setdefault(node.target.name, []).append(
+                        (index, node)
+                    )
+        if not writers:
+            return
+        for index, blk in enumerate(ctx.module.always_blocks):
+            if not blk.is_clocked:
+                continue
+            # Every Identifier node in the body is a read: assignment
+            # targets are Lvalues carrying a plain name, so they never
+            # appear as Identifier nodes in the walk.
+            reads = {
+                node.name
+                for node in blk.body.walk()
+                if isinstance(node, Identifier)
+            }
+            for signal in sorted(reads):
+                for writer_index, write in writers.get(signal, ()):
+                    if writer_index == index:
+                        continue
+                    yield self.finding(
+                        ctx,
+                        write.line,
+                        write.col,
+                        f"{signal!r} is blocking-written here but read in"
+                        " another clocked block; the value seen there"
+                        " depends on process evaluation order",
+                    )
+                    break

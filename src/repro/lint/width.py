@@ -1,0 +1,96 @@
+"""Width diagnostics: truncating assignments and impossible compares.
+
+Both rules reuse the compiler's self-determined width model
+(:meth:`repro.sim.evaluator.Evaluator.width_of` semantics) through the
+context's *value-aware* variant, which sizes unsized literals and
+parameters by their value instead of the 32-bit container — ``y = 1;``
+into a 1-bit net is fine, ``y = a + b;`` of two 8-bit operands into a
+4-bit net is not.
+
+* ``width.truncation`` — the RHS resolves wider than the assignment
+  target, so high bits are silently dropped.
+* ``width.oversized-constant`` — an equality/relational compare against
+  a constant that cannot fit the other side's width; the comparison is
+  constant (``==`` never true, ``!=`` always true, …), which almost
+  always means a mistyped literal or a too-narrow signal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..diagnostics import Diagnostic
+from ..verilog.ast_nodes import BinaryOp, Expr, Identifier, Number
+from .engine import LintContext, Rule, iter_assignments, lvalue_width
+
+#: Comparison operators checked against oversized constants.
+_COMPARES = ("==", "!=", "===", "!==", "<", "<=", ">", ">=")
+
+
+class TruncatingAssignmentRule(Rule):
+    id = "width.truncation"
+    severity = "warning"
+    description = "assignment RHS wider than its target (high bits dropped)"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        for stmt, _clocked, _procedural in iter_assignments(ctx.module):
+            target_width = lvalue_width(ctx, stmt.target)
+            rhs_width = ctx.value_width(stmt.rhs)
+            if target_width is None or rhs_width is None:
+                continue
+            if rhs_width > target_width:
+                yield self.finding(
+                    ctx,
+                    stmt.line,
+                    stmt.col,
+                    f"assignment to {stmt.target.name!r} truncates a"
+                    f" {rhs_width}-bit expression to {target_width} bit(s)",
+                )
+
+
+class OversizedConstantRule(Rule):
+    id = "width.oversized-constant"
+    severity = "warning"
+    description = "comparison against a constant that cannot fit the signal"
+
+    def check(self, ctx: LintContext) -> Iterable[Diagnostic]:
+        for node in ctx.module.walk():
+            if not (isinstance(node, BinaryOp) and node.op in _COMPARES):
+                continue
+            for operand, other in (
+                (node.right, node.left),
+                (node.left, node.right),
+            ):
+                finding = self._check_pair(ctx, node, operand, other)
+                if finding is not None:
+                    yield finding
+                    break
+
+    def _check_pair(
+        self, ctx: LintContext, node: BinaryOp, constant: Expr, other: Expr
+    ) -> Diagnostic | None:
+        if not isinstance(constant, Number) and not (
+            isinstance(constant, Identifier)
+            and constant.name in ctx.module.params
+        ):
+            return None
+        value = ctx.const_value(constant)
+        if value is None or value < 0:
+            return None
+        # Only flag against a resolvable non-constant side: comparing
+        # two constants is the constant-branch rule's business.
+        if ctx.const_value(other) is not None:
+            return None
+        other_width = ctx.value_width(other)
+        if other_width is None or other_width >= 64:
+            return None
+        if value <= (1 << other_width) - 1:
+            return None
+        return self.finding(
+            ctx,
+            node.line,
+            node.col,
+            f"comparison {node.op!r} against constant {value} exceeds the"
+            f" {other_width}-bit range of the other operand"
+            " (result is constant)",
+        )

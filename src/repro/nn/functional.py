@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, _unbroadcast
+from .tensor import Tensor
 
 
 def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .functional import frobenius_norm, log_softmax, segment_sum
+from .functional import log_softmax, segment_sum
 from .tensor import Tensor
 
 

@@ -34,7 +34,6 @@ from .ast_nodes import (
     Lvalue,
     Module,
     NetDecl,
-    Node,
     Number,
     ParamDecl,
     PartSelect,

@@ -8,7 +8,6 @@ which the property-based tests rely on.
 from __future__ import annotations
 
 from .ast_nodes import (
-    AlwaysBlock,
     Assignment,
     BinaryOp,
     BitSelect,

@@ -74,8 +74,11 @@ class TestVDG:
         assert "gnt2" in dependency_cone(vdg, "gnt2")
 
     def test_dependency_cone_unknown_target(self, arbiter):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="ghost") as excinfo:
             dependency_cone(build_vdg(arbiter), "ghost")
+        # The error lists the available candidates, not a bare KeyError.
+        assert "gnt1" in str(excinfo.value)
+        assert "available" in str(excinfo.value)
 
 
 class TestCDFG:
@@ -151,8 +154,10 @@ class TestCOI:
             build_coi_graph(arbiter, 0)
 
     def test_unknown_target_raises(self, arbiter):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="ghost") as excinfo:
             cone_of_influence(arbiter, "ghost", 2)
+        assert "gnt1" in str(excinfo.value)
+        assert "available" in str(excinfo.value)
 
 
 class TestSlicing:

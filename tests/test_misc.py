@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import BatchEncoder, VeriBugConfig, VeriBugModel, Vocabulary
+from repro.core import VeriBugConfig, VeriBugModel, Vocabulary
 from repro.designs import REGISTRY, design_testbench
 from repro.nn import load_state, save_state
 from repro.sim import Simulator, generate_stimulus

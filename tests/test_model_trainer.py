@@ -7,9 +7,7 @@ from repro.analysis import extract_module_contexts
 from repro.core import (
     BatchEncoder,
     Trainer,
-    VeriBugConfig,
     VeriBugModel,
-    Vocabulary,
     build_samples,
     compute_metrics,
 )

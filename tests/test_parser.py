@@ -3,13 +3,11 @@
 import pytest
 
 from repro.verilog import (
-    Assignment,
     BinaryOp,
     BitSelect,
     Block,
     Case,
     Concat,
-    ContinuousAssign,
     Identifier,
     If,
     Number,

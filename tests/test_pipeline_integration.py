@@ -7,7 +7,6 @@ from repro.core import render_heatmap
 from repro.datagen import BugInjectionCampaign, sample_mutations
 from repro.designs import design_testbench, load_design
 from repro.pipeline import CorpusSpec, generate_corpus_samples, train_pipeline
-from repro.sim import TestbenchConfig
 
 
 class TestPipeline:

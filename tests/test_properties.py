@@ -11,7 +11,7 @@ from repro.nn import Tensor, segment_softmax, segment_sum, softmax
 from repro.sim import Simulator, TestbenchConfig, generate_stimulus
 from repro.sim import values as V
 from repro.verilog import parse_module
-from repro.verilog.printer import format_expr, format_module
+from repro.verilog.printer import format_module
 
 # ----------------------------------------------------------------------
 # Value arithmetic

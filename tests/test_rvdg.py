@@ -3,7 +3,6 @@
 from repro.datagen import RandomVerilogDesignGenerator, RVDGConfig
 from repro.datagen.mutation import creates_combinational_cycle
 from repro.sim import Simulator, TestbenchConfig, generate_stimulus
-from repro.verilog import parse_module
 
 
 class TestGeneration:
