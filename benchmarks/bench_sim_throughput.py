@@ -1,8 +1,12 @@
-"""Simulation-engine throughput: interpreted vs compiled.
+"""Simulation-engine throughput: interpreted vs compiled vs vector.
 
 Measures cycles/sec and statements/sec on the four paper designs for
-both execution engines and writes the results to ``BENCH_sim.json`` at
-the repo root so the performance trajectory is tracked across PRs.
+all three execution engines and writes the results to ``BENCH_sim.json``
+at the repo root so the performance trajectory is tracked across PRs.
+The vector engine runs the whole testbench suite per design in lockstep
+(``run_suite``), so its wall time is per-suite rather than per-trace;
+``vector_speedup_*`` reports it against the compiled scalar loop over
+the same suite.
 
 The ``--record`` arm selects the workload: ``on`` (trace-learning
 workload, columnar recording active), ``off`` (golden-trace workload,
@@ -11,11 +15,14 @@ the **recording overhead** per engine — recorded wall time over
 unrecorded wall time, the cost of columnar instrumentation itself.
 
 Unless ``--no-verify`` is given, the run first differential-tests the
-columnar recorder against its oracles on every design: the compiled and
-interpreted engines must produce identical recorded traces, and the
+engines against their oracles on every design: the compiled and
+interpreted engines must produce identical recorded traces, the
 recorder's native columns must be byte-equivalent to repacking the
-materialized record objects.  Any divergence makes the process exit
-nonzero, so CI bench smoke doubles as a recorder integrity gate.
+materialized record objects, and every lane of the lockstep vector
+suite must be byte-identical — outputs and recorded columns — to the
+compiled scalar trace of the same stimulus.  Any divergence makes the
+process exit nonzero, so CI bench smoke doubles as an engine integrity
+gate.
 
 Run with::
 
@@ -47,7 +54,7 @@ from repro.sim import (  # noqa: E402
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
-ENGINES = ("interpreted", "compiled")
+ENGINES = ("interpreted", "compiled", "vector")
 
 
 def verify_design(name: str, n_cycles: int, seed: int = 3) -> list[str]:
@@ -84,6 +91,33 @@ def verify_design(name: str, n_cycles: int, seed: int = 3) -> list[str]:
             if type(ours) is not type(oracle) or not np.array_equal(ours, oracle):
                 problems.append(f"{tag}: recorder column {attr} != repacked column")
                 break
+    problems.extend(verify_vector_suite(name, module, stimuli, compiled))
+    return problems
+
+
+def verify_vector_suite(name, module, stimuli, compiled) -> list[str]:
+    """Every vector lane must be byte-identical to the compiled trace."""
+    vector = Simulator(module, engine="vector")
+    # Ragged on purpose: a truncated lane exercises per-lane liveness.
+    suite = [list(s) for s in stimuli]
+    if len(suite) > 1:
+        suite[1] = suite[1][: max(1, len(suite[1]) // 2)]
+    problems: list[str] = []
+    for index, (stimulus, actual) in enumerate(zip(suite, vector.run_suite(suite))):
+        tag = f"{name}[lane {index}]"
+        expected = compiled.run(stimulus)
+        if actual.outputs != expected.outputs:
+            problems.append(f"{tag}: vector outputs diverge from compiled")
+            continue
+        ours, oracle = actual.execution_columns(), expected.execution_columns()
+        if ours.stmt_table != oracle.stmt_table:
+            problems.append(f"{tag}: vector shape table diverges")
+            continue
+        for attr in ("stmt_slots", "cycles", "lhs_values", "flat_values"):
+            a, b = getattr(ours, attr), getattr(oracle, attr)
+            if a.dtype != b.dtype or not np.array_equal(a, b):
+                problems.append(f"{tag}: vector column {attr} diverges")
+                break
     return problems
 
 
@@ -102,6 +136,21 @@ def bench_design(
         simulator = Simulator(module, engine=engine)
         setup_s = time.perf_counter() - t0
         stats: dict = {"setup_s": round(setup_s, 6)}
+        if engine == "vector":
+            from repro.sim import vectorizable
+
+            # A non-vectorizable design silently runs the scalar loop;
+            # flag it so the arm is not mistaken for a lockstep number.
+            stats["scalar_fallback"] = not vectorizable(simulator.program)
+            # Warm the per-stream codegen caches with a one-lane suite so
+            # the timed runs measure steady-state throughput; the one-time
+            # code generation cost is reported separately.
+            t0 = time.perf_counter()
+            if "record" in arms:
+                simulator.run_suite(stimuli[:1], record=True)
+            if "norecord" in arms:
+                simulator.run_suite(stimuli[:1], record=False)
+            stats["codegen_s"] = round(time.perf_counter() - t0, 6)
 
         if "record" in arms:
             t0 = time.perf_counter()
@@ -134,6 +183,9 @@ def bench_design(
     for arm in arms:
         row[f"speedup_{arm}"] = round(
             row["interpreted"][arm]["wall_s"] / row["compiled"][arm]["wall_s"], 2
+        )
+        row[f"vector_speedup_{arm}"] = round(
+            row["compiled"][arm]["wall_s"] / row["vector"][arm]["wall_s"], 2
         )
     return row
 
@@ -185,6 +237,7 @@ def main() -> int:
         parts = [f"{name:18s}"]
         for arm in arms:
             parts.append(f"{arm} {row[f'speedup_{arm}']:>5.2f}x")
+            parts.append(f"vector {row[f'vector_speedup_{arm}']:>5.2f}x")
         if "record_overhead" in row["compiled"]:
             parts.append(f"overhead {row['compiled']['record_overhead']:>4.2f}x")
         if "record" in arms:
@@ -197,6 +250,12 @@ def main() -> int:
         speedups = [r[f"speedup_{arm}"] for r in results["designs"].values()]
         results[f"geomean_speedup_{arm}"] = round(
             math.prod(speedups) ** (1 / len(speedups)), 2
+        )
+        vector_speedups = [
+            r[f"vector_speedup_{arm}"] for r in results["designs"].values()
+        ]
+        results[f"geomean_vector_speedup_{arm}"] = round(
+            math.prod(vector_speedups) ** (1 / len(vector_speedups)), 2
         )
     if len(arms) == 2:
         overheads = [
@@ -214,6 +273,10 @@ def main() -> int:
     out.write_text(json.dumps(existing, indent=2) + "\n")
     if "record" in arms:
         print(f"geomean record-mode speedup: {results['geomean_speedup_record']}x")
+        print(
+            "geomean record-mode vector speedup over compiled:"
+            f" {results['geomean_vector_speedup_record']}x"
+        )
     if "geomean_record_overhead" in results:
         print(f"geomean recording overhead: {results['geomean_record_overhead']}x")
     print(f"wrote {out}")

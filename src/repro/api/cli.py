@@ -330,7 +330,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f" {int(memo_stats['entries'])} entries)"
     )
     runtime_stats = session.runtime_stats()
-    if runtime_stats is not None:
+    sim_stats = runtime_stats["simulation"]
+    engines = sim_stats["engines"]
+    cache_line = sim_stats["compile_cache"]
+    print(
+        f"simulation: engine={sim_stats['engine']},"
+        f" vector {engines['vector']['batches']} suite(s)"
+        f" ({engines['vector']['lanes']} lanes,"
+        f" {engines['vector']['cycles']} lane-cycles,"
+        f" {engines['vector']['scalar_fallbacks']} scalar fallback(s)),"
+        f" compiled {engines['compiled']['runs']} run(s)"
+        f" ({engines['compiled']['cycles']} cycles),"
+        f" compile cache {cache_line['hits']} hit(s) /"
+        f" {cache_line['misses']} miss(es),"
+        f" {cache_line['entries']} live entr(ies)"
+    )
+    if "pool_size" in runtime_stats:
         shard_sizes = ",".join(
             str(s) for s in runtime_stats["last_shard_sizes"]
         ) or "-"
@@ -347,9 +362,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             f" {runtime_stats['worker_memo']['hit_rate']:.1%}"
         )
     if args.json:
-        payload = {"campaigns": results, "cache": stats, "memo": memo_stats}
-        if runtime_stats is not None:
-            payload["runtime"] = runtime_stats
+        payload = {
+            "campaigns": results,
+            "cache": stats,
+            "memo": memo_stats,
+            "runtime": runtime_stats,
+        }
         pathlib.Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.json}")
     session.close()
@@ -642,7 +660,8 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p: argparse.ArgumentParser, cycles: int) -> None:
         p.add_argument("--model", help="checkpoint path (.npz)")
         p.add_argument("--seed", type=int, default=13, help="data seed")
-        p.add_argument("--engine", choices=("compiled", "interpreted"))
+        p.add_argument("--engine",
+                       choices=("auto", "vector", "compiled", "interpreted"))
         p.add_argument("--workers", type=int, help="simulation process pool size")
         p.add_argument("--localize-batch", type=int, dest="localize_batch",
                        help="mutants per shared localization batch")
@@ -659,7 +678,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--cycles", type=int, default=25)
     train.add_argument("--epochs", type=int, default=30)
     train.add_argument("--seed", type=int, default=1)
-    train.add_argument("--engine", choices=("compiled", "interpreted"))
+    train.add_argument("--engine",
+                       choices=("auto", "vector", "compiled", "interpreted"))
     train.add_argument("--workers", type=int)
     train.add_argument("--corpus",
                        help="train on designs ingested from this directory"

@@ -35,8 +35,10 @@ class SessionConfig:
     Attributes:
         model: Model/training hyper-parameters (:class:`VeriBugConfig`).
         sim_engine: Simulation engine for every simulator the session
-            builds ("compiled" or "interpreted"); None defers to
-            ``model.sim_engine``.
+            builds ("auto", "vector", "compiled", or "interpreted");
+            None defers to ``model.sim_engine`` (default "auto": the
+            lockstep vector engine for multi-trace suites, compiled
+            scalar otherwise).
         n_workers: Worker-pool size for mutant simulation, corpus
             generation, and sharded localization; 0 runs sequentially
             (results are bit-identical either way).
@@ -137,7 +139,8 @@ class SessionConfig:
         return dataclasses.replace(self, model=model)
 
     def with_engine(self, sim_engine: str) -> SessionConfig:
-        """Select the simulation engine ("compiled" or "interpreted")."""
+        """Select the simulation engine ("auto", "vector", "compiled",
+        or "interpreted")."""
         return dataclasses.replace(self, sim_engine=sim_engine)
 
     def with_workers(

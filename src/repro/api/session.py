@@ -521,19 +521,37 @@ class VeriBugSession:
         """Attention-row memo counters (whole-row sharing evidence)."""
         return self.model.attention_memo.stats()
 
-    def runtime_stats(self) -> dict | None:
-        """Execution-runtime counters, or None for sequential sessions.
+    def runtime_stats(self) -> dict:
+        """Execution and simulation counters for this process.
 
-        Includes pool size/reuse counts, the last localization shard
+        Always contains a ``"simulation"`` block — the session's resolved
+        engine selection, the process-wide per-engine execution counters
+        (:func:`repro.sim.engine_stats`: scalar runs/cycles, vector suite
+        batches/lanes/cycles and scalar fallbacks), and the compile-cache
+        hit/miss/entry counts — so a bench regression names the engine
+        that regressed.  The counters are process-local: mutants simulated
+        inside pool workers accrue on the workers, not here.
+
+        For sessions with a live worker runtime the dict additionally
+        includes pool size/reuse counts, the last localization shard
         sizes, the weight epoch, and the aggregated worker-side
         context-cache and attention-memo hit rates (see
         :class:`repro.runtime.RuntimeStats`) — the numbers that show the
         per-worker caches losing cross-shard sharing as shard counts
         grow.
         """
-        if self._runtime is None:
-            return None
-        return self._runtime.stats().to_dict()
+        from ..sim.compiler import compile_cache_stats
+        from ..sim.simulator import engine_stats
+
+        stats: dict = {}
+        if self._runtime is not None:
+            stats.update(self._runtime.stats().to_dict())
+        stats["simulation"] = {
+            "engine": self.config.engine,
+            "engines": engine_stats(),
+            "compile_cache": compile_cache_stats(),
+        }
+        return stats
 
     def as_pipeline(self) -> "TrainedPipeline":
         """Legacy :class:`TrainedPipeline` view over this session's state.

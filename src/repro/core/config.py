@@ -36,9 +36,11 @@ class VeriBugConfig:
             normalized norm-1 distance between Ft and Ct (paper: 0.10).
         seed: RNG seed for parameter initialization and shuffling.
         sim_engine: Default simulation engine for pipelines built from
-            this config: "compiled" (instruction-stream engine) or
-            "interpreted" (reference tree walker).  An explicitly
-            provided :class:`~repro.pipeline.CorpusSpec` or
+            this config: "auto" (lockstep vector engine for multi-trace
+            suites, compiled scalar otherwise), "vector", "compiled"
+            (instruction-stream engine), or "interpreted" (reference
+            tree walker).  An explicitly provided
+            :class:`~repro.pipeline.CorpusSpec` or
             :class:`~repro.sim.TestbenchConfig` takes precedence.
     """
 
@@ -54,7 +56,7 @@ class VeriBugConfig:
     batch_size: int = 64
     suspicious_threshold: float = 0.10
     seed: int = 0
-    sim_engine: str = "compiled"
+    sim_engine: str = "auto"
 
     @property
     def operand_dim(self) -> int:

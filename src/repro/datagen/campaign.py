@@ -148,19 +148,33 @@ def _simulate_mutant(
 
     all_outputs = module.outputs
 
+    def classify_one(trace: Trace, golden_trace: Trace) -> None:
+        if trace.diverges_from(golden_trace, signals=[target]):
+            trace.is_failure = True
+            failing.append(trace)
+        elif not trace.diverges_from(golden_trace, signals=all_outputs):
+            correct.append(trace)
+        # Traces failing only at non-target outputs are dropped.
+
     def classify(stims, goldens) -> bool:
-        for stim, golden_trace in zip(stims, goldens):
-            try:
-                trace = simulator.run(stim)
-            except SimulationError as exc:
-                outcome.error = str(exc)
-                return False
-            if trace.diverges_from(golden_trace, signals=[target]):
-                trace.is_failure = True
-                failing.append(trace)
-            elif not trace.diverges_from(golden_trace, signals=all_outputs):
-                correct.append(trace)
-            # Traces failing only at non-target outputs are dropped.
+        try:
+            traces = simulator.run_suite(stims)
+        except SimulationError:
+            # A single oscillating stimulus fails the whole batch (the
+            # vector engine runs the suite in lockstep).  Rerun trace by
+            # trace so classification stops exactly at the offending
+            # stimulus, preserving the partial trace sets the scalar
+            # path always produced.
+            for stim, golden_trace in zip(stims, goldens):
+                try:
+                    trace = simulator.run(stim)
+                except SimulationError as exc:
+                    outcome.error = str(exc)
+                    return False
+                classify_one(trace, golden_trace)
+            return True
+        for trace, golden_trace in zip(traces, goldens):
+            classify_one(trace, golden_trace)
         return True
 
     if not classify(stimuli, golden_traces):

@@ -65,7 +65,9 @@ class CorpusSpec:
         n_cycles: Cycles per testbench.
         test_fraction: Held-out fraction for Table-II-style evaluation.
         rvdg: Generator shape knobs (unused with ``source_dir``).
-        engine: Simulation engine ("compiled" or "interpreted").
+        engine: Simulation engine ("auto", "vector", "compiled", or
+            "interpreted").  The default "auto" batches each design's
+            testbench suite onto the lockstep vector engine.
         n_workers: When > 0, simulate designs on a process pool of this
             size; results are bit-identical to the sequential path because
             every design's testbench seed is derived from its index.
@@ -80,7 +82,7 @@ class CorpusSpec:
     n_cycles: int = 25
     test_fraction: float = 0.2
     rvdg: RVDGConfig = field(default_factory=RVDGConfig)
-    engine: str = "compiled"
+    engine: str = "auto"
     n_workers: int = 0
     source_dir: str | None = None
 

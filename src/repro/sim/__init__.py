@@ -1,10 +1,12 @@
 """Simulation substrate: values, evaluator, compiler, simulator, traces.
 
 Replaces the commercial/open simulator the paper relies on, with the
-statement-level instrumentation VeriBug needs built in.  Two engines are
-provided: the default compiled engine (AST lowered once to an instruction
-stream, executed by a tight dispatch loop) and the original tree-walking
-interpreter, kept as the reference oracle.
+statement-level instrumentation VeriBug needs built in.  Three engines
+are provided: the default compiled engine (AST lowered once to an
+instruction stream, executed by a tight dispatch loop), the lockstep
+vector engine (whole testbench suites executed at once over numpy lane
+vectors), and the original tree-walking interpreter, kept as the
+reference oracle.
 """
 
 from .compiler import (
@@ -16,7 +18,13 @@ from .compiler import (
 )
 from .evaluator import Evaluator
 from .recorder import ExecutionRecorder
-from .simulator import ENGINES, SimulationError, Simulator
+from .simulator import (
+    ENGINES,
+    SimulationError,
+    Simulator,
+    engine_stats,
+    reset_engine_stats,
+)
 from .testbench import (
     TestbenchConfig,
     generate_stimulus,
@@ -26,6 +34,7 @@ from .testbench import (
     random_value,
 )
 from .trace import ExecutionColumns, StatementExecution, Trace
+from .vector import VectorEvaluator, VectorRecorder, run_vector_suite, vectorizable
 
 __all__ = [
     "ENGINES",
@@ -39,12 +48,18 @@ __all__ = [
     "StatementExecution",
     "TestbenchConfig",
     "Trace",
+    "VectorEvaluator",
+    "VectorRecorder",
     "clear_compile_cache",
     "compile_cache_stats",
     "compile_module",
+    "engine_stats",
     "generate_stimulus",
     "generate_testbench_suite",
     "identify_clock",
     "identify_reset",
     "random_value",
+    "reset_engine_stats",
+    "run_vector_suite",
+    "vectorizable",
 ]

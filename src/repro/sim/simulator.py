@@ -25,7 +25,7 @@ during the run; the trace's record list is a lazy view over the columns.
 Combinational statements keep only the record of the final (settled)
 evaluation pass of the cycle.
 
-Two execution engines implement this schedule:
+Three execution engines implement this schedule:
 
 * ``"compiled"`` (default) — the module is lowered once by
   :mod:`repro.sim.compiler` into a flat instruction stream executed by a
@@ -34,6 +34,14 @@ Two execution engines implement this schedule:
 * ``"interpreted"`` — the original recursive tree walk over the AST,
   kept as the reference oracle; the compiled engine is trace-identical
   to it (enforced by differential tests).
+* ``"vector"`` — the lockstep suite engine (:mod:`repro.sim.vector`):
+  :meth:`Simulator.run_suite` executes all traces of a suite at once
+  over numpy lane vectors; single :meth:`Simulator.run` calls use the
+  compiled scalar path.  Designs with >63-bit signals fall back
+  per-design to the compiled scalar engine.
+
+``"auto"`` picks per call: vector for multi-trace suites when the
+design fits 63-bit lanes, compiled scalar otherwise.
 """
 
 from __future__ import annotations
@@ -60,7 +68,29 @@ class SimulationError(Exception):
 
 
 #: Engines accepted by :class:`Simulator`.
-ENGINES = ("compiled", "interpreted")
+ENGINES = ("compiled", "interpreted", "vector", "auto")
+
+#: Cumulative per-engine execution counters (process-wide).  ``runs`` /
+#: ``cycles`` count scalar trace executions; the vector engine counts
+#: suite ``batches``, total ``lanes`` across them, total lane ``cycles``,
+#: and ``scalar_fallbacks`` (suites refused by the 63-bit lane audit).
+_ENGINE_STATS: dict[str, dict[str, int]] = {
+    "compiled": {"runs": 0, "cycles": 0},
+    "interpreted": {"runs": 0, "cycles": 0},
+    "vector": {"batches": 0, "lanes": 0, "cycles": 0, "scalar_fallbacks": 0},
+}
+
+
+def engine_stats() -> dict[str, dict[str, int]]:
+    """Snapshot of the cumulative per-engine execution counters."""
+    return {name: dict(counters) for name, counters in _ENGINE_STATS.items()}
+
+
+def reset_engine_stats() -> None:
+    """Zero the per-engine counters (mainly for tests and benchmarks)."""
+    for counters in _ENGINE_STATS.values():
+        for key in counters:
+            counters[key] = 0
 
 
 class Simulator:
@@ -71,7 +101,9 @@ class Simulator:
             module must not be mutated in place afterwards (the compile
             cache is keyed by object identity); derive modified designs
             via ``clone()``.
-        engine: ``"compiled"`` (default) or ``"interpreted"``.
+        engine: ``"compiled"`` (default), ``"interpreted"``, ``"vector"``,
+            or ``"auto"`` (vector for multi-trace suites when the design
+            fits 63-bit lanes, compiled scalar otherwise).
 
     Example:
         >>> from repro.verilog import parse_module
@@ -91,9 +123,11 @@ class Simulator:
         self.engine = engine
         self.program: CompiledProgram | None = None
         self.compiled: CompiledEvaluator | None = None
-        if engine == "compiled":
+        if engine != "interpreted":
             # The compiled program carries widths, operands, and lvalue
             # metadata itself; none of the interpreter state is needed.
+            # The vector/auto engines share it: single runs stay scalar
+            # and run_suite batches onto repro.sim.vector when it fits.
             self.program = compile_module(module)
             self.compiled = CompiledEvaluator(self.program)
             return
@@ -141,7 +175,7 @@ class Simulator:
         Returns:
             The completed :class:`Trace`.
         """
-        if self.engine == "compiled":
+        if self.engine != "interpreted":
             return self._run_compiled(stimulus, record, env)
         return self._run_interpreted(stimulus, record, env)
 
@@ -153,10 +187,64 @@ class Simulator:
         """Simulate a batch of independent stimuli on one design.
 
         The compiled program, its register file, and per-run buffers are
-        shared across the whole suite, so batched execution amortizes all
-        per-simulator setup.  Traces are returned in stimulus order.
+        shared across the whole suite — the program is compiled exactly
+        once (one cache entry, reused by every trace) and mixed-module
+        suites are rejected up front.  Traces are returned in stimulus
+        order.
+
+        With ``engine="vector"`` (always) or ``engine="auto"`` (for
+        multi-trace suites), the whole suite executes in lockstep on
+        :mod:`repro.sim.vector`; designs with >63-bit signals fall back
+        to the compiled scalar loop.
         """
+        if not stimuli:
+            return []
+        self._check_suite_inputs(stimuli)
+        if self.engine in ("vector", "auto"):
+            # One compile for the whole suite: re-resolving through the
+            # cache must hand back the identical program object, or the
+            # module was mutated/evicted mid-suite and every trace would
+            # silently recompile.
+            program = compile_module(self.module)
+            if program is not self.program:
+                raise SimulationError(
+                    f"module {self.module.name!r} was recompiled mid-suite; "
+                    "modules must not be mutated or evicted from the compile "
+                    "cache after a Simulator is built (derive changed designs "
+                    "via clone())"
+                )
+            if self.engine == "vector" or len(stimuli) > 1:
+                from .vector import run_vector_suite, vectorizable
+
+                if vectorizable(program):
+                    return run_vector_suite(
+                        self.module,
+                        program,
+                        stimuli,
+                        record=record,
+                        max_settle=self.MAX_SETTLE_ITERS,
+                    )
+                _ENGINE_STATS["vector"]["scalar_fallbacks"] += 1
         return [self.run(stimulus, record=record) for stimulus in stimuli]
+
+    def _check_suite_inputs(self, stimuli: list[list[dict[str, int]]]) -> None:
+        """Reject suites whose stimuli drive signals not in this module.
+
+        A suite is a batch of traces of *one* design; a stimulus written
+        for a different module fails here with the offending trace named
+        instead of erroring (or worse, recompiling) partway through.
+        """
+        known = self.module.decls
+        for index, stimulus in enumerate(stimuli):
+            for frame in stimulus:
+                for name in frame:
+                    if name not in known:
+                        raise SimulationError(
+                            f"stimulus drives unknown input {name!r} "
+                            f"(suite trace {index} does not belong to design "
+                            f"{self.module.name!r}; mixed-module suites are "
+                            "not supported)"
+                        )
 
     # ------------------------------------------------------------------
     # Compiled engine
@@ -182,6 +270,9 @@ class Simulator:
         outputs = program.output_slots
         pending: list[tuple[int, int]] = []
         recorder = ExecutionRecorder(program.shapes) if record else None
+        stats = _ENGINE_STATS["compiled"]
+        stats["runs"] += 1
+        stats["cycles"] += len(stimulus)
 
         for cycle, frame in enumerate(stimulus):
             for name, value in frame.items():
@@ -248,6 +339,9 @@ class Simulator:
         widths = {n: d.width for n, d in self.module.decls.items()}
         outputs = self.module.outputs
         recorder = ExecutionRecorder(self._shapes) if record else None
+        stats = _ENGINE_STATS["interpreted"]
+        stats["runs"] += 1
+        stats["cycles"] += len(stimulus)
 
         for cycle, frame in enumerate(stimulus):
             for name, value in frame.items():

@@ -13,6 +13,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..verilog.ast_nodes import Module
 
 #: Input names treated as clocks (never randomized).
@@ -46,7 +48,15 @@ class TestbenchConfig:
         biases: Input name -> per-bit one-probability override (used to
             make rare events such as address matches reachable).
         engine: Simulation engine used by consumers that build simulators
-            from this config: "compiled" (default) or "interpreted".
+            from this config: "auto" (default; lockstep vector engine for
+            multi-trace suites, compiled scalar otherwise), "vector",
+            "compiled", or "interpreted".
+        stimulus_rng: Random-draw backend — "numpy" (default; the whole
+            trace's entropy is drawn in one bulk ``random_sample`` call)
+            or "legacy" (one ``random.Random.random()`` call per bit).
+            Both are bit-identical: the numpy path transplants the
+            MT19937 state of ``random.Random(seed)``, so it replays the
+            exact float stream the legacy path consumes.
     """
 
     # Not a test class despite the Test* name (silences pytest collection).
@@ -58,7 +68,8 @@ class TestbenchConfig:
     one_probability: float = 0.5
     forced: dict[str, int] = field(default_factory=dict)
     biases: dict[str, float] = field(default_factory=dict)
-    engine: str = "compiled"
+    engine: str = "auto"
+    stimulus_rng: str = "numpy"
 
 
 def identify_clock(module: Module) -> str | None:
@@ -86,6 +97,38 @@ def random_value(width: int, rng: random.Random, one_probability: float = 0.5) -
     return value
 
 
+#: Stimulus RNG backends accepted by :class:`TestbenchConfig`.
+STIMULUS_RNGS = ("numpy", "legacy")
+
+
+def _replay_stream(seed: int, n: int) -> list[float]:
+    """The first ``n`` floats ``random.Random(seed).random()`` would yield.
+
+    Both RNGs are MT19937; transplanting the freshly-seeded state of
+    ``random.Random`` into a ``numpy.random.RandomState`` replays the
+    identical float stream (CPython seeds via ``init_by_array``, which
+    numpy only applies to multi-word keys — so the state itself is
+    copied rather than the seed).  Returned as a plain list: indexing
+    Python floats beats per-draw generator calls and per-value numpy
+    slicing at testbench widths.
+    """
+    if n <= 0:
+        return []
+    key = random.Random(seed).getstate()[1]
+    global _NP_STATE
+    if _NP_STATE is None:
+        # Constructing a RandomState draws OS entropy; reuse one and
+        # overwrite its state per call (the transplant makes every draw
+        # a pure function of ``seed`` regardless of prior use).
+        _NP_STATE = np.random.RandomState()
+    _NP_STATE.set_state(("MT19937", np.array(key[:624], dtype=np.uint32), key[624]))
+    return _NP_STATE.random_sample(n).tolist()
+
+
+#: Shared RandomState used purely as an MT19937 replay engine.
+_NP_STATE: np.random.RandomState | None = None
+
+
 def generate_stimulus(
     module: Module,
     config: TestbenchConfig | None = None,
@@ -100,22 +143,48 @@ def generate_stimulus(
     Args:
         module: The design to stimulate.
         config: Generation knobs; defaults to :class:`TestbenchConfig`.
-        seed: RNG seed; the same seed always yields the same stimulus.
+        seed: RNG seed; the same seed always yields the same stimulus,
+            regardless of the ``stimulus_rng`` backend.
 
     Returns:
         A list of ``config.n_cycles`` dicts, each driving every input.
     """
     config = config or TestbenchConfig()
-    rng = random.Random(seed)
+    if config.stimulus_rng not in STIMULUS_RNGS:
+        raise ValueError(
+            f"unknown stimulus_rng {config.stimulus_rng!r};"
+            f" expected one of {STIMULUS_RNGS}"
+        )
     clock = identify_clock(module)
     reset = identify_reset(module)
-    widths = {name: module.decls[name].width for name in module.inputs}
+    inputs = list(module.inputs)
+    widths = {name: module.decls[name].width for name in inputs}
+
+    rng: random.Random | None = None
+    draws: list[float] = []
+    cursor = 0
+    if config.stimulus_rng == "legacy":
+        rng = random.Random(seed)
+    else:
+        # Bulk-draw an upper bound on the entropy the trace can consume
+        # (per cycle and randomized input: one hold decision plus one
+        # float per bit) and walk it with a cursor in the exact order
+        # the legacy path would call ``rng.random()``.
+        randomized = [
+            name
+            for name in inputs
+            if name != clock
+            and (reset is None or name != reset[0])
+            and name not in config.forced
+        ]
+        bound = config.n_cycles * sum(1 + widths[name] for name in randomized)
+        draws = _replay_stream(seed, bound)
 
     frames: list[dict[str, int]] = []
     previous: dict[str, int] = {}
     for cycle in range(config.n_cycles):
         frame: dict[str, int] = {}
-        for name in module.inputs:
+        for name in inputs:
             if name == clock:
                 frame[name] = 0
                 continue
@@ -126,11 +195,25 @@ def generate_stimulus(
             if name in config.forced:
                 frame[name] = config.forced[name]
                 continue
-            if name in previous and rng.random() < config.hold_probability:
-                frame[name] = previous[name]
-            else:
-                density = config.biases.get(name, config.one_probability)
-                frame[name] = random_value(widths[name], rng, density)
+            density = config.biases.get(name, config.one_probability)
+            if rng is not None:
+                if name in previous and rng.random() < config.hold_probability:
+                    frame[name] = previous[name]
+                else:
+                    frame[name] = random_value(widths[name], rng, density)
+                continue
+            if name in previous:
+                hold = draws[cursor] < config.hold_probability
+                cursor += 1
+                if hold:
+                    frame[name] = previous[name]
+                    continue
+            value = 0
+            for i in range(widths[name]):
+                if draws[cursor + i] < density:
+                    value |= 1 << i
+            cursor += widths[name]
+            frame[name] = value
         previous = frame
         frames.append(frame)
     return frames

@@ -1,0 +1,1385 @@
+"""Lockstep vectorized execution of whole testbench suites.
+
+Every workload above the simulator — campaign golden/mutant runs, corpus
+generation, both benchmarks — simulates a *suite* of independent traces
+of one :class:`~repro.sim.compiler.CompiledProgram`.  The scalar engine
+pays the Python dispatch loop once per trace per cycle; this module pays
+it once per *suite* per cycle with SWAR (SIMD-within-a-register) over
+Python big ints: every virtual register and every signal slot becomes a
+single arbitrary-precision integer packing N 64-bit lanes (one lane per
+trace), and each compiled instruction stream is translated once per
+program into a straight-line Python function of a handful of big-int
+expressions per opcode.
+
+Lane values occupy the low 63 bits of their field; bit 63 is a guard
+bit that carry/borrow tricks exploit:
+
+* ``ADD``: per-lane sums stay below ``2**64``, so a plain ``+`` cannot
+  carry across lanes; masking restores the guard.
+* ``SUB``: ``(a | H) - b`` biases every lane by ``2**63`` so no lane
+  borrows; the low bits are exactly ``(a - b) mod 2**63``.
+* Compares: ``((x | H) - L) & H`` leaves the guard bit set exactly in
+  the nonzero lanes, one subtraction for all N traces at once.
+* Predication masks expand a boolean lane bit to a full 64-bit field
+  via ``(H - c) ^ H``.
+
+Control flow is handled by predication over the compiler's forward-only
+jumps.  Translated streams carry a runtime ``act`` mask (a packed
+full-field lane mask): a taken ``JZ``/``JNZ``/``JMP`` clears the taking
+lanes out of ``act`` into a per-jump join mask, and the join mask is
+OR-ed back in at the jump target.  Register writes run unmasked for all
+lanes — safe because lowering is SSA-ish (every op writes a fresh
+register and no jump target separates a register write from its readers,
+so a rejoining lane only ever reads registers computed on its own path).
+Only the effects — environment stores, non-blocking appends, record
+appends — consult the active mask.  Ragged suites (traces of unequal
+length) reuse the same mechanism: lanes past their last cycle are simply
+absent from the cycle's alive mask.
+
+Recording is batched: a ``RECORD`` appends one event holding the shape
+slot and the packed lhs/operand lane values plus the active mask.
+:meth:`VectorRecorder.finish` bulk-converts the event log to numpy
+matrices (one ``to_bytes`` pass, no per-value boxing) and splits it into
+one per-lane :class:`~repro.sim.trace.ExecutionColumns`, byte-equivalent
+(dtypes included) to what the scalar :class:`ExecutionRecorder` produces
+for the same trace — the differential tests in ``tests/test_vector.py``
+enforce equality down to the array dtype.
+
+Lanes are 63 bits wide: every simulated value must stay a nonnegative
+``int64`` on the wire.  :func:`vectorizable` audits a program's declared
+widths and a conservative per-register width bound over every
+instruction stream; designs that can overflow a lane fall back
+per-design to the compiled scalar engine (``Simulator.run_suite``
+handles the dispatch).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Callable
+
+import numpy as np
+
+from ..verilog.ast_nodes import Module
+from .compiler import (
+    ADD,
+    AND,
+    BITSEL,
+    CONST,
+    DIV,
+    EQ,
+    GE,
+    GT,
+    JMP,
+    JNZ,
+    JZ,
+    LAND,
+    LE,
+    LNOT,
+    LOAD,
+    LOR,
+    LT,
+    MASK,
+    MOD,
+    MUL,
+    NBA,
+    NE,
+    NEG,
+    NOT,
+    OR,
+    PARTSEL,
+    RAND,
+    RECORD,
+    REPL,
+    RNAND,
+    RNOR,
+    RNXOR,
+    ROR,
+    RXOR,
+    SELECT,
+    SHL,
+    SHLOR,
+    SHR,
+    STORE,
+    STOREBIT,
+    STOREPART,
+    SUB,
+    XNOR,
+    XOR,
+    CompiledProgram,
+    _W_BIT,
+    _W_NAME,
+    _W_PART,
+)
+from .recorder import ShapeRow
+from .trace import ExecutionColumns, Trace, _LazyExecutions
+
+#: Maximum signal/register width a lane can carry: values must stay
+#: nonnegative in an ``int64``, so 63 bits.
+_LANE_BITS = 63
+_LANE_MASK = (1 << _LANE_BITS) - 1
+_M64 = (1 << 64) - 1
+
+_I32_MIN = np.iinfo(np.int32).min
+_I32_MAX = np.iinfo(np.int32).max
+
+_JUMP_OPS = (JZ, JNZ, JMP)
+
+
+# ----------------------------------------------------------------------
+# Wide-value audit
+# ----------------------------------------------------------------------
+
+
+def _stream_fits(code: tuple[tuple, ...], slot_widths: tuple[int, ...]) -> bool:
+    """Conservative per-register width audit of one instruction stream.
+
+    Walks the stream linearly (jumps are forward-only, so every register
+    is written before it is read in stream order) tracking an upper
+    bound on each register's bit width.  Returns False as soon as any
+    register value or instruction constant could exceed ``_LANE_BITS``
+    bits — the caller then falls back to the scalar engine.
+    """
+    w: dict[int, int] = {}
+    for ins in code:
+        op = ins[0]
+        if op == LOAD:
+            width = slot_widths[ins[2]]
+        elif op == CONST:
+            width = int(ins[2]).bit_length()
+        elif op in (AND, OR, XOR):
+            width = max(w.get(ins[2], 0), w.get(ins[3], 0))
+        elif op == SELECT:
+            width = max(w.get(ins[3], 0), w.get(ins[4], 0))
+        elif op in (NOT, NEG, MASK):
+            width = int(ins[3]).bit_length()
+        elif op in (ADD, SUB, MUL, DIV, MOD, SHL, XNOR, PARTSEL):
+            width = int(ins[4]).bit_length()
+        elif op == SHR:
+            width = w.get(ins[2], 0)
+        elif op == SHLOR:
+            width = w.get(ins[2], 0) + ins[3]
+        elif op == REPL:
+            width = w.get(ins[2], 0) + int(ins[3]).bit_length()
+        elif op in (RAND, RNAND):
+            # 1-bit result, but the reduction mask constant itself must
+            # fit a lane to be a legal SWAR operand.
+            if int(ins[3]).bit_length() > _LANE_BITS:
+                return False
+            width = 1
+        elif op in (
+            EQ, NE, LT, LE, GT, GE, LNOT, LAND, LOR,
+            ROR, RXOR, RNOR, RNXOR, BITSEL,
+        ):
+            width = 1
+        else:
+            # Stores, jumps, RECORD, NBA: no register result.  Their
+            # slot masks are covered by the declared-width check.
+            continue
+        if width > _LANE_BITS:
+            return False
+        w[ins[1]] = width
+    return True
+
+
+def vectorizable(program: CompiledProgram) -> bool:
+    """True when every value in ``program`` provably fits a 63-bit lane.
+
+    Checks all declared signal widths plus a per-register width bound
+    over every instruction stream (including non-blocking writers'
+    dynamic index expressions).  The audit is cached per program.
+    """
+    cached = _VEC_OK.get(id(program))
+    if cached is not None and cached[0]() is program:
+        return cached[1]
+    ok = _audit(program)
+    key = id(program)
+    ref = weakref.ref(program, lambda _r, _k=key: _VEC_OK.pop(_k, None))
+    _VEC_OK[key] = (ref, ok)
+    return ok
+
+
+_VEC_OK: dict[int, tuple] = {}
+
+
+def _audit(program: CompiledProgram) -> bool:
+    if any(width > _LANE_BITS for width in program.widths):
+        return False
+    streams = [
+        program.comb_fast,
+        program.comb_rec,
+        program.seq_fast,
+        program.seq_rec,
+    ]
+    for writer in program.nba_writers:
+        if writer[0] == _W_BIT:  # dynamic index re-executed at commit
+            streams.append(writer[3])
+    return all(_stream_fits(code, program.widths) for code in streams)
+
+
+# ----------------------------------------------------------------------
+# Lane context and per-lane helper closures
+# ----------------------------------------------------------------------
+
+#: n -> (ones, L, H, ALL): the lane-replication multiplier, the bit-0
+#: lane mask, the guard-bit mask, and the all-bits mask.
+_CTX: dict[int, tuple[int, int, int, int]] = {}
+
+
+def _lane_ctx(n: int) -> tuple[int, int, int, int]:
+    ctx = _CTX.get(n)
+    if ctx is None:
+        ones = ((1 << (64 * n)) - 1) // _M64 if n else 0
+        ctx = _CTX[n] = (ones, ones, ones << 63, (1 << (64 * n)) - 1)
+    return ctx
+
+
+_HELPERS: dict[int, dict[str, Callable]] = {}
+
+
+def _helpers(n: int) -> dict[str, Callable]:
+    """Per-lane fallback closures for ops SWAR cannot express.
+
+    ``MUL``/``DIV``/``MOD`` and variable-count shifts/bit-selects need a
+    per-lane Python loop: a product can exceed the lane field before the
+    result mask is applied, and shift counts differ per lane.  Each
+    helper replicates the scalar engine's exact semantics lane by lane.
+    """
+    helpers = _HELPERS.get(n)
+    if helpers is not None:
+        return helpers
+    shifts = tuple(i << 6 for i in range(n))
+
+    def _mulv(a: int, b: int, m: int) -> int:
+        r = 0
+        for s in shifts:
+            r |= ((((a >> s) & _M64) * ((b >> s) & _M64)) & m) << s
+        return r
+
+    def _divv(a: int, b: int, m: int) -> int:
+        r = 0
+        for s in shifts:
+            bv = (b >> s) & _M64
+            if bv:
+                r |= ((((a >> s) & _M64) // bv) & m) << s
+        return r
+
+    def _modv(a: int, b: int, m: int) -> int:
+        r = 0
+        for s in shifts:
+            bv = (b >> s) & _M64
+            if bv:
+                r |= ((((a >> s) & _M64) % bv) & m) << s
+        return r
+
+    def _shlv(a: int, b: int, m: int) -> int:
+        r = 0
+        for s in shifts:
+            sh = (b >> s) & _M64
+            if sh < 64:
+                r |= ((((a >> s) & _M64) << sh) & m) << s
+        return r
+
+    def _shrv(a: int, b: int) -> int:
+        r = 0
+        for s in shifts:
+            sh = (b >> s) & _M64
+            if sh < _LANE_BITS:
+                r |= (((a >> s) & _M64) >> sh) << s
+        return r
+
+    def _bitselv(a: int, b: int) -> int:
+        r = 0
+        for s in shifts:
+            sh = (b >> s) & _M64
+            if sh < _LANE_BITS:
+                r |= (((a >> s) >> sh) & 1) << s
+        return r
+
+    def _storebitv(row: int, src: int, idx: int, fm: int) -> int:
+        r = 0
+        for s in shifts:
+            cur = (row >> s) & fm
+            i = (idx >> s) & _M64
+            if i > 64:
+                i = 64
+            cur = (cur & ~(1 << i)) | (((src >> s) & 1) << i)
+            r |= (cur & fm) << s
+        return r
+
+    helpers = _HELPERS[n] = {
+        "_mulv": _mulv,
+        "_divv": _divv,
+        "_modv": _modv,
+        "_shlv": _shlv,
+        "_shrv": _shrv,
+        "_bitselv": _bitselv,
+        "_storebitv": _storebitv,
+    }
+    return helpers
+
+
+# ----------------------------------------------------------------------
+# Vectorized recorder
+# ----------------------------------------------------------------------
+
+
+def _unpack(values: list[int], n: int) -> np.ndarray:
+    """Bulk-convert packed lane ints to an ``(len(values), n)`` matrix.
+
+    One bytes join plus one zero-copy ``frombuffer`` instead of a numpy
+    conversion per value; lane data is < 2**63 so the signed view is
+    exact (full-field mask lanes read back as -1, which is all callers
+    need for the truthiness test).
+    """
+    nbytes = n * 8
+    buf = b"".join(v.to_bytes(nbytes, "little") for v in values)
+    return np.frombuffer(buf, dtype="<i8").reshape(len(values), n)
+
+
+class _VectorPass:
+    """Staging sink for one instrumented comb pass over all lanes."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        #: ``(slot, lhs, ops, active)`` per record event; lhs/ops/active
+        #: are packed lane ints (``active`` None means all lanes).
+        self.events: list[tuple] = []
+
+    def append(self, slot: int, cycle: int, lhs: int, ops: tuple, active) -> None:
+        self.events.append((slot, lhs, ops, active))
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class VectorRecorder:
+    """Batched execution recording for all lanes of one suite.
+
+    Events mirror the scalar :class:`ExecutionRecorder` protocol — comb
+    passes stage and dedup per statement (:meth:`begin_pass` /
+    :meth:`commit_pass`), clock-edge records append directly — except
+    each event carries packed per-lane values plus the active-lane mask.
+    :meth:`finish` splits the log into one per-lane
+    :class:`ExecutionColumns`, byte-identical to what the scalar
+    recorder produces for that lane's trace.
+    """
+
+    __slots__ = ("shapes", "n_lanes", "events", "_stage", "_all")
+
+    def __init__(self, shapes: tuple[ShapeRow, ...], n_lanes: int):
+        self.shapes = shapes
+        self.n_lanes = n_lanes
+        #: ``(slot, cycle, lhs, ops, active)`` per event; lhs, each op,
+        #: and active are packed lane ints (active None == all lanes).
+        self.events: list[tuple] = []
+        self._stage: _VectorPass | None = None
+        self._all = _lane_ctx(n_lanes)[3]
+
+    def append(self, slot: int, cycle: int, lhs: int, ops: tuple, active) -> None:
+        """Direct (clock-edge) record append, in execution order."""
+        self.events.append((slot, cycle, lhs, ops, active))
+
+    # -- combinational settle passes -----------------------------------
+    def begin_pass(self) -> _VectorPass:
+        stage = self._stage
+        if stage is None:
+            stage = self._stage = _VectorPass()
+        else:
+            stage.clear()
+        return stage
+
+    def commit_pass(self, cycle: int) -> None:
+        """Fold the staged comb pass into the event log.
+
+        Keeps the *last* staged record per statement per lane and
+        appends the survivors ordered by statement id — the settled-
+        value dedup the scalar recorder applies per trace.
+        """
+        stage = self._stage
+        if stage is None or not stage.events:
+            return
+        shapes = self.shapes
+        latest: dict[int, tuple] = {}
+        for event in stage.events:
+            slot = event[0]
+            prev = latest.get(slot)
+            latest[slot] = event if prev is None else self._merge(prev, event)
+        for slot in sorted(latest, key=lambda s: shapes[s][0]):
+            _, lhs, ops, active = latest[slot]
+            self.events.append((slot, cycle, lhs, ops, active))
+        stage.clear()
+
+    def _merge(self, old: tuple, new: tuple) -> tuple:
+        """Lane-wise keep-last of two staged events for one statement."""
+        na = new[3]
+        if na is None:
+            return new
+        inv = na ^ self._all
+        lhs = (new[1] & na) | (old[1] & inv)
+        ops = tuple((nv & na) | (ov & inv) for ov, nv in zip(old[2], new[2]))
+        active = None if old[3] is None else (old[3] | na)
+        return (new[0], lhs, ops, active)
+
+    # -- finalization --------------------------------------------------
+    def finish(self) -> list[ExecutionColumns]:
+        """One :class:`ExecutionColumns` per lane, scalar-byte-identical.
+
+        Bulk-converts the event log into ``(E, N)`` matrices, selects
+        each lane's active rows, and applies exactly the scalar
+        recorder's first-use shape-table compaction and dtype narrowing.
+        """
+        n = self.n_lanes
+        events = self.events
+        if not events:
+            return [_empty_columns() for _ in range(n)]
+        count = len(events)
+        all_mask = self._all
+        shapes = self.shapes
+        slots = np.fromiter((e[0] for e in events), np.int64, count)
+        cycles = np.fromiter((e[1] for e in events), np.int64, count)
+        lhs = _unpack([e[2] for e in events], n)
+        flat = [value for e in events for value in e[3]]
+        ops = _unpack(flat, n) if flat else np.zeros((0, n), dtype=np.int64)
+
+        if all(e[4] is None for e in events):
+            # Uniform fast path: every event covers every lane, so the
+            # first-use compaction is lane-independent — compute it once
+            # and only narrow the per-lane value columns.
+            used_slots, first_seen = np.unique(slots, return_index=True)
+            used = used_slots[np.argsort(first_seen, kind="stable")]
+            remap = np.zeros(len(shapes), dtype=np.int64)
+            remap[used] = np.arange(used.size)
+            stmt_slots = remap[slots].astype(np.int32)
+            stmt_table = [shapes[slot] for slot in used.tolist()]
+            cycles32 = cycles.astype(np.int32)
+            return [
+                ExecutionColumns(
+                    stmt_table,
+                    stmt_slots,
+                    cycles32,
+                    _narrow(lhs[:, lane]),
+                    _narrow(ops[:, lane]),
+                )
+                for lane in range(n)
+            ]
+
+        active = (
+            _unpack([e[4] if e[4] is not None else all_mask for e in events], n)
+            != 0
+        )
+        op_counts = np.fromiter((len(e[3]) for e in events), np.int64, count)
+        row_active = (
+            np.repeat(active, op_counts, axis=0)
+            if flat
+            else np.zeros((0, n), dtype=bool)
+        )
+
+        columns: list[ExecutionColumns] = []
+        for lane in range(n):
+            mask = active[:, lane]
+            lane_slots = slots[mask]
+            if not lane_slots.size:
+                columns.append(_empty_columns())
+                continue
+            used_slots, first_seen = np.unique(lane_slots, return_index=True)
+            used = used_slots[np.argsort(first_seen, kind="stable")]
+            remap = np.zeros(len(shapes), dtype=np.int64)
+            remap[used] = np.arange(used.size)
+            columns.append(
+                ExecutionColumns(
+                    [shapes[slot] for slot in used.tolist()],
+                    remap[lane_slots].astype(np.int32),
+                    cycles[mask].astype(np.int32),
+                    _narrow(lhs[mask, lane]),
+                    _narrow(ops[row_active[:, lane], lane]),
+                )
+            )
+        return columns
+
+
+def _narrow(column: np.ndarray) -> np.ndarray:
+    """int64 -> int32 narrowing, mirroring ``ExecutionColumns._column``."""
+    if column.size and column.min() >= _I32_MIN and column.max() <= _I32_MAX:
+        return column.astype(np.int32)
+    return column
+
+
+def _empty_columns() -> ExecutionColumns:
+    """The columns an empty scalar recorder finishes to, dtypes included."""
+    return ExecutionColumns(
+        [],
+        np.zeros(0, dtype=np.int32),
+        np.asarray([], dtype=np.int32),
+        np.asarray([], dtype=np.int64),
+        np.asarray([], dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Stream translation: compiled instruction streams -> Python source
+# ----------------------------------------------------------------------
+
+
+class _StreamEmitter:
+    """Translates one compiled instruction stream into SWAR Python source.
+
+    The generated ``_pass(env, cycle, sink, pending, lanes, nlanes,
+    full)`` function reads every touched environment slot into a local
+    (``e3 = env[3]``), runs the stream as straight-line big-int
+    expressions over packed lane values, and writes stored slots back at
+    the end.  Registers are plain locals (SSA within a stream); constant
+    registers fold at translate time with the scalar engine's exact
+    semantics, and remaining constants become symbolic ``K`` globals so
+    the compiled code object is lane-count independent (the binder
+    replicates each constant across lanes).
+
+    Jumpy streams maintain a runtime ``act``/``nact`` mask pair; each
+    taken jump moves the taking lanes into a fresh join mask that is
+    OR-ed back into ``act`` at the jump target (jumps are forward-only,
+    so every join mask is assigned before its target is reached).
+    """
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        code: tuple[tuple, ...],
+        result_reg: int | None = None,
+    ):
+        self.program = program
+        self.code = code
+        self.result_reg = result_reg
+        self.lines: list[str] = []
+        #: reg -> ("a", source name) | ("l", folded lane constant)
+        self.rv: dict[int, tuple] = {}
+        #: Registers known to hold 0/1 in every lane's bit 0.
+        self.bools: set[int] = set()
+        #: lane constant value -> symbolic K name.
+        self.consts: dict[int, str] = {}
+        self.jumpy = any(ins[0] in _JUMP_OPS for ins in code)
+        #: jump target ip -> join mask variable names.
+        self.joins: dict[int, list[str]] = {}
+        self.reads: set[int] = set()
+        self.writes: set[int] = set()
+        self._jn = 0
+
+    # -- helpers --------------------------------------------------------
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def K(self, value: int) -> str:
+        """Symbolic name for a lane constant (replicated at bind time)."""
+        if value == 0:
+            return "0"
+        if value == 1:
+            return "L"
+        name = self.consts.get(value)
+        if name is None:
+            name = self.consts[value] = f"K{len(self.consts)}"
+        return name
+
+    def ref(self, reg: int) -> str:
+        kind, value = self.rv[reg]
+        return value if kind == "a" else self.K(value)
+
+    def lit(self, reg: int) -> int | None:
+        kind, value = self.rv[reg]
+        return value if kind == "l" else None
+
+    def is_bool(self, reg: int) -> bool:
+        if reg in self.bools:
+            return True
+        lv = self.lit(reg)
+        return lv is not None and lv in (0, 1)
+
+    def set_reg(self, dst: int, expr: str, bool_result: bool = False) -> None:
+        self.emit(f"r{dst} = {expr}")
+        self.rv[dst] = ("a", f"r{dst}")
+        if bool_result:
+            self.bools.add(dst)
+
+    def alias(self, dst: int, src: int) -> None:
+        self.rv[dst] = self.rv[src]
+        if self.is_bool(src):
+            self.bools.add(dst)
+
+    # -- SWAR expression builders ---------------------------------------
+    def nz(self, x: str) -> str:
+        """Bool lane bit: 1 in bit 0 of every lane where ``x`` != 0."""
+        return f"((((({x}) | H) - L) & H) >> 63)"
+
+    def boolbit(self, reg: int) -> str:
+        r = self.ref(reg)
+        return r if self.is_bool(reg) else self.nz(r)
+
+    def fieldmask(self, boolexpr: str) -> str:
+        """Expand a bool lane bit to a full-field (64-bit) lane mask."""
+        return f"((H - {boolexpr}) ^ H)"
+
+    def _ge(self, a: str, b: str) -> str:
+        return f"(((({a} | H) - {b}) & H) >> 63)"
+
+    def _lt(self, a: str, b: str) -> str:
+        return f"((((({a} | H) - {b}) ^ H) & H) >> 63)"
+
+    # -- effects --------------------------------------------------------
+    def env_ref(self, slot: int) -> str:
+        self.reads.add(slot)
+        return f"e{slot}"
+
+    def store_env(self, slot: int, expr: str) -> None:
+        self.reads.add(slot)
+        self.writes.add(slot)
+        e = f"e{slot}"
+        if self.jumpy:
+            self.emit(
+                f"{e} = {expr} if act == ALL else"
+                f" (({e} & nact) | (({expr}) & act))"
+            )
+        else:
+            self.emit(
+                f"{e} = {expr} if full else"
+                f" (({e} & nlanes) | (({expr}) & lanes))"
+            )
+
+    def effect_act(self) -> str:
+        """Active-mask expression captured by RECORD/NBA effects.
+
+        All-active effects report ``None`` so the recorder's uniform
+        fast path survives jumpy streams whose lanes never diverged.
+        """
+        if self.jumpy:
+            return "(None if act == ALL else act)"
+        return "(None if full else lanes)"
+
+    def _join_var(self, target: int) -> str:
+        name = f"_j{self._jn}"
+        self._jn += 1
+        self.joins.setdefault(target, []).append(name)
+        return name
+
+    # -- translation ----------------------------------------------------
+    def source(self) -> str:
+        for ip, ins in enumerate(self.code):
+            if self.jumpy and ip in self.joins:
+                names = " | ".join(self.joins[ip])
+                self.emit(f"act = act | {names}")
+                self.emit("nact = act ^ ALL")
+            self._emit_ins(ins)
+        header = ["def _pass(env, cycle, sink, pending, lanes, nlanes, full):"]
+        for slot in sorted(self.reads | self.writes):
+            header.append(f"    e{slot} = env[{slot}]")
+        if self.jumpy:
+            header.append("    act = lanes")
+            header.append("    nact = nlanes")
+        footer = [f"    env[{slot}] = e{slot}" for slot in sorted(self.writes)]
+        if self.result_reg is not None:
+            footer.append(f"    return {self.ref(self.result_reg)}")
+        lines = header + self.lines + footer
+        if len(lines) == 1:
+            lines.append("    pass")
+        return "\n".join(lines) + "\n"
+
+    def _emit_ins(self, ins: tuple) -> None:  # noqa: C901 - opcode dispatch
+        op = ins[0]
+        rv = self.rv
+        if op == LOAD:
+            # Env locals are invariantly masked: alias, don't copy.
+            slot = ins[2]
+            self.reads.add(slot)
+            rv[ins[1]] = ("a", f"e{slot}")
+            if self.program.widths[slot] == 1:
+                self.bools.add(ins[1])
+        elif op == STORE:
+            self.store_env(ins[1], self.ref(ins[2]))
+        elif op == CONST:
+            rv[ins[1]] = ("l", ins[2])
+        elif op in (AND, OR, XOR):
+            la, lb = self.lit(ins[2]), self.lit(ins[3])
+            if la is not None and lb is not None:
+                folded = la & lb if op == AND else la | lb if op == OR else la ^ lb
+                rv[ins[1]] = ("l", folded)
+            else:
+                ch = "&" if op == AND else "|" if op == OR else "^"
+                self.set_reg(
+                    ins[1],
+                    f"{self.ref(ins[2])} {ch} {self.ref(ins[3])}",
+                    bool_result=self.is_bool(ins[2]) and self.is_bool(ins[3]),
+                )
+        elif op == NOT:
+            la = self.lit(ins[2])
+            if la is not None:
+                rv[ins[1]] = ("l", la ^ ins[3])
+            else:
+                # Operand bits are a subset of the mask: ~a & m == a ^ m.
+                self.set_reg(
+                    ins[1],
+                    f"{self.ref(ins[2])} ^ {self.K(ins[3])}",
+                    bool_result=ins[3] == 1,
+                )
+        elif op in (EQ, NE, LT, LE, GT, GE):
+            la, lb = self.lit(ins[2]), self.lit(ins[3])
+            if la is not None and lb is not None:
+                rv[ins[1]] = ("l", int(_COMPARES[op](la, lb)))
+            else:
+                a, b = self.ref(ins[2]), self.ref(ins[3])
+                if op == NE:
+                    expr = self.nz(f"{a} ^ {b}")
+                elif op == EQ:
+                    expr = f"({self.nz(f'{a} ^ {b}')} ^ L)"
+                elif op == GE:
+                    expr = self._ge(a, b)
+                elif op == LE:
+                    expr = self._ge(b, a)
+                elif op == LT:
+                    expr = self._lt(a, b)
+                else:
+                    expr = self._lt(b, a)
+                self.set_reg(ins[1], expr, bool_result=True)
+        elif op == SELECT:
+            lc = self.lit(ins[2])
+            if lc is not None:
+                self.alias(ins[1], ins[3] if lc else ins[4])
+            else:
+                self.emit(f"_m = {self.fieldmask(self.boolbit(ins[2]))}")
+                self.set_reg(
+                    ins[1],
+                    f"({self.ref(ins[3])} & _m) |"
+                    f" ({self.ref(ins[4])} & (_m ^ ALL))",
+                    bool_result=self.is_bool(ins[3]) and self.is_bool(ins[4]),
+                )
+        elif op == RECORD:
+            meta = self.program.metas[ins[1]]
+            parts = []
+            for s, m in meta.fetch:
+                if s >= 0:
+                    self.reads.add(s)
+                    parts.append(f"e{s}")
+                else:
+                    parts.append(self.K(m))
+            ops = f"({', '.join(parts)},)" if parts else "()"
+            self.emit(
+                f"sink.append({ins[1]}, cycle, {self.ref(ins[2])},"
+                f" {ops}, {self.effect_act()})"
+            )
+        elif op == NBA:
+            self.emit(
+                f"pending.append(({ins[1]}, {self.ref(ins[2])},"
+                f" {self.effect_act()}))"
+            )
+        elif op in (ADD, SUB, MUL):
+            la, lb = self.lit(ins[2]), self.lit(ins[3])
+            if la is not None and lb is not None:
+                folded = la + lb if op == ADD else la - lb if op == SUB else la * lb
+                rv[ins[1]] = ("l", folded & ins[4])
+            elif op == ADD:
+                self.set_reg(
+                    ins[1],
+                    f"({self.ref(ins[2])} + {self.ref(ins[3])}) & {self.K(ins[4])}",
+                )
+            elif op == SUB:
+                # Guard-bit bias: no lane borrows, low bits are (a-b) mod 2**63.
+                self.set_reg(
+                    ins[1],
+                    f"(({self.ref(ins[2])} | H) - {self.ref(ins[3])})"
+                    f" & {self.K(ins[4])}",
+                )
+            else:
+                # A product can exceed the lane field pre-mask: per-lane loop.
+                self.set_reg(
+                    ins[1],
+                    f"_mulv({self.ref(ins[2])}, {self.ref(ins[3])}, {ins[4]})",
+                )
+        elif op == LNOT:
+            la = self.lit(ins[2])
+            if la is not None:
+                rv[ins[1]] = ("l", 0 if la else 1)
+            elif self.is_bool(ins[2]):
+                self.set_reg(ins[1], f"{self.ref(ins[2])} ^ L", bool_result=True)
+            else:
+                self.set_reg(
+                    ins[1], f"({self.nz(self.ref(ins[2]))} ^ L)", bool_result=True
+                )
+        elif op in (LAND, LOR):
+            la, lb = self.lit(ins[2]), self.lit(ins[3])
+            if la is not None and lb is not None:
+                truth = (la and lb) if op == LAND else (la or lb)
+                rv[ins[1]] = ("l", 1 if truth else 0)
+            elif la is not None or lb is not None:
+                known, other = (la, ins[3]) if la is not None else (lb, ins[2])
+                if (op == LAND) == bool(known):
+                    # true AND x / false OR x: the result is bool(x).
+                    if self.is_bool(other):
+                        self.alias(ins[1], other)
+                    else:
+                        self.set_reg(
+                            ins[1], self.nz(self.ref(other)), bool_result=True
+                        )
+                else:
+                    rv[ins[1]] = ("l", 0 if op == LAND else 1)
+            else:
+                ch = "&" if op == LAND else "|"
+                self.set_reg(
+                    ins[1],
+                    f"{self.boolbit(ins[2])} {ch} {self.boolbit(ins[3])}",
+                    bool_result=True,
+                )
+        elif op == XNOR:
+            la, lb = self.lit(ins[2]), self.lit(ins[3])
+            if la is not None and lb is not None:
+                rv[ins[1]] = ("l", (la ^ lb) ^ ins[4])
+            else:
+                # Both operands fit the mask: ~(a ^ b) & m == (a ^ b) ^ m.
+                self.set_reg(
+                    ins[1],
+                    f"({self.ref(ins[2])} ^ {self.ref(ins[3])})"
+                    f" ^ {self.K(ins[4])}",
+                    bool_result=ins[4] == 1,
+                )
+        elif op == NEG:
+            la = self.lit(ins[2])
+            if la is not None:
+                rv[ins[1]] = ("l", -la & ins[3])
+            else:
+                # (2**63 - a) mod 2**w == (-a) mod 2**w for w <= 63.
+                self.set_reg(
+                    ins[1], f"(H - {self.ref(ins[2])}) & {self.K(ins[3])}"
+                )
+        elif op in (DIV, MOD):
+            la, lb = self.lit(ins[2]), self.lit(ins[3])
+            if lb is not None and la is not None:
+                folded = ((la // lb if op == DIV else la % lb) if lb else 0)
+                rv[ins[1]] = ("l", folded & ins[4])
+            elif lb == 0:
+                rv[ins[1]] = ("l", 0)
+            else:
+                name = "_divv" if op == DIV else "_modv"
+                self.set_reg(
+                    ins[1],
+                    f"{name}({self.ref(ins[2])}, {self.ref(ins[3])}, {ins[4]})",
+                )
+        elif op == SHL:
+            la, lb = self.lit(ins[2]), self.lit(ins[3])
+            if la is not None and lb is not None:
+                clamped = lb if lb < 64 else 64
+                rv[ins[1]] = ("l", (la << clamped) & ins[4])
+            elif lb is not None:
+                pre = ins[4] >> lb if lb < _LANE_BITS else 0
+                if pre == 0:
+                    rv[ins[1]] = ("l", 0)
+                else:
+                    # Pre-masking keeps every lane's shift inside its field:
+                    # (a & (m >> c)) << c == (a << c) & m.
+                    self.set_reg(
+                        ins[1], f"({self.ref(ins[2])} & {self.K(pre)}) << {lb}"
+                    )
+            else:
+                self.set_reg(
+                    ins[1],
+                    f"_shlv({self.ref(ins[2])}, {self.ref(ins[3])}, {ins[4]})",
+                )
+        elif op == SHR:
+            la, lb = self.lit(ins[2]), self.lit(ins[3])
+            if la is not None and lb is not None:
+                rv[ins[1]] = ("l", la >> (lb if lb < 64 else 64))
+            elif lb is not None:
+                if lb >= _LANE_BITS:
+                    rv[ins[1]] = ("l", 0)
+                else:
+                    # Kept bits sit below 63-c; neighbour-lane bleed sits at
+                    # 64-c and above — the shifted lane mask separates them.
+                    self.set_reg(
+                        ins[1],
+                        f"({self.ref(ins[2])} >> {lb})"
+                        f" & {self.K(_LANE_MASK >> lb)}",
+                    )
+            else:
+                self.set_reg(
+                    ins[1], f"_shrv({self.ref(ins[2])}, {self.ref(ins[3])})"
+                )
+        elif op in (RAND, RNAND):
+            la = self.lit(ins[2])
+            if la is not None:
+                hit = la == ins[3]
+                rv[ins[1]] = ("l", int(hit if op == RAND else not hit))
+            else:
+                ne = self.nz(f"{self.ref(ins[2])} ^ {self.K(ins[3])}")
+                expr = f"({ne} ^ L)" if op == RAND else ne
+                self.set_reg(ins[1], expr, bool_result=True)
+        elif op in (ROR, RNOR):
+            la = self.lit(ins[2])
+            if la is not None:
+                rv[ins[1]] = ("l", int(bool(la) if op == ROR else not la))
+            elif self.is_bool(ins[2]):
+                if op == ROR:
+                    self.alias(ins[1], ins[2])
+                else:
+                    self.set_reg(
+                        ins[1], f"{self.ref(ins[2])} ^ L", bool_result=True
+                    )
+            else:
+                nzx = self.nz(self.ref(ins[2]))
+                expr = nzx if op == ROR else f"({nzx} ^ L)"
+                self.set_reg(ins[1], expr, bool_result=True)
+        elif op in (RXOR, RNXOR):
+            la = self.lit(ins[2])
+            if la is not None:
+                parity = la.bit_count() & 1
+                rv[ins[1]] = ("l", parity if op == RXOR else 1 - parity)
+            elif self.is_bool(ins[2]):
+                if op == RXOR:
+                    self.alias(ins[1], ins[2])
+                else:
+                    self.set_reg(
+                        ins[1], f"{self.ref(ins[2])} ^ L", bool_result=True
+                    )
+            else:
+                # Masked parity fold; each fold halves the live width and
+                # the mask kills neighbour-lane bleed.
+                self.emit(f"_x = {self.ref(ins[2])}")
+                for sh, m in ((32, 0xFFFFFFFF), (16, 0xFFFF), (8, 0xFF),
+                              (4, 0xF), (2, 0x3)):
+                    self.emit(f"_x = (_x ^ (_x >> {sh})) & {self.K(m)}")
+                final = "(_x ^ (_x >> 1)) & L"
+                if op == RNXOR:
+                    final = f"(({final}) ^ L)"
+                self.set_reg(ins[1], final, bool_result=True)
+        elif op == BITSEL:
+            la, li = self.lit(ins[2]), self.lit(ins[3])
+            if la is not None and li is not None:
+                rv[ins[1]] = ("l", (la >> min(li, 64)) & 1)
+            elif li is not None:
+                if li >= _LANE_BITS:
+                    rv[ins[1]] = ("l", 0)
+                else:
+                    self.set_reg(
+                        ins[1],
+                        f"({self.ref(ins[2])} >> {li}) & L",
+                        bool_result=True,
+                    )
+            else:
+                self.set_reg(
+                    ins[1],
+                    f"_bitselv({self.ref(ins[2])}, {self.ref(ins[3])})",
+                    bool_result=True,
+                )
+        elif op == PARTSEL:
+            la = self.lit(ins[2])
+            lsb, field = ins[3], ins[4]
+            if la is not None:
+                rv[ins[1]] = ("l", (la >> min(lsb, 64)) & field)
+            elif lsb >= _LANE_BITS:
+                rv[ins[1]] = ("l", 0)
+            else:
+                eff = field & (_LANE_MASK >> lsb)
+                if eff == 0:
+                    rv[ins[1]] = ("l", 0)
+                else:
+                    base = (
+                        f"({self.ref(ins[2])} >> {lsb})" if lsb
+                        else self.ref(ins[2])
+                    )
+                    self.set_reg(
+                        ins[1], f"{base} & {self.K(eff)}", bool_result=eff == 1
+                    )
+        elif op == SHLOR:
+            lacc, lpart = self.lit(ins[2]), self.lit(ins[4])
+            k = ins[3]
+            if lacc is not None and lpart is not None:
+                rv[ins[1]] = ("l", (lacc << k) | lpart)
+            elif lacc is not None:
+                # Width audit bounds acc_width + shift <= 63: no bleed.
+                if lacc << k:
+                    self.set_reg(
+                        ins[1], f"{self.ref(ins[4])} | {self.K(lacc << k)}"
+                    )
+                else:
+                    self.alias(ins[1], ins[4])
+            else:
+                base = f"({self.ref(ins[2])} << {k})" if k else self.ref(ins[2])
+                if lpart == 0:
+                    if k:
+                        self.set_reg(ins[1], f"{self.ref(ins[2])} << {k}")
+                    else:
+                        self.alias(ins[1], ins[2])
+                else:
+                    self.set_reg(ins[1], f"{base} | {self.ref(ins[4])}")
+        elif op == REPL:
+            la = self.lit(ins[2])
+            if la is not None:
+                rv[ins[1]] = ("l", la * ins[3])
+            else:
+                # Audit bounds each lane's product below 2**63: a plain
+                # scalar multiply replicates lane-wise with no bleed.
+                self.set_reg(ins[1], f"{self.ref(ins[2])} * {ins[3]}")
+        elif op == MASK:
+            la = self.lit(ins[2])
+            if la is not None:
+                rv[ins[1]] = ("l", la & ins[3])
+            else:
+                self.set_reg(
+                    ins[1],
+                    f"{self.ref(ins[2])} & {self.K(ins[3])}",
+                    bool_result=ins[3] == 1,
+                )
+        elif op in (JZ, JNZ):
+            lc = self.lit(ins[1])
+            if lc is not None:
+                if (lc == 0) == (op == JZ):
+                    # Uniformly taken: every active lane jumps.
+                    jv = self._join_var(ins[2])
+                    self.emit(f"{jv} = act")
+                    self.emit("act = 0")
+                    self.emit("nact = ALL")
+            else:
+                self.emit(f"_m = {self.fieldmask(self.boolbit(ins[1]))}")
+                jv = self._join_var(ins[2])
+                if op == JZ:
+                    self.emit(f"{jv} = act & (_m ^ ALL)")
+                    self.emit("act = act & _m")
+                else:
+                    self.emit(f"{jv} = act & _m")
+                    self.emit("act = act & (_m ^ ALL)")
+                self.emit("nact = act ^ ALL")
+        elif op == JMP:
+            jv = self._join_var(ins[1])
+            self.emit(f"{jv} = act")
+            self.emit("act = 0")
+            self.emit("nact = ALL")
+        elif op == STOREBIT:
+            slot, src, idx, fm = ins[1], ins[2], ins[3], ins[4]
+            li, ls = self.lit(idx), self.lit(src)
+            e = self.env_ref(slot)
+            if li is not None:
+                bit = 1 << min(li, 64)
+                keep = fm & ~bit
+                base = f"({e} & {self.K(keep)})" if keep != fm else e
+                contrib = None
+                if bit & fm:
+                    if ls is not None:
+                        if ls & 1:
+                            contrib = self.K(bit)
+                    elif self.is_bool(src):
+                        contrib = (
+                            f"({self.ref(src)} << {li})" if li else self.ref(src)
+                        )
+                    else:
+                        masked = f"({self.ref(src)} & L)"
+                        contrib = f"({masked} << {li})" if li else masked
+                expr = base if contrib is None else f"{base} | {contrib}"
+                self.store_env(slot, expr)
+            else:
+                self.emit(
+                    f"_c = _storebitv({e}, {self.ref(src)},"
+                    f" {self.ref(idx)}, {fm})"
+                )
+                self.store_env(slot, "_c")
+        elif op == STOREPART:
+            slot, src, lsb, field, fm = ins[1], ins[2], ins[3], ins[4], ins[5]
+            shifted = (field << lsb) & fm
+            keep = fm & ~shifted
+            eff = shifted >> lsb
+            e = self.env_ref(slot)
+            base = f"({e} & {self.K(keep)})" if keep != fm else e
+            ls = self.lit(src)
+            if ls is not None:
+                cv = ((ls & field) << lsb) & fm
+                expr = base if cv == 0 else f"{base} | {self.K(cv)}"
+            elif eff == 0:
+                expr = base
+            else:
+                part = f"({self.ref(src)} & {self.K(eff)})"
+                expr = f"{base} | ({part} << {lsb})" if lsb else f"{base} | {part}"
+            self.store_env(slot, expr)
+        else:  # pragma: no cover - all opcodes are handled above
+            raise RuntimeError(f"unknown opcode {op}")
+
+
+_COMPARES = {
+    EQ: lambda a, b: a == b,
+    NE: lambda a, b: a != b,
+    LT: lambda a, b: a < b,
+    LE: lambda a, b: a <= b,
+    GT: lambda a, b: a > b,
+    GE: lambda a, b: a >= b,
+}
+
+#: Compiled pass code objects + their K constants, keyed by
+#: (program id, stream name); lane-count independent.
+_CODE_CACHE: dict[tuple[int, str], tuple] = {}
+
+
+def _stream_code(program: CompiledProgram, name: str) -> tuple[Any, dict[int, str]]:
+    """Translate (with caching) one stream to a compiled code object.
+
+    ``name`` is a stream attribute (``comb_fast`` ...) or ``nba<i>`` for
+    a non-blocking writer's dynamic-index stream, which additionally
+    returns its index register's packed value.
+    """
+    key = (id(program), name)
+    entry = _CODE_CACHE.get(key)
+    if entry is not None and entry[0]() is program:
+        return entry[1], entry[2]
+    if name.startswith("nba"):
+        writer = program.nba_writers[int(name[3:])]
+        stream, result_reg = writer[3], writer[4]
+    else:
+        stream, result_reg = getattr(program, name), None
+    emitter = _StreamEmitter(program, stream, result_reg)
+    source = emitter.source()
+    code = compile(source, f"<vector:{name}>", "exec")
+    consts = dict(emitter.consts)
+    ref = weakref.ref(program, lambda _r, _k=key: _CODE_CACHE.pop(_k, None))
+    _CODE_CACHE[key] = (ref, code, consts)
+    return code, consts
+
+
+#: Bound pass functions, keyed by (program id, stream name, n_lanes).
+_FN_CACHE: dict[tuple[int, str, int], tuple] = {}
+
+
+def _bound_fn(program: CompiledProgram, name: str, n: int) -> Callable:
+    """Bind one stream's cached code object to an ``n``-lane context."""
+    key = (id(program), name, n)
+    entry = _FN_CACHE.get(key)
+    if entry is not None and entry[0]() is program:
+        return entry[1]
+    code, consts = _stream_code(program, name)
+    ones, lane_l, lane_h, lane_all = _lane_ctx(n)
+    bindings: dict[str, Any] = {"L": lane_l, "H": lane_h, "ALL": lane_all}
+    bindings.update(_helpers(n))
+    for value, kname in consts.items():
+        bindings[kname] = value * ones
+    exec(code, bindings)
+    fn = bindings["_pass"]
+    ref = weakref.ref(program, lambda _r, _k=key: _FN_CACHE.pop(_k, None))
+    _FN_CACHE[key] = (ref, fn)
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Execution engine
+# ----------------------------------------------------------------------
+
+
+class VectorEvaluator:
+    """Executes compiled streams over all lanes of one suite in lockstep.
+
+    One evaluator owns the lane context (replication constants, per-lane
+    helper closures) and the non-blocking commit machinery; the per-pass
+    state itself lives in the generated stream functions' locals, so the
+    translated passes are cached per ``(program, n_lanes)`` and shared
+    across suites.
+    """
+
+    def __init__(self, program: CompiledProgram, n_lanes: int):
+        self.program = program
+        self.n_lanes = n_lanes
+        ones, _l, _h, lane_all = _lane_ctx(n_lanes)
+        self.ones = ones
+        self.ALL = lane_all
+        self._storebitv = _helpers(n_lanes)["_storebitv"]
+        self._part_cache: dict[int, tuple[int, int, int]] = {}
+        self._nba_fns: dict[int, Callable] = {}
+        self._no_pending: list = []
+
+    def pass_fn(self, name: str) -> Callable:
+        """The bound ``_pass(env, cycle, sink, pending, lanes, nlanes,
+        full)`` function for one stream of this evaluator's program."""
+        return _bound_fn(self.program, name, self.n_lanes)
+
+    def _part_consts(self, widx: int) -> tuple[int, int, int]:
+        entry = self._part_cache.get(widx)
+        if entry is None:
+            _, _slot, fullmask, lsb, field = self.program.nba_writers[widx]
+            shifted = (field << lsb) & fullmask
+            keep = (fullmask & ~shifted) * self.ones
+            eff = (shifted >> lsb) * self.ones
+            entry = self._part_cache[widx] = (keep, eff, lsb)
+        return entry
+
+    def commit(self, pending: list, env: list[int]) -> None:
+        """Apply pending non-blocking updates in execution order.
+
+        ``pending`` holds ``(writer index, packed value, active mask)``
+        triples; inactive lanes keep their previous slot value.
+        """
+        writers = self.program.nba_writers
+        lane_all = self.ALL
+        for widx, value, act in pending:
+            w = writers[widx]
+            kind = w[0]
+            if kind == _W_NAME:
+                slot = w[1]
+                if act is None or act == lane_all:
+                    env[slot] = value
+                else:
+                    env[slot] = (env[slot] & (act ^ lane_all)) | (value & act)
+            elif kind == _W_PART:
+                slot = w[1]
+                keep, eff, lsb = self._part_consts(widx)
+                cur = env[slot] & keep
+                if eff:
+                    cur |= (value & eff) << lsb
+                if act is None or act == lane_all:
+                    env[slot] = cur
+                else:
+                    env[slot] = (env[slot] & (act ^ lane_all)) | (cur & act)
+            else:  # _W_BIT: dynamic index against the commit-time env
+                _, slot, fullmask, _index_code, _index_reg = w
+                fn = self._nba_fns.get(widx)
+                if fn is None:
+                    fn = self._nba_fns[widx] = self.pass_fn(f"nba{widx}")
+                index = fn(env, 0, None, self._no_pending, lane_all, 0, True)
+                cur = self._storebitv(env[slot], value, index, fullmask)
+                if act is None or act == lane_all:
+                    env[slot] = cur
+                else:
+                    env[slot] = (env[slot] & (act ^ lane_all)) | (cur & act)
+        pending.clear()
+
+
+# ----------------------------------------------------------------------
+# Suite runner
+# ----------------------------------------------------------------------
+
+
+def run_vector_suite(
+    module: Module,
+    program: CompiledProgram,
+    stimuli: list[list[dict[str, int]]],
+    record: bool = True,
+    max_settle: int = 64,
+) -> list[Trace]:
+    """Simulate all ``stimuli`` of one compiled design in lockstep.
+
+    Implements exactly the scalar engine's per-cycle schedule (apply
+    stimulus, settle comb to fixpoint, one instrumented comb pass,
+    sample outputs, clock edge, commit) with every phase executing over
+    all lanes at once.  Returns traces in stimulus order, byte-identical
+    to per-trace scalar runs — ragged suites included (a lane past its
+    last cycle is simply never active again).
+
+    The caller is responsible for checking :func:`vectorizable` first.
+    """
+    from .simulator import _ENGINE_STATS, SimulationError
+
+    if not stimuli:
+        return []
+    n = len(stimuli)
+    lane_lengths = [len(stimulus) for stimulus in stimuli]
+    max_cycles = max(lane_lengths)
+    slot_of = program.slot_of
+    masks = program.masks
+    _ones, _l, _h, lane_all = _lane_ctx(n)
+
+    # Tensorize the stimulus: per cycle, (slot, packed values, packed
+    # not-driven mask) triples, plus the packed alive-lane mask.
+    frames: list[list[tuple[int, int, int]]] = []
+    alive_masks: list[int] = []
+    for cycle in range(max_cycles):
+        per_slot: dict[int, list[int]] = {}
+        alive = 0
+        for lane, stimulus in enumerate(stimuli):
+            if cycle >= len(stimulus):
+                continue
+            sh = lane << 6
+            alive |= _M64 << sh
+            for name, value in stimulus[cycle].items():
+                slot = slot_of.get(name)
+                if slot is None:
+                    raise SimulationError(
+                        f"stimulus drives unknown input {name!r}"
+                    )
+                entry = per_slot.get(slot)
+                if entry is None:
+                    entry = per_slot[slot] = [0, 0]
+                entry[0] |= (value & masks[slot]) << sh
+                entry[1] |= _M64 << sh
+        frames.append(
+            [(slot, v, d ^ lane_all) for slot, (v, d) in per_slot.items()]
+        )
+        alive_masks.append(alive)
+
+    env: list[int] = [0] * len(program.names)
+    evaluator = VectorEvaluator(program, n)
+    recorder = VectorRecorder(program.shapes, n) if record else None
+    pending: list = []
+    out_slots = [slot for _, slot in program.output_slots]
+    out_names = [name for name, _ in program.output_slots]
+    out_frames: list[list[int]] = []
+
+    # Purely sequential designs have empty comb streams: the settle loop
+    # (and its fixpoint snapshot compare) can be skipped outright.
+    comb_fast_fn = evaluator.pass_fn("comb_fast") if program.comb_fast else None
+    comb_rec_fn = (
+        evaluator.pass_fn("comb_rec") if record and program.comb_rec else None
+    )
+    if record:
+        seq_fn = evaluator.pass_fn("seq_rec") if program.seq_rec else None
+    else:
+        seq_fn = evaluator.pass_fn("seq_fast") if program.seq_fast else None
+
+    for cycle in range(max_cycles):
+        lanes = alive_masks[cycle]
+        nlanes = lanes ^ lane_all
+        full = lanes == lane_all
+        for slot, values, ndrive in frames[cycle]:
+            env[slot] = (env[slot] & ndrive) | values
+
+        if comb_fast_fn is not None:
+            for _iteration in range(max_settle):
+                snapshot = env.copy()
+                comb_fast_fn(env, cycle, None, pending, lanes, nlanes, full)
+                if pending:
+                    evaluator.commit(pending, env)
+                if env == snapshot:
+                    break
+            else:
+                raise SimulationError(
+                    f"combinational logic did not settle in design {module.name!r}"
+                )
+            if comb_rec_fn is not None:
+                stage = recorder.begin_pass()  # type: ignore[union-attr]
+                comb_rec_fn(env, cycle, stage, pending, lanes, nlanes, full)
+                if pending:
+                    evaluator.commit(pending, env)
+                recorder.commit_pass(cycle)  # type: ignore[union-attr]
+
+        out_frames.append([env[slot] for slot in out_slots])
+
+        if seq_fn is not None:
+            seq_fn(env, cycle, recorder, pending, lanes, nlanes, full)
+            if pending:
+                evaluator.commit(pending, env)
+
+    columns = recorder.finish() if recorder is not None else None
+    n_outs = len(out_names)
+    if out_frames and n_outs:
+        # Bulk lane extraction: one (cycles * outputs, N) matrix instead
+        # of a Python shift/mask per (lane, cycle, output).
+        out_matrix = _unpack(
+            [value for frame in out_frames for value in frame], n
+        )
+    else:
+        out_matrix = None
+    traces: list[Trace] = []
+    for lane, stimulus in enumerate(stimuli):
+        trace = Trace(design=module.name, stimulus=[dict(s) for s in stimulus])
+        length = lane_lengths[lane]
+        if out_matrix is not None and length:
+            values = out_matrix[: length * n_outs, lane].tolist()
+            trace.outputs = [
+                dict(zip(out_names, values[row : row + n_outs]))
+                for row in range(0, length * n_outs, n_outs)
+            ]
+        if columns is not None:
+            trace.executions = _LazyExecutions(columns[lane])
+        traces.append(trace)
+
+    stats = _ENGINE_STATS["vector"]
+    stats["batches"] += 1
+    stats["lanes"] += n
+    stats["cycles"] += sum(lane_lengths)
+    return traces

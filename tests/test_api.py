@@ -96,7 +96,7 @@ class TestSessionConfig:
             .with_campaign_defaults(n_traces=3, min_correct_traces=1)
         )
         # The original is untouched (frozen + replace semantics).
-        assert base.engine == "compiled" and base.n_workers == 0
+        assert base.engine == "auto" and base.n_workers == 0
         assert tuned.engine == "interpreted"
         assert tuned.n_workers == 2
         assert tuned.localize_batch == 4
@@ -116,7 +116,7 @@ class TestSessionConfig:
             SessionConfig().with_model(VeriBugConfig(), epochs=3)
 
     def test_engine_resolution_defers_to_model(self):
-        assert SessionConfig().engine == "compiled"
+        assert SessionConfig().engine == "auto"
         via_model = SessionConfig(model=VeriBugConfig(sim_engine="interpreted"))
         assert via_model.engine == "interpreted"
         assert via_model.with_engine("compiled").engine == "compiled"

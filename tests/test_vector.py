@@ -1,0 +1,366 @@
+"""Differential tests: lockstep vector engine vs compiled vs interpreter.
+
+The vector engine's contract is byte-identity per lane: running a suite
+through :func:`repro.sim.run_vector_suite` must produce, for every
+stimulus, the exact :class:`Trace` the compiled scalar engine produces —
+same outputs, same stimulus echo, and the same recorded
+``ExecutionColumns`` down to array dtypes — which the compiled engine in
+turn pins against the tree-walking interpreter.  Suites here are
+deliberately ragged and branch-divergent so the predication, join, and
+recorder-merge paths all carry real work.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import RandomVerilogDesignGenerator, RVDGConfig
+from repro.datagen.campaign import CampaignEngine
+from repro.datagen.mutation import sample_mutations
+from repro.sim import (
+    SimulationError,
+    Simulator,
+    TestbenchConfig,
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_module,
+    engine_stats,
+    generate_testbench_suite,
+    run_vector_suite,
+    vectorizable,
+)
+from repro.verilog import parse_module
+
+
+def assert_lane_identical(module, stimuli, record=True):
+    """Vector suite == per-stimulus compiled == interpreter, byte-exact."""
+    program = compile_module(module)
+    assert vectorizable(program), module.name
+    scalar = Simulator(module, engine="compiled")
+    oracle = Simulator(module, engine="interpreted")
+    vector_traces = run_vector_suite(module, program, stimuli, record=record)
+    assert len(vector_traces) == len(stimuli)
+    for stimulus, actual in zip(stimuli, vector_traces):
+        expected = scalar.run(stimulus, record=record)
+        reference = oracle.run(stimulus, record=record)
+        assert expected.outputs == reference.outputs
+        assert_trace_byte_equal(actual, expected, record)
+
+
+def assert_trace_byte_equal(actual, expected, record=True):
+    assert actual.design == expected.design
+    assert actual.stimulus == expected.stimulus
+    assert actual.outputs == expected.outputs
+    if not record:
+        return
+    left = actual.execution_columns()
+    right = expected.execution_columns()
+    assert left.stmt_table == right.stmt_table
+    for field in ("stmt_slots", "cycles", "lhs_values", "flat_values"):
+        a, b = getattr(left, field), getattr(right, field)
+        assert a.dtype == b.dtype, field
+        assert np.array_equal(a, b), field
+
+
+def ragged(suite):
+    """Truncate/empty a few lanes so cycle counts genuinely differ."""
+    suite = [list(stimulus) for stimulus in suite]
+    if len(suite) > 2:
+        suite[2] = suite[2][: max(1, len(suite[2]) // 2)]
+    if len(suite) > 4:
+        suite[4] = []
+    return suite
+
+
+# ----------------------------------------------------------------------
+# Corpus and random designs
+# ----------------------------------------------------------------------
+
+
+def _corpus_modules():
+    import pathlib
+
+    from repro.ingest import ingest_directory
+
+    corpus_dir = pathlib.Path(__file__).resolve().parents[1] / "examples" / "corpus"
+    corpus = ingest_directory(corpus_dir)
+    return [
+        corpus.module(name)
+        for name in sorted(corpus.names())
+        if vectorizable(compile_module(corpus.module(name)))
+    ]
+
+
+@pytest.mark.parametrize("module", _corpus_modules(), ids=lambda m: m.name)
+def test_corpus_design_lane_identical(module):
+    suite = ragged(
+        generate_testbench_suite(module, 6, TestbenchConfig(n_cycles=23), seed=7)
+    )
+    assert_lane_identical(module, suite)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_rvdg_lane_identical(seed):
+    generator = RandomVerilogDesignGenerator(
+        RVDGConfig(n_inputs=4, n_state=3, n_outputs=2, n_branches=3), seed=seed
+    )
+    module = generator.generate("d")
+    suite = ragged(
+        generate_testbench_suite(module, 5, TestbenchConfig(n_cycles=12), seed=seed)
+    )
+    assert_lane_identical(module, suite)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_rvdg_lane_identical_without_recording(seed):
+    generator = RandomVerilogDesignGenerator(
+        RVDGConfig(n_inputs=3, n_state=2, n_outputs=2, n_branches=2), seed=seed
+    )
+    module = generator.generate("d")
+    suite = generate_testbench_suite(module, 4, TestbenchConfig(n_cycles=10), seed=3)
+    assert_lane_identical(module, suite, record=False)
+
+
+# ----------------------------------------------------------------------
+# Focused corners: predication, zero divisors, part-selects
+# ----------------------------------------------------------------------
+
+
+class TestPredicationCorners:
+    def test_divergent_if_branches_across_lanes(self):
+        module = parse_module(
+            "module t(input clk, input [3:0] a, output reg [3:0] y);"
+            " always @(*) begin"
+            "   if (a > 7) y = a - 4'd7;"
+            "   else y = a + 4'd1;"
+            " end endmodule"
+        )
+        # Half the lanes take the then-arm every cycle, half the else-arm,
+        # and two lanes alternate — joins see genuinely mixed masks.
+        stimuli = [
+            [{"clk": 0, "a": 15} for _ in range(6)],
+            [{"clk": 0, "a": 0} for _ in range(6)],
+            [{"clk": 0, "a": 15 if c % 2 else 0} for c in range(6)],
+            [{"clk": 0, "a": 0 if c % 2 else 15} for c in range(6)],
+        ]
+        assert_lane_identical(module, stimuli)
+
+    def test_divergent_case_items_across_lanes(self):
+        module = parse_module(
+            "module t(input clk, input [1:0] sel, input [3:0] a,"
+            " output reg [3:0] y);"
+            " always @(*) begin"
+            "   case (sel)"
+            "     2'd0: y = a;"
+            "     2'd1: y = a + 4'd1;"
+            "     2'd2: y = ~a;"
+            "     default: y = 4'd9;"
+            "   endcase"
+            " end endmodule"
+        )
+        stimuli = [
+            [{"clk": 0, "sel": lane, "a": (lane * 3 + c) % 16} for c in range(8)]
+            for lane in range(4)
+        ]
+        assert_lane_identical(module, stimuli)
+
+    def test_division_and_modulo_by_zero_per_lane(self):
+        # Verilog x/0 and x%0 are defined as 0 two-state here; only some
+        # lanes hit the zero divisor, so the skip-lane helper is load-bearing.
+        module = parse_module(
+            "module t(input clk, input [3:0] a, input [3:0] b,"
+            " output [3:0] q, output [3:0] r);"
+            " assign q = a / b;"
+            " assign r = a % b;"
+            " endmodule"
+        )
+        stimuli = [
+            [{"clk": 0, "a": 9, "b": 0} for _ in range(4)],
+            [{"clk": 0, "a": 9, "b": 2} for _ in range(4)],
+            [{"clk": 0, "a": 13, "b": c % 3} for c in range(4)],
+        ]
+        assert_lane_identical(module, stimuli)
+
+    def test_part_select_and_bit_select_stores(self):
+        module = parse_module(
+            "module t(input clk, input [7:0] a, input [2:0] i,"
+            " output reg [7:0] y, output reg [7:0] z);"
+            " always @(posedge clk) begin"
+            "   y[3:0] <= a[7:4];"
+            "   y[7:4] <= a[3:0];"
+            "   z[i] <= a[0];"
+            " end endmodule"
+        )
+        stimuli = [
+            [{"clk": 0, "a": (lane * 37 + c * 11) % 256, "i": (lane + c) % 8}
+             for c in range(7)]
+            for lane in range(5)
+        ]
+        assert_lane_identical(module, stimuli)
+
+    def test_ragged_suite_with_empty_lane(self):
+        module = parse_module(
+            "module t(input clk, input rst_n, input [3:0] a,"
+            " output reg [3:0] acc);"
+            " always @(posedge clk) begin"
+            "   if (!rst_n) acc <= 4'd0;"
+            "   else acc <= acc + a;"
+            " end endmodule"
+        )
+        suite = generate_testbench_suite(
+            module, 6, TestbenchConfig(n_cycles=15), seed=11
+        )
+        suite[0] = suite[0][:1]
+        suite[3] = []
+        suite[5] = suite[5][:9]
+        assert_lane_identical(module, suite)
+
+
+# ----------------------------------------------------------------------
+# Engine selection, fallback, counters, suite hygiene
+# ----------------------------------------------------------------------
+
+WIDE_SOURCE = (
+    "module w(input clk, input [63:0] a, output [63:0] y);"
+    " assign y = ~a; endmodule"
+)
+
+
+class TestEngineRouting:
+    def test_wide_design_is_not_vectorizable(self):
+        program = compile_module(parse_module(WIDE_SOURCE))
+        assert not vectorizable(program)
+
+    def test_wide_design_falls_back_to_scalar(self):
+        module = parse_module(WIDE_SOURCE)
+        sim = Simulator(module, engine="vector")
+        before = engine_stats()
+        suite = [[{"a": (1 << 63) + lane}] for lane in range(3)]
+        traces = sim.run_suite(suite)
+        after = engine_stats()
+        assert [t.outputs[0]["y"] for t in traces] == [
+            (~((1 << 63) + lane)) & ((1 << 64) - 1) for lane in range(3)
+        ]
+        assert (
+            after["vector"]["scalar_fallbacks"]
+            == before["vector"]["scalar_fallbacks"] + 1
+        )
+        assert after["vector"]["batches"] == before["vector"]["batches"]
+        assert after["compiled"]["runs"] == before["compiled"]["runs"] + 3
+
+    def test_vector_counters_track_lanes_and_cycles(self, arbiter):
+        sim = Simulator(arbiter, engine="vector")
+        suite = generate_testbench_suite(
+            arbiter, 3, TestbenchConfig(n_cycles=5), seed=2
+        )
+        before = engine_stats()
+        sim.run_suite(suite)
+        after = engine_stats()
+        assert after["vector"]["batches"] == before["vector"]["batches"] + 1
+        assert after["vector"]["lanes"] == before["vector"]["lanes"] + 3
+        assert after["vector"]["cycles"] == before["vector"]["cycles"] + 15
+
+    def test_auto_routes_multi_trace_suites_to_vector(self, arbiter):
+        sim = Simulator(arbiter, engine="auto")
+        suite = generate_testbench_suite(
+            arbiter, 2, TestbenchConfig(n_cycles=4), seed=2
+        )
+        before = engine_stats()
+        sim.run_suite(suite)
+        after = engine_stats()
+        assert after["vector"]["batches"] == before["vector"]["batches"] + 1
+
+    def test_auto_keeps_single_trace_suites_scalar(self, arbiter):
+        sim = Simulator(arbiter, engine="auto")
+        suite = generate_testbench_suite(
+            arbiter, 1, TestbenchConfig(n_cycles=4), seed=2
+        )
+        before = engine_stats()
+        sim.run_suite(suite)
+        after = engine_stats()
+        assert after["vector"]["batches"] == before["vector"]["batches"]
+        assert after["compiled"]["runs"] == before["compiled"]["runs"] + 1
+
+    def test_vector_suite_matches_auto_and_compiled(self, arbiter):
+        suite = ragged(
+            generate_testbench_suite(arbiter, 5, TestbenchConfig(n_cycles=9), seed=4)
+        )
+        compiled = Simulator(arbiter, engine="compiled").run_suite(suite)
+        for engine in ("vector", "auto"):
+            for actual, expected in zip(
+                Simulator(arbiter, engine=engine).run_suite(suite), compiled
+            ):
+                assert_trace_byte_equal(actual, expected)
+
+    def test_empty_suite(self, arbiter):
+        assert Simulator(arbiter, engine="vector").run_suite([]) == []
+
+
+class TestSuiteHygiene:
+    def test_suite_compiles_exactly_once(self, arbiter):
+        clear_compile_cache()
+        sim = Simulator(arbiter, engine="vector")
+        suite = generate_testbench_suite(
+            arbiter, 4, TestbenchConfig(n_cycles=6), seed=5
+        )
+        sim.run_suite(suite)
+        stats = compile_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_mixed_module_suite_rejected(self, arbiter):
+        other = parse_module(
+            "module o(input clk, input [3:0] p, output [3:0] q);"
+            " assign q = ~p; endmodule"
+        )
+        sim = Simulator(arbiter, engine="vector")
+        foreign = generate_testbench_suite(
+            other, 2, TestbenchConfig(n_cycles=3), seed=0
+        )
+        with pytest.raises(SimulationError, match="mixed-module"):
+            sim.run_suite(foreign)
+
+    def test_mutated_module_detected_mid_suite(self, arbiter):
+        sim = Simulator(arbiter, engine="vector")
+        clear_compile_cache()  # evicts arbiter's program entry
+        suite = generate_testbench_suite(
+            arbiter, 2, TestbenchConfig(n_cycles=3), seed=0
+        )
+        with pytest.raises(SimulationError, match="recompiled mid-suite"):
+            sim.run_suite(suite)
+
+
+# ----------------------------------------------------------------------
+# Campaign rankings: auto (vector) vs pinned compiled scalar
+# ----------------------------------------------------------------------
+
+
+class TestCampaignBitIdentity:
+    def test_rankings_bit_identical_auto_vs_compiled(
+        self, trained_pipeline, arbiter
+    ):
+        mutations = sample_mutations(
+            arbiter, {"negation": 2, "operation": 2, "misuse": 1}, seed=1
+        )
+        results = {}
+        for engine in ("auto", "compiled"):
+            campaign = CampaignEngine(
+                trained_pipeline.localizer,
+                n_traces=6,
+                testbench_config=TestbenchConfig(n_cycles=8, engine=engine),
+                seed=3,
+            )
+            results[engine] = campaign.run(arbiter, "gnt1", mutations)
+        for via_auto, via_scalar in zip(
+            results["auto"].outcomes, results["compiled"].outcomes
+        ):
+            assert via_auto.observable == via_scalar.observable
+            assert via_auto.localized == via_scalar.localized
+            assert via_auto.rank == via_scalar.rank
+            assert via_auto.suspiciousness == via_scalar.suspiciousness
+            assert via_auto.n_failing == via_scalar.n_failing
+            assert via_auto.n_correct == via_scalar.n_correct
+            assert via_auto.error == via_scalar.error
